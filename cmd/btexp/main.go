@@ -1,0 +1,92 @@
+// Command btexp regenerates every table and figure of the paper.
+//
+// Usage:
+//
+//	btexp [-seed N] [-quick] [-trained=false] [-o file] <experiment>
+//
+// Experiments: fig1, table1, fig9, fig10, fig11, fig12, fig13, table2,
+// power, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nocbt"
+	"nocbt/internal/bitutil"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "btexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Int64("seed", 1, "experiment seed")
+	quick := flag.Bool("quick", false, "smaller streams / random weights for a fast pass")
+	trained := flag.Bool("trained", true, "use trained weights for the with-NoC experiments")
+	out := flag.String("o", "", "write output to file instead of stdout")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: btexp [flags] <fig1|table1|fig9|fig10|fig11|fig12|fig13|table2|power|all>")
+	}
+	exp := strings.ToLower(flag.Arg(0))
+
+	t1cfg := nocbt.DefaultTable1Config()
+	t1cfg.Seed = *seed
+	useTrained := *trained
+	if *quick {
+		t1cfg.Packets = 500
+		useTrained = false
+	}
+
+	var sb strings.Builder
+	section := func(s string, err error) error {
+		if err != nil {
+			return err
+		}
+		sb.WriteString(s)
+		sb.WriteString("\n")
+		return nil
+	}
+	noErr := func(s string) (string, error) { return s, nil }
+
+	run := map[string]func() error{
+		"fig1":   func() error { return section(noErr(nocbt.Fig1Report(4))) },
+		"table1": func() error { return section(noErr(nocbt.Table1Report(t1cfg))) },
+		"fig9":   func() error { return section(noErr(nocbt.Fig9Report(20))) },
+		"fig10":  func() error { return section(noErr(nocbt.BitLevelReport(bitutil.Float32))) },
+		"fig11":  func() error { return section(noErr(nocbt.BitLevelReport(bitutil.Fixed8))) },
+		"fig12":  func() error { s, err := nocbt.Fig12Report(*seed, useTrained); return section(s, err) },
+		"fig13":  func() error { s, err := nocbt.Fig13Report(*seed, useTrained); return section(s, err) },
+		"table2": func() error { return section(noErr(nocbt.Table2Report())) },
+		"power":  func() error { return section(noErr(nocbt.LinkPowerReport(40.85))) },
+	}
+
+	if exp == "all" {
+		for _, name := range []string{"fig1", "table1", "fig9", "fig10", "fig11", "fig12", "fig13", "table2", "power"} {
+			fmt.Fprintf(os.Stderr, "btexp: running %s...\n", name)
+			if err := run[name](); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+	} else {
+		f, ok := run[exp]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", exp)
+		}
+		if err := f(); err != nil {
+			return err
+		}
+	}
+
+	if *out != "" {
+		return os.WriteFile(*out, []byte(sb.String()), 0o644)
+	}
+	_, err := fmt.Print(sb.String())
+	return err
+}

@@ -1,0 +1,73 @@
+// Command dnntrain trains LeNet (or the DarkNet-like model) on the
+// synthetic digit-glyph dataset and reports per-epoch loss/accuracy plus
+// the bit-level weight statistics the BT experiments consume.
+//
+// Usage:
+//
+//	dnntrain [-model lenet|darknet] [-samples 300] [-epochs 8] [-lr 0.002] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"nocbt/internal/bitutil"
+	"nocbt/internal/dnn"
+	"nocbt/internal/quant"
+	"nocbt/internal/stats"
+	"nocbt/internal/train"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dnntrain:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	modelName := flag.String("model", "lenet", "lenet or darknet")
+	samples := flag.Int("samples", 300, "training samples")
+	epochs := flag.Int("epochs", 8, "training epochs")
+	lr := flag.Float64("lr", 0.002, "learning rate")
+	seed := flag.Int64("seed", 1, "init/dataset seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var model *dnn.Model
+	switch *modelName {
+	case "lenet":
+		model = dnn.LeNet(rng)
+	case "darknet":
+		model = dnn.DarkNetTiny(rng)
+	default:
+		return fmt.Errorf("unknown model %q", *modelName)
+	}
+	fmt.Printf("%s: %d parameters, input %v\n", model.Name(), model.ParamCount(), model.InShape)
+
+	ds := train.SyntheticDigits(*samples, model.InShape, rng)
+	trainer := train.NewTrainer(model, train.Config{LR: float32(*lr), Epochs: *epochs})
+	for e := 0; e < *epochs; e++ {
+		st := trainer.Epoch(ds, rng)
+		fmt.Printf("epoch %2d: loss %.4f, accuracy %.2f\n", e+1, st.MeanLoss, st.Accuracy)
+	}
+	holdout := train.SyntheticDigits(200, model.InShape, rng)
+	fmt.Printf("holdout accuracy: %.2f\n", train.Evaluate(model, holdout))
+
+	// Bit-level summary of the trained weights (per-layer fixed-8).
+	var qs []int8
+	for _, layer := range model.LayerWeightSlices() {
+		qs = append(qs, quant.Choose(layer).QuantizeSlice(layer)...)
+	}
+	words := bitutil.Fixed8Words(qs)
+	dist := stats.BitDist(words, 8)
+	fmt.Println("\nfixed-8 weight bit distribution (MSB first):")
+	labels := make([]string, 8)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("bit %d", 7-i)
+	}
+	fmt.Print(stats.RenderBars(labels, dist.MSBFirst(), 1, 40))
+	return nil
+}

@@ -1,0 +1,41 @@
+// darknet_sweep runs the DarkNet-like model (64×64×3 input, as the paper
+// reduces it) across both data formats and all orderings on the default
+// platform — the DarkNet half of Fig. 13.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"nocbt"
+)
+
+func main() {
+	trained := flag.Bool("trained", false, "briefly train the model first (slower)")
+	flag.Parse()
+
+	model := nocbt.DarkNet(1)
+	if *trained {
+		fmt.Println("training DarkNet on the synthetic digit dataset...")
+		model = nocbt.TrainedDarkNet(1)
+	}
+	input := nocbt.SampleInput(model, 7)
+
+	for _, g := range []nocbt.Geometry{nocbt.Float32(), nocbt.Fixed8()} {
+		var baseline int64
+		for _, ord := range nocbt.Orderings() {
+			r, err := nocbt.RunModelOnNoC("4x4 MC2", nocbt.Platform4x4MC2(g), ord, model, input)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if ord == nocbt.O0 {
+				baseline = r.TotalBT
+			}
+			fmt.Printf("%-22s %s: BT=%13d  normalized=%.3f  (%.2f%% reduction)\n",
+				g, ord, r.TotalBT,
+				float64(r.TotalBT)/float64(baseline),
+				100*(1-float64(r.TotalBT)/float64(baseline)))
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// lenet_noc reproduces the heart of the paper's Fig. 12 interactively: a
+// trained LeNet runs on three NoC platforms (4×4/MC2, 8×8/MC4, 8×8/MC8)
+// under all three orderings, printing per-layer traffic for the default
+// platform.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nocbt"
+)
+
+func main() {
+	fmt.Println("training LeNet on the synthetic digit dataset (one-time, ~30s)...")
+	model := nocbt.TrainedLeNet(1)
+	input := nocbt.SampleInput(model, 7)
+
+	platforms := []struct {
+		name string
+		cfg  nocbt.Platform
+	}{
+		{"4x4 MC2", nocbt.Platform4x4MC2(nocbt.Fixed8())},
+		{"8x8 MC4", nocbt.Platform8x8MC4(nocbt.Fixed8())},
+		{"8x8 MC8", nocbt.Platform8x8MC8(nocbt.Fixed8())},
+	}
+	for _, p := range platforms {
+		var baseline int64
+		for _, ord := range nocbt.Orderings() {
+			r, err := nocbt.RunModelOnNoC(p.name, p.cfg, ord, model, input)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if ord == nocbt.O0 {
+				baseline = r.TotalBT
+			}
+			fmt.Printf("%-8s %s: BT=%12d (%.2f%% reduction), %d cycles, %d packets\n",
+				p.name, ord, r.TotalBT,
+				100*(1-float64(r.TotalBT)/float64(baseline)), r.Cycles, r.Packets)
+		}
+	}
+
+	// Per-layer traffic detail on the default platform with O2.
+	cfg := nocbt.Platform4x4MC2(nocbt.Fixed8())
+	cfg.Ordering = nocbt.O2
+	eng, err := nocbt.NewEngine(cfg, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := eng.Infer(input); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nper-layer traffic (4x4 MC2, O2):")
+	for _, ls := range eng.LayerStats() {
+		if !ls.OverNoC {
+			continue
+		}
+		fmt.Printf("  %-22s %6d tasks %8d flits %12d BT %8d cycles\n",
+			ls.Name, ls.Tasks, ls.Flits, ls.BT, ls.Cycles)
+	}
+}

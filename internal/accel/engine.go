@@ -1,0 +1,229 @@
+package accel
+
+import (
+	"fmt"
+
+	"nocbt/internal/bitutil"
+	"nocbt/internal/dnn"
+	"nocbt/internal/noc"
+	"nocbt/internal/quant"
+	"nocbt/internal/tensor"
+)
+
+// Engine executes a DNN model on the simulated NOC-DNA platform. Create one
+// per (platform, model, ordering) combination; BT counters accumulate across
+// every Infer call, mirroring the paper's whole-workload measurements.
+type Engine struct {
+	cfg   Config
+	model *dnn.Model
+	sim   *noc.Sim
+	pes   []int
+
+	nextPacketID uint64
+	// oobPartner models separated-ordering's out-of-band index channel:
+	// packet ID → partner table. Only used when !cfg.InBandIndex.
+	oobPartner map[uint64][]int
+
+	// Per-layer quantization registers, distributed to PEs out-of-band as
+	// layer configuration (fixed-8 mode only).
+	scaleWX float32
+	scaleB  float32
+
+	layers []LayerStat
+
+	taskPackets   int64
+	resultPackets int64
+}
+
+// LayerStat records one executed layer's traffic.
+type LayerStat struct {
+	Name string
+	// NoC traffic exists only for conv/linear layers.
+	OverNoC bool
+	Cycles  int64
+	BT      int64
+	Packets int64
+	Flits   int64
+	Tasks   int
+}
+
+// New validates the configuration and builds the platform.
+func New(cfg Config, model *dnn.Model) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if model == nil || len(model.Layers) == 0 {
+		return nil, fmt.Errorf("accel: empty model")
+	}
+	sim, err := noc.New(cfg.Mesh)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:        cfg,
+		model:      model,
+		sim:        sim,
+		pes:        cfg.PEs(),
+		oobPartner: make(map[uint64][]int),
+	}, nil
+}
+
+// Config returns the engine's configuration (after defaulting).
+func (e *Engine) Config() Config { return e.cfg }
+
+// fixed reports whether the engine runs in fixed-8 mode.
+func (e *Engine) fixed() bool { return e.cfg.Geometry.Format == bitutil.Fixed8 }
+
+// Infer runs one forward pass: conv and linear layers travel through the
+// NoC as task/result packets; other layers execute memory-side.
+func (e *Engine) Infer(input *tensor.Tensor) (*tensor.Tensor, error) {
+	act := input
+	for _, layer := range e.model.Layers {
+		var err error
+		switch l := layer.(type) {
+		case *dnn.Conv2D:
+			act, err = e.runConv(l, act)
+		case *dnn.Linear:
+			act, err = e.runLinear(l, act)
+		default:
+			e.recordHostLayer(layer.Name())
+			act = layer.Forward(act)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("accel: layer %s: %w", layer.Name(), err)
+		}
+	}
+	return act, nil
+}
+
+func (e *Engine) recordHostLayer(name string) {
+	e.layers = append(e.layers, LayerStat{Name: name})
+}
+
+// codec encodes layer values into lane words for the configured format.
+type codec struct {
+	fixed   bool
+	wq, xq  []int8 // quantized weights/activations (fixed-8 mode)
+	bq      []int8 // quantized biases
+	weights []float32
+	acts    []float32
+	biases  []float32
+}
+
+func (e *Engine) newCodec(weights, acts, biases []float32) codec {
+	c := codec{fixed: e.fixed(), weights: weights, acts: acts, biases: biases}
+	if c.fixed {
+		wp := quant.Choose(weights)
+		xp := quant.Choose(acts)
+		bp := quant.Choose(biases)
+		c.wq = wp.QuantizeSlice(weights)
+		c.xq = xp.QuantizeSlice(acts)
+		c.bq = bp.QuantizeSlice(biases)
+		// PE configuration registers for this layer.
+		e.scaleWX = wp.Scale * xp.Scale
+		e.scaleB = bp.Scale
+	}
+	return c
+}
+
+func (c codec) weightWord(i int) bitutil.Word {
+	if c.fixed {
+		return bitutil.Fixed8Word(c.wq[i])
+	}
+	return bitutil.Float32Word(c.weights[i])
+}
+
+func (c codec) actWord(i int) bitutil.Word {
+	if c.fixed {
+		return bitutil.Fixed8Word(c.xq[i])
+	}
+	return bitutil.Float32Word(c.acts[i])
+}
+
+func (c codec) biasWord(i int) bitutil.Word {
+	if c.fixed {
+		return bitutil.Fixed8Word(c.bq[i])
+	}
+	return bitutil.Float32Word(c.biases[i])
+}
+
+// taskSpec is one output neuron's work: encoded (input, weight) pairs plus
+// the encoded bias word.
+type taskSpec struct {
+	inputs  []bitutil.Word
+	weights []bitutil.Word
+	bias    bitutil.Word
+}
+
+// runConv executes a convolution layer over the NoC.
+func (e *Engine) runConv(l *dnn.Conv2D, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Rank() != 3 || x.Dim(0) != l.InC {
+		return nil, fmt.Errorf("input shape %v for %s", x.Shape(), l.Name())
+	}
+	h, w := x.Dim(1), x.Dim(2)
+	oh, ow := l.OutSize(h, w)
+	c := e.newCodec(l.W.Data, x.Data, l.B.Data)
+
+	tasks := make([]taskSpec, 0, l.OutC*oh*ow)
+	for oc := 0; oc < l.OutC; oc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				n := l.InC * l.K * l.K
+				t := taskSpec{
+					inputs:  make([]bitutil.Word, 0, n),
+					weights: make([]bitutil.Word, 0, n),
+					bias:    c.biasWord(oc),
+				}
+				for ic := 0; ic < l.InC; ic++ {
+					for ky := 0; ky < l.K; ky++ {
+						iy := oy*l.Stride - l.Pad + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < l.K; kx++ {
+							ix := ox*l.Stride - l.Pad + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							t.weights = append(t.weights, c.weightWord(l.W.Index(oc, ic, ky, kx)))
+							t.inputs = append(t.inputs, c.actWord(x.Index(ic, iy, ix)))
+						}
+					}
+				}
+				tasks = append(tasks, t)
+			}
+		}
+	}
+	results, err := e.runTasks(l.Name(), tasks)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.FromSlice(results, l.OutC, oh, ow), nil
+}
+
+// runLinear executes a fully-connected layer over the NoC.
+func (e *Engine) runLinear(l *dnn.Linear, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Size() != l.In {
+		return nil, fmt.Errorf("input size %d for %s", x.Size(), l.Name())
+	}
+	c := e.newCodec(l.W.Data, x.Data, l.B.Data)
+	tasks := make([]taskSpec, l.Out)
+	for o := 0; o < l.Out; o++ {
+		t := taskSpec{
+			inputs:  make([]bitutil.Word, l.In),
+			weights: make([]bitutil.Word, l.In),
+			bias:    c.biasWord(o),
+		}
+		for i := 0; i < l.In; i++ {
+			t.weights[i] = c.weightWord(o*l.In + i)
+			t.inputs[i] = c.actWord(i)
+		}
+		tasks[o] = t
+	}
+	results, err := e.runTasks(l.Name(), tasks)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.FromSlice(results, l.Out), nil
+}

@@ -1,0 +1,260 @@
+package accel
+
+import (
+	"fmt"
+
+	"nocbt/internal/bitutil"
+	"nocbt/internal/flit"
+	"nocbt/internal/noc"
+)
+
+// pendingResult is a result packet waiting out its PE compute latency.
+type pendingResult struct {
+	ready int64
+	pkt   *flit.Packet
+}
+
+// runTasks dispatches one layer's tasks through the NoC and returns the
+// per-task real-domain results.
+//
+// Dispatch: task ti is owned by MC ti mod |MCs| and computed by PE
+// (ti div |MCs|) mod |PEs| — both round-robin, spreading load the way a
+// NocDAS-style scheduler does. Tasks larger than MaxSegmentPairs are split;
+// every segment is an independent packet whose partial sums the MC
+// accumulates in fixed segment order (keeping float32 results deterministic
+// for a given ordering configuration).
+func (e *Engine) runTasks(layerName string, tasks []taskSpec) ([]float32, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("layer produced no tasks")
+	}
+	startBT := e.sim.TotalBT()
+	startCycles := e.sim.Cycle()
+	g := e.cfg.Geometry
+	mcs := e.cfg.MCs
+	zeroBias := bitutil.Word(0)
+
+	type segKey struct{ task, seg int }
+	// partials[task][seg] filled as results return.
+	partials := make([][]float32, len(tasks))
+	expectedSegs := 0
+	var layerFlits int64
+
+	// taskMeta lets the PE handler know everything it needs about a
+	// received packet without a second lookup table: keyed by packet ID.
+	type taskPacketInfo struct {
+		task, seg int
+		pairCount int
+		mc        int
+	}
+	info := make(map[uint64]taskPacketInfo)
+
+	for ti, task := range tasks {
+		n := len(task.weights)
+		if n == 0 {
+			return nil, fmt.Errorf("task %d has no pairs", ti)
+		}
+		mc := mcs[ti%len(mcs)]
+		pe := e.pes[(ti/len(mcs))%len(e.pes)]
+		segs := (n + e.cfg.MaxSegmentPairs - 1) / e.cfg.MaxSegmentPairs
+		partials[ti] = make([]float32, segs)
+		expectedSegs += segs
+		for s := 0; s < segs; s++ {
+			lo := s * e.cfg.MaxSegmentPairs
+			hi := lo + e.cfg.MaxSegmentPairs
+			if hi > n {
+				hi = n
+			}
+			bias := zeroBias
+			if s == segs-1 {
+				bias = task.bias // only the final segment carries the bias
+			}
+			fz, err := flit.Flitize(g, flit.Task{
+				Inputs:  task.inputs[lo:hi],
+				Weights: task.weights[lo:hi],
+				Bias:    bias,
+			}, flit.Options{Ordering: e.cfg.Ordering, InBandIndex: e.cfg.InBandIndex})
+			if err != nil {
+				return nil, fmt.Errorf("flitize task %d seg %d: %w", ti, s, err)
+			}
+			e.nextPacketID++
+			pid := e.nextPacketID
+			hdr := flit.EncodeHeader(g, flit.Header{
+				Dst: uint16(pe), Src: uint16(mc),
+				PacketID: uint32(pid), TaskID: uint32(ti),
+				Kind: flit.KindTask, PairCount: uint16(hi - lo),
+				Ordering: e.cfg.Ordering,
+			})
+			pkt := flit.NewPacket(pid, mc, pe, hdr, fz.Payloads())
+			if e.cfg.Ordering == flit.Separated && !e.cfg.InBandIndex {
+				e.oobPartner[pid] = fz.PartnerIndex
+			}
+			info[pid] = taskPacketInfo{task: ti, seg: s, pairCount: hi - lo, mc: mc}
+			if err := e.sim.Inject(pkt); err != nil {
+				return nil, err
+			}
+			e.taskPackets++
+			layerFlits += int64(pkt.Len())
+		}
+	}
+
+	// Simulation loop: PEs consume task packets and, after the compute
+	// latency, inject result packets; MCs collect partial sums.
+	var pending []pendingResult
+	received := 0
+	deadline := e.sim.Cycle() + e.cfg.DrainCycleCap
+	for received < expectedSegs {
+		if e.sim.Cycle() >= deadline {
+			return nil, fmt.Errorf("layer %s exceeded cycle cap %d (%d/%d results)",
+				layerName, e.cfg.DrainCycleCap, received, expectedSegs)
+		}
+		e.sim.Step()
+
+		// PE side: handle completed task packets.
+		for _, pe := range e.pes {
+			for _, pkt := range e.sim.PopEjected(pe) {
+				hdr := flit.DecodeHeader(g, pkt.Flits[0].Payload)
+				if hdr.Kind != flit.KindTask {
+					return nil, fmt.Errorf("PE %d received non-task packet %d", pe, pkt.ID)
+				}
+				meta, ok := info[pkt.ID]
+				if !ok {
+					return nil, fmt.Errorf("PE %d received unknown packet %d", pe, pkt.ID)
+				}
+				value, err := e.peCompute(pkt, int(hdr.PairCount))
+				if err != nil {
+					return nil, fmt.Errorf("PE %d packet %d: %w", pe, pkt.ID, err)
+				}
+				e.nextPacketID++
+				rid := e.nextPacketID
+				rhdr := flit.EncodeHeader(g, flit.Header{
+					Dst: uint16(meta.mc), Src: uint16(pe),
+					PacketID: uint32(rid), TaskID: uint32(meta.task),
+					Kind: flit.KindResult, PairCount: uint16(meta.seg),
+					Ordering: e.cfg.Ordering,
+				})
+				body := bitutil.NewVec(g.LinkBits)
+				body.SetField(0, 32, uint64(bitutil.Float32Word(value)))
+				rpkt := flit.NewPacket(rid, pe, meta.mc, rhdr, []bitutil.Vec{body})
+				pending = append(pending, pendingResult{
+					ready: e.sim.Cycle() + int64(e.cfg.PEComputeCycles),
+					pkt:   rpkt,
+				})
+				delete(info, pkt.ID)
+			}
+		}
+
+		// Inject results whose compute latency elapsed.
+		kept := pending[:0]
+		for _, pr := range pending {
+			if pr.ready <= e.sim.Cycle() {
+				if err := e.sim.Inject(pr.pkt); err != nil {
+					return nil, err
+				}
+				e.resultPackets++
+				layerFlits += int64(pr.pkt.Len())
+			} else {
+				kept = append(kept, pr)
+			}
+		}
+		pending = kept
+
+		// MC side: collect partial sums. The header reuses PairCount as
+		// the segment index for result packets.
+		for _, mc := range mcs {
+			for _, pkt := range e.sim.PopEjected(mc) {
+				hdr := flit.DecodeHeader(g, pkt.Flits[0].Payload)
+				if hdr.Kind != flit.KindResult {
+					return nil, fmt.Errorf("MC %d received non-result packet %d", mc, pkt.ID)
+				}
+				value := bitutil.WordFloat32(bitutil.Word(pkt.Flits[1].Payload.Field(0, 32)))
+				partials[hdr.TaskID][hdr.PairCount] = value
+				received++
+			}
+		}
+	}
+	if err := e.sim.Drain(e.cfg.DrainCycleCap); err != nil {
+		return nil, err
+	}
+
+	// Sum partials in fixed segment order.
+	results := make([]float32, len(tasks))
+	for ti, segs := range partials {
+		var sum float32
+		for _, v := range segs {
+			sum += v
+		}
+		results[ti] = sum
+	}
+	e.layers = append(e.layers, LayerStat{
+		Name:    layerName,
+		OverNoC: true,
+		Cycles:  e.sim.Cycle() - startCycles,
+		BT:      e.sim.TotalBT() - startBT,
+		Packets: int64(expectedSegs) * 2, // task + result per segment
+		Flits:   layerFlits,
+		Tasks:   len(tasks),
+	})
+	return results, nil
+}
+
+// peCompute models the PE: deflitize the task segment, multiply-accumulate,
+// and return the real-domain partial sum (including the segment's bias
+// lane, which is zero for non-final segments).
+func (e *Engine) peCompute(pkt *flit.Packet, pairCount int) (float32, error) {
+	g := e.cfg.Geometry
+	dataFlits := g.DataFlitCount(pairCount)
+	payloads := pkt.PayloadVecs()
+	if len(payloads) < dataFlits {
+		return 0, fmt.Errorf("packet has %d payload flits, need %d data flits", len(payloads), dataFlits)
+	}
+	var partner []int
+	if e.cfg.Ordering == flit.Separated {
+		if e.cfg.InBandIndex {
+			var err error
+			partner, err = flit.DecodePartnerIndex(g, payloads[dataFlits:], pairCount)
+			if err != nil {
+				return 0, err
+			}
+		} else {
+			partner = e.oobPartner[pkt.ID]
+			delete(e.oobPartner, pkt.ID)
+		}
+	}
+	task, err := flit.Deflitize(g, payloads[:dataFlits], pairCount, e.cfg.Ordering, partner)
+	if err != nil {
+		return 0, err
+	}
+
+	if e.fixed() {
+		// Exact integer MAC, then one rescale: identical across orderings.
+		var acc int32
+		for i := range task.Weights {
+			acc += int32(bitutil.WordFixed8(task.Weights[i])) * int32(bitutil.WordFixed8(task.Inputs[i]))
+		}
+		return float32(acc)*e.scaleWX + float32(bitutil.WordFixed8(task.Bias))*e.scaleB, nil
+	}
+	sum := bitutil.WordFloat32(task.Bias)
+	for i := range task.Weights {
+		sum += bitutil.WordFloat32(task.Weights[i]) * bitutil.WordFloat32(task.Inputs[i])
+	}
+	return sum, nil
+}
+
+// TotalBT returns the accumulated router-output bit transitions — the
+// paper's headline metric.
+func (e *Engine) TotalBT() int64 { return e.sim.TotalBT() }
+
+// Cycles returns the total simulated cycles.
+func (e *Engine) Cycles() int64 { return e.sim.Cycle() }
+
+// LayerStats returns per-layer traffic records in execution order.
+func (e *Engine) LayerStats() []LayerStat { return e.layers }
+
+// TaskPackets returns the number of task packets sent.
+func (e *Engine) TaskPackets() int64 { return e.taskPackets }
+
+// ResultPackets returns the number of result packets sent.
+func (e *Engine) ResultPackets() int64 { return e.resultPackets }
+
+// NoCStats returns the raw simulator counters.
+func (e *Engine) NoCStats() noc.Stats { return e.sim.Stats() }

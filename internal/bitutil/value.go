@@ -1,0 +1,134 @@
+package bitutil
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Format identifies the on-link encoding of one DNN value. The paper
+// evaluates two: IEEE-754 float32 ("float-32") and two's-complement 8-bit
+// fixed point ("fixed-8").
+type Format int
+
+const (
+	// Float32 encodes each value as its IEEE-754 single-precision bits.
+	Float32 Format = iota + 1
+	// Fixed8 encodes each value as an 8-bit two's-complement fixed-point
+	// number (quantization itself lives in internal/quant; this package
+	// only cares about the raw 8 bits).
+	Fixed8
+)
+
+// Bits returns the lane width in bits of one value in this format.
+func (f Format) Bits() int {
+	switch f {
+	case Float32:
+		return 32
+	case Fixed8:
+		return 8
+	default:
+		panic(fmt.Sprintf("bitutil: unknown format %d", int(f)))
+	}
+}
+
+// String implements fmt.Stringer.
+func (f Format) String() string {
+	switch f {
+	case Float32:
+		return "float-32"
+	case Fixed8:
+		return "fixed-8"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// Word is the raw bit pattern of a single value, right-aligned in a uint64.
+// A float32 occupies the low 32 bits; a fixed8 the low 8 bits.
+type Word uint64
+
+// Float32Word returns the bit pattern of a float32 value.
+func Float32Word(v float32) Word { return Word(math.Float32bits(v)) }
+
+// WordFloat32 decodes a float32 from its bit pattern.
+func WordFloat32(w Word) float32 { return math.Float32frombits(uint32(w)) }
+
+// Fixed8Word returns the bit pattern of an int8 fixed-point value.
+func Fixed8Word(v int8) Word { return Word(uint8(v)) }
+
+// WordFixed8 decodes an int8 from its bit pattern.
+func WordFixed8(w Word) int8 { return int8(uint8(w)) }
+
+// OnesCount returns the number of '1' bits in the low `width` bits of w.
+func (w Word) OnesCount(width int) int {
+	if width <= 0 || width > 64 {
+		panic(fmt.Sprintf("bitutil: word width %d out of range", width))
+	}
+	if width < 64 {
+		w &= 1<<uint(width) - 1
+	}
+	return bits.OnesCount64(uint64(w))
+}
+
+// WordTransitions returns popcount(a XOR b) over the low `width` bits: the
+// bit transitions when a `width`-bit wire group switches from a to b.
+func WordTransitions(a, b Word, width int) int {
+	return (a ^ b).OnesCount(width)
+}
+
+// PackWords builds a Vec of the given total width with each value's low
+// laneWidth bits placed side by side starting at bit 0. Lanes beyond
+// len(words) stay zero (padding). It panics if the lanes do not fit.
+func PackWords(words []Word, laneWidth, totalWidth int) Vec {
+	if len(words)*laneWidth > totalWidth {
+		panic(fmt.Sprintf("bitutil: %d lanes of %d bits exceed %d-bit vector",
+			len(words), laneWidth, totalWidth))
+	}
+	v := NewVec(totalWidth)
+	for i, w := range words {
+		v.SetField(i*laneWidth, laneWidth, uint64(w))
+	}
+	return v
+}
+
+// UnpackWords extracts n lanes of laneWidth bits starting at bit 0.
+func UnpackWords(v Vec, laneWidth, n int) []Word {
+	out := make([]Word, n)
+	for i := range out {
+		out[i] = Word(v.Field(i*laneWidth, laneWidth))
+	}
+	return out
+}
+
+// Float32Words converts a float32 slice to raw words.
+func Float32Words(vals []float32) []Word {
+	out := make([]Word, len(vals))
+	for i, v := range vals {
+		out[i] = Float32Word(v)
+	}
+	return out
+}
+
+// Fixed8Words converts an int8 slice to raw words.
+func Fixed8Words(vals []int8) []Word {
+	out := make([]Word, len(vals))
+	for i, v := range vals {
+		out[i] = Fixed8Word(v)
+	}
+	return out
+}
+
+// SliceTransitions returns the total bit transitions between two equal-length
+// word slices compared lane-by-lane at the given width, modelling two
+// consecutive beats on a parallel link whose lanes carry the slices.
+func SliceTransitions(a, b []Word, width int) int {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("bitutil: slice length mismatch %d vs %d", len(a), len(b)))
+	}
+	n := 0
+	for i := range a {
+		n += WordTransitions(a[i], b[i], width)
+	}
+	return n
+}

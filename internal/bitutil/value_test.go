@@ -1,0 +1,203 @@
+package bitutil
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatBits(t *testing.T) {
+	if Float32.Bits() != 32 {
+		t.Errorf("Float32.Bits() = %d", Float32.Bits())
+	}
+	if Fixed8.Bits() != 8 {
+		t.Errorf("Fixed8.Bits() = %d", Fixed8.Bits())
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	if Float32.String() != "float-32" || Fixed8.String() != "fixed-8" {
+		t.Errorf("unexpected Format strings: %s, %s", Float32, Fixed8)
+	}
+	if got := Format(99).String(); got != "Format(99)" {
+		t.Errorf("unknown format String() = %q", got)
+	}
+}
+
+func TestFormatBitsUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Format(0).Bits() did not panic")
+		}
+	}()
+	Format(0).Bits()
+}
+
+func TestFloat32WordRoundTrip(t *testing.T) {
+	vals := []float32{0, 1, -1, 0.5, -0.5, 3.14159, float32(math.Inf(1)), 1e-38, -2.5e10}
+	for _, v := range vals {
+		if got := WordFloat32(Float32Word(v)); got != v {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestFloat32WordKnownPatterns(t *testing.T) {
+	// 1.0f = 0x3F800000: sign 0, exponent 0111_1111, mantissa 0.
+	if got := Float32Word(1.0); got != 0x3F800000 {
+		t.Errorf("Float32Word(1.0) = %#x", got)
+	}
+	// -2.0f = 0xC0000000.
+	if got := Float32Word(-2.0); got != 0xC0000000 {
+		t.Errorf("Float32Word(-2.0) = %#x", got)
+	}
+	if got := Float32Word(1.0).OnesCount(32); got != 7 {
+		t.Errorf("popcount(1.0f) = %d, want 7", got)
+	}
+}
+
+func TestFixed8WordRoundTrip(t *testing.T) {
+	for v := -128; v <= 127; v++ {
+		w := Fixed8Word(int8(v))
+		if uint64(w) > 0xFF {
+			t.Fatalf("Fixed8Word(%d) = %#x exceeds 8 bits", v, uint64(w))
+		}
+		if got := WordFixed8(w); got != int8(v) {
+			t.Errorf("round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestFixed8TwosComplementPopcount(t *testing.T) {
+	// -1 is 0xFF in two's complement: all eight bits set. This property is
+	// load-bearing for the paper's trained-fixed8 result (negatives carry
+	// many ones, positives near zero carry few).
+	if got := Fixed8Word(-1).OnesCount(8); got != 8 {
+		t.Errorf("popcount(-1) = %d, want 8", got)
+	}
+	if got := Fixed8Word(0).OnesCount(8); got != 0 {
+		t.Errorf("popcount(0) = %d, want 0", got)
+	}
+	if got := Fixed8Word(1).OnesCount(8); got != 1 {
+		t.Errorf("popcount(1) = %d, want 1", got)
+	}
+	if got := Fixed8Word(-128).OnesCount(8); got != 1 {
+		t.Errorf("popcount(-128) = %d, want 1", got)
+	}
+}
+
+func TestWordOnesCountWidths(t *testing.T) {
+	w := Word(0xFFFF)
+	if got := w.OnesCount(8); got != 8 {
+		t.Errorf("OnesCount(8) = %d, want 8 (must mask to width)", got)
+	}
+	if got := w.OnesCount(16); got != 16 {
+		t.Errorf("OnesCount(16) = %d", got)
+	}
+	if got := w.OnesCount(64); got != 16 {
+		t.Errorf("OnesCount(64) = %d", got)
+	}
+}
+
+func TestWordOnesCountBadWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("OnesCount(0) did not panic")
+		}
+	}()
+	Word(1).OnesCount(0)
+}
+
+func TestWordTransitions(t *testing.T) {
+	if got := WordTransitions(0x00, 0xFF, 8); got != 8 {
+		t.Errorf("WordTransitions(0x00,0xFF,8) = %d", got)
+	}
+	if got := WordTransitions(0xAA, 0x55, 8); got != 8 {
+		t.Errorf("WordTransitions(0xAA,0x55,8) = %d", got)
+	}
+	if got := WordTransitions(0xAB, 0xAB, 8); got != 0 {
+		t.Errorf("self transitions = %d", got)
+	}
+	// Width masking: differences above the lane width must not count.
+	if got := WordTransitions(0x1FF, 0x0FF, 8); got != 0 {
+		t.Errorf("masked transitions = %d, want 0", got)
+	}
+}
+
+func TestWordTransitionsQuick(t *testing.T) {
+	f := func(a, b uint32) bool {
+		return WordTransitions(Word(a), Word(b), 32) == bits.OnesCount32(a^b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackUnpackWords(t *testing.T) {
+	words := []Word{0xDEADBEEF, 0x12345678, 0xFFFFFFFF, 0}
+	v := PackWords(words, 32, 256)
+	got := UnpackWords(v, 32, 4)
+	for i := range words {
+		if got[i] != words[i] {
+			t.Errorf("lane %d: %#x, want %#x", i, got[i], words[i])
+		}
+	}
+	// Lanes beyond the packed words must be zero padding.
+	for i := 4; i < 8; i++ {
+		if v.Field(i*32, 32) != 0 {
+			t.Errorf("padding lane %d not zero", i)
+		}
+	}
+}
+
+func TestPackWordsOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflow pack did not panic")
+		}
+	}()
+	PackWords(make([]Word, 5), 32, 128)
+}
+
+func TestPackWords8BitLanes(t *testing.T) {
+	words := []Word{0x01, 0xFF, 0x80, 0x7F}
+	v := PackWords(words, 8, 64)
+	if v.OnesCount() != 1+8+1+7 {
+		t.Errorf("OnesCount = %d, want 17", v.OnesCount())
+	}
+	got := UnpackWords(v, 8, 4)
+	for i := range words {
+		if got[i] != words[i] {
+			t.Errorf("lane %d: %#x, want %#x", i, got[i], words[i])
+		}
+	}
+}
+
+func TestFloat32WordsFixed8Words(t *testing.T) {
+	fw := Float32Words([]float32{1, -2})
+	if fw[0] != 0x3F800000 || fw[1] != 0xC0000000 {
+		t.Errorf("Float32Words = %#x", fw)
+	}
+	xw := Fixed8Words([]int8{-1, 3})
+	if xw[0] != 0xFF || xw[1] != 0x03 {
+		t.Errorf("Fixed8Words = %#x", xw)
+	}
+}
+
+func TestSliceTransitions(t *testing.T) {
+	a := []Word{0x00, 0xFF}
+	b := []Word{0x0F, 0xFF}
+	if got := SliceTransitions(a, b, 8); got != 4 {
+		t.Errorf("SliceTransitions = %d, want 4", got)
+	}
+}
+
+func TestSliceTransitionsLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	SliceTransitions([]Word{0}, []Word{0, 1}, 8)
+}

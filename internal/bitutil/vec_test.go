@@ -1,0 +1,267 @@
+package bitutil
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewVecWidth(t *testing.T) {
+	for _, w := range []int{0, 1, 8, 63, 64, 65, 128, 512} {
+		v := NewVec(w)
+		if v.Width() != w {
+			t.Errorf("NewVec(%d).Width() = %d", w, v.Width())
+		}
+		if !v.Zero() {
+			t.Errorf("NewVec(%d) not zero", w)
+		}
+		if got, want := len(v.Words()), (w+63)/64; got != want {
+			t.Errorf("NewVec(%d) has %d words, want %d", w, got, want)
+		}
+	}
+}
+
+func TestNewVecNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewVec(-1) did not panic")
+		}
+	}()
+	NewVec(-1)
+}
+
+func TestSetGetBit(t *testing.T) {
+	v := NewVec(130)
+	idx := []int{0, 1, 63, 64, 65, 127, 128, 129}
+	for _, i := range idx {
+		v.SetBit(i, true)
+	}
+	for _, i := range idx {
+		if !v.Bit(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if got := v.OnesCount(); got != len(idx) {
+		t.Errorf("OnesCount = %d, want %d", got, len(idx))
+	}
+	for _, i := range idx {
+		v.SetBit(i, false)
+	}
+	if !v.Zero() {
+		t.Error("vector not zero after clearing all bits")
+	}
+}
+
+func TestBitOutOfRangePanics(t *testing.T) {
+	v := NewVec(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bit(8) on width-8 vector did not panic")
+		}
+	}()
+	_ = v.Bit(8)
+}
+
+func TestSetFieldField(t *testing.T) {
+	tests := []struct {
+		name  string
+		off   int
+		width int
+		val   uint64
+	}{
+		{"aligned byte", 0, 8, 0xAB},
+		{"mid word", 13, 8, 0x5C},
+		{"word boundary straddle", 60, 8, 0xF3},
+		{"full word aligned", 64, 64, 0xDEADBEEFCAFEBABE},
+		{"full word straddle", 37, 64, 0x0123456789ABCDEF},
+		{"one bit", 99, 1, 1},
+		{"wide straddle", 120, 8, 0x7E},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			v := NewVec(128)
+			v.SetField(tt.off, tt.width, tt.val)
+			if got := v.Field(tt.off, tt.width); got != tt.val {
+				t.Errorf("Field(%d,%d) = %#x, want %#x", tt.off, tt.width, got, tt.val)
+			}
+			// Setting a field must not disturb neighbouring bits.
+			if tt.off > 0 && v.Bit(tt.off-1) {
+				t.Error("bit below field disturbed")
+			}
+			if end := tt.off + tt.width; end < 128 && v.Bit(end) {
+				t.Error("bit above field disturbed")
+			}
+		})
+	}
+}
+
+func TestSetFieldMasksValue(t *testing.T) {
+	v := NewVec(64)
+	v.SetField(4, 4, 0xFF) // only the low 4 bits of the value may be written
+	if got := v.Field(0, 12); got != 0x0F0 {
+		t.Errorf("Field(0,12) = %#x, want 0x0f0", got)
+	}
+}
+
+func TestSetFieldOverwrite(t *testing.T) {
+	v := NewVec(64)
+	v.SetField(8, 16, 0xFFFF)
+	v.SetField(8, 16, 0x1234)
+	if got := v.Field(8, 16); got != 0x1234 {
+		t.Errorf("overwrite: got %#x, want 0x1234", got)
+	}
+}
+
+func TestFieldRoundTripQuick(t *testing.T) {
+	f := func(off uint8, width uint8, val uint64) bool {
+		o := int(off) % 120
+		w := int(width)%64 + 1
+		if o+w > 128 {
+			o = 128 - w
+		}
+		v := NewVec(128)
+		v.SetField(o, w, val)
+		want := val
+		if w < 64 {
+			want &= 1<<uint(w) - 1
+		}
+		return v.Field(o, w) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransitions(t *testing.T) {
+	a := NewVec(96)
+	b := NewVec(96)
+	if a.Transitions(b) != 0 {
+		t.Error("transitions between zero vectors must be 0")
+	}
+	b.SetBit(0, true)
+	b.SetBit(64, true)
+	b.SetBit(95, true)
+	if got := a.Transitions(b); got != 3 {
+		t.Errorf("Transitions = %d, want 3", got)
+	}
+	if got := b.Transitions(a); got != 3 {
+		t.Errorf("Transitions not symmetric: %d", got)
+	}
+	if got := b.Transitions(b); got != 0 {
+		t.Errorf("self transitions = %d, want 0", got)
+	}
+}
+
+func TestTransitionsEqualsXorPopcountQuick(t *testing.T) {
+	f := func(aw, bw [3]uint64) bool {
+		a, b := NewVec(192), NewVec(192)
+		for i := 0; i < 3; i++ {
+			a.SetField(i*64, 64, aw[i])
+			b.SetField(i*64, 64, bw[i])
+		}
+		want := 0
+		for i := 0; i < 3; i++ {
+			want += bits.OnesCount64(aw[i] ^ bw[i])
+		}
+		return a.Transitions(b) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransitionsWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width mismatch did not panic")
+		}
+	}()
+	NewVec(8).Transitions(NewVec(16))
+}
+
+func TestTransitionsAt(t *testing.T) {
+	a, b := NewVec(16), NewVec(16)
+	b.SetBit(3, true)
+	b.SetBit(15, true)
+	at := a.TransitionsAt(b)
+	for i, flipped := range at {
+		want := i == 3 || i == 15
+		if flipped != want {
+			t.Errorf("TransitionsAt[%d] = %v, want %v", i, flipped, want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := NewVec(64)
+	a.SetField(0, 32, 0xABCD)
+	c := a.Clone()
+	c.SetBit(63, true)
+	if a.Bit(63) {
+		t.Error("Clone shares backing store with original")
+	}
+	if !c.Equal(c.Clone()) {
+		t.Error("clone of clone differs")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a, b := NewVec(80), NewVec(80)
+	b.SetField(10, 40, 0xFFFFFFFFFF)
+	a.CopyFrom(b)
+	if !a.Equal(b) {
+		t.Error("CopyFrom did not copy bits")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := NewVec(32), NewVec(32)
+	if !a.Equal(b) {
+		t.Error("zero vectors must be equal")
+	}
+	b.SetBit(31, true)
+	if a.Equal(b) {
+		t.Error("different vectors reported equal")
+	}
+	if a.Equal(NewVec(33)) {
+		t.Error("different widths reported equal")
+	}
+}
+
+func TestReset(t *testing.T) {
+	v := NewVec(100)
+	for i := 0; i < 100; i += 7 {
+		v.SetBit(i, true)
+	}
+	v.Reset()
+	if !v.Zero() {
+		t.Error("Reset left bits set")
+	}
+}
+
+func TestString(t *testing.T) {
+	v := NewVec(8)
+	v.SetField(0, 8, 0xA5)
+	if got := v.String(); got != "1010_0101" {
+		t.Errorf("String() = %q, want 1010_0101", got)
+	}
+}
+
+func TestOnesCountMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		width := 1 + rng.Intn(256)
+		v := NewVec(width)
+		want := 0
+		for i := 0; i < width; i++ {
+			if rng.Intn(2) == 1 {
+				v.SetBit(i, true)
+				want++
+			}
+		}
+		if got := v.OnesCount(); got != want {
+			t.Fatalf("width %d: OnesCount = %d, want %d", width, got, want)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package businvert implements bus-invert coding (Stan & Burleson [14] in
+// the paper's related work) as a baseline bit-transition reduction method.
+//
+// Bus-invert transmits either the flit or its complement, whichever is
+// closer in Hamming distance to the current wire state, and signals the
+// choice on one extra invert line per segment. The paper contrasts its
+// ordering approach with exactly this class of encodings: bus-invert needs
+// extra wires and decode logic, ordering does not. Implementing it lets the
+// benchmarks compare both techniques on identical streams.
+package businvert
+
+import (
+	"fmt"
+
+	"nocbt/internal/bitutil"
+)
+
+// Encoder holds the wire state of one link (payload wires plus one invert
+// line per segment).
+type Encoder struct {
+	width    int
+	segBits  int
+	segments int
+	wire     bitutil.Vec
+	invWire  []bool
+}
+
+// NewEncoder builds a bus-invert encoder for width-bit flits using one
+// invert line per segBits-wide segment (classic bus-invert uses one line
+// for the whole bus; segmented bus-invert scales better for wide links).
+// width must be a multiple of segBits.
+func NewEncoder(width, segBits int) (*Encoder, error) {
+	if width <= 0 || segBits <= 0 || width%segBits != 0 {
+		return nil, fmt.Errorf("businvert: bad geometry width=%d segBits=%d", width, segBits)
+	}
+	return &Encoder{
+		width:    width,
+		segBits:  segBits,
+		segments: width / segBits,
+		wire:     bitutil.NewVec(width),
+		invWire:  make([]bool, width/segBits),
+	}, nil
+}
+
+// ExtraLines returns the number of additional wires the encoding needs —
+// the overhead the paper's §II calls out for this encoding family.
+func (e *Encoder) ExtraLines() int { return e.segments }
+
+// Encode drives v onto the bus and returns the encoded pattern (some
+// segments possibly inverted), the invert-line values, and the total
+// transitions this beat caused — payload wire flips plus invert-line flips.
+func (e *Encoder) Encode(v bitutil.Vec) (encoded bitutil.Vec, invert []bool, transitions int) {
+	if v.Width() != e.width {
+		panic(fmt.Sprintf("businvert: flit width %d, bus is %d", v.Width(), e.width))
+	}
+	encoded = v.Clone()
+	invert = make([]bool, e.segments)
+	for s := 0; s < e.segments; s++ {
+		off := s * e.segBits
+		// Hamming distance between the segment and the current wires.
+		dist := 0
+		for b := 0; b < e.segBits; b++ {
+			if encoded.Bit(off+b) != e.wire.Bit(off+b) {
+				dist++
+			}
+		}
+		// Invert when more than half the segment would toggle; ties keep
+		// the current invert-line value to avoid a gratuitous line flip.
+		doInvert := dist > e.segBits/2
+		if dist*2 == e.segBits {
+			doInvert = e.invWire[s]
+		}
+		if doInvert {
+			for b := 0; b < e.segBits; b++ {
+				encoded.SetBit(off+b, !encoded.Bit(off+b))
+			}
+			dist = e.segBits - dist
+		}
+		invert[s] = doInvert
+		transitions += dist
+		if doInvert != e.invWire[s] {
+			transitions++ // the invert line itself toggles
+		}
+		e.invWire[s] = doInvert
+	}
+	e.wire.CopyFrom(encoded)
+	return encoded, invert, transitions
+}
+
+// Decode recovers the original flit from an encoded pattern and its invert
+// lines — the receiver-side logic whose cost the ordering approach avoids.
+func Decode(encoded bitutil.Vec, invert []bool, segBits int) bitutil.Vec {
+	out := encoded.Clone()
+	for s, inv := range invert {
+		if !inv {
+			continue
+		}
+		off := s * segBits
+		for b := 0; b < segBits; b++ {
+			out.SetBit(off+b, !out.Bit(off+b))
+		}
+	}
+	return out
+}
+
+// StreamTransitions encodes a whole flit stream and returns total
+// transitions (payload + invert lines), for comparison against
+// core.StreamTransitions of the same stream.
+func StreamTransitions(flits []bitutil.Vec, segBits int) (int, error) {
+	if len(flits) == 0 {
+		return 0, nil
+	}
+	enc, err := NewEncoder(flits[0].Width(), segBits)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, f := range flits {
+		_, _, t := enc.Encode(f)
+		total += t
+	}
+	return total, nil
+}

@@ -1,0 +1,208 @@
+package businvert
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nocbt/internal/bitutil"
+)
+
+func randVec(width int, rng *rand.Rand) bitutil.Vec {
+	v := bitutil.NewVec(width)
+	for b := 0; b < width; b += 64 {
+		w := 64
+		if b+w > width {
+			w = width - b
+		}
+		v.SetField(b, w, rng.Uint64())
+	}
+	return v
+}
+
+func TestNewEncoderValidation(t *testing.T) {
+	if _, err := NewEncoder(128, 32); err != nil {
+		t.Errorf("valid geometry rejected: %v", err)
+	}
+	for _, bad := range [][2]int{{0, 8}, {128, 0}, {128, 33}} {
+		if _, err := NewEncoder(bad[0], bad[1]); err == nil {
+			t.Errorf("geometry %v accepted", bad)
+		}
+	}
+}
+
+func TestExtraLines(t *testing.T) {
+	e, err := NewEncoder(128, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ExtraLines() != 4 {
+		t.Errorf("ExtraLines = %d, want 4", e.ExtraLines())
+	}
+}
+
+func TestEncodeInvertsMajorityFlip(t *testing.T) {
+	e, err := NewEncoder(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wire starts at zero; sending 0xFF would flip all 8 bits, so the
+	// encoder must invert: 1 invert-line flip instead of 8 wire flips.
+	v := bitutil.NewVec(8)
+	v.SetField(0, 8, 0xFF)
+	encoded, invert, transitions := e.Encode(v)
+	if !invert[0] {
+		t.Fatal("encoder did not invert a majority-flip beat")
+	}
+	if !encoded.Zero() {
+		t.Errorf("encoded pattern %s, want all-zero", encoded)
+	}
+	if transitions != 1 {
+		t.Errorf("transitions = %d, want 1 (invert line only)", transitions)
+	}
+}
+
+func TestEncodeKeepsMinorityFlip(t *testing.T) {
+	e, err := NewEncoder(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := bitutil.NewVec(8)
+	v.SetField(0, 8, 0x03) // 2 of 8 bits flip: below majority
+	_, invert, transitions := e.Encode(v)
+	if invert[0] {
+		t.Error("encoder inverted a minority-flip beat")
+	}
+	if transitions != 2 {
+		t.Errorf("transitions = %d, want 2", transitions)
+	}
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e, err := NewEncoder(128, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		v := randVec(128, rng)
+		encoded, invert, _ := e.Encode(v)
+		back := Decode(encoded, invert, 32)
+		if !back.Equal(v) {
+			t.Fatalf("round trip failed at flit %d", i)
+		}
+	}
+}
+
+// TestPerSegmentBound verifies the classic bus-invert guarantee: per
+// segment, payload transitions never exceed ⌈segBits/2⌉, so total per beat
+// is bounded by segments × (segBits/2 + 1) counting invert lines.
+func TestPerSegmentBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const width, seg = 64, 8
+	e, err := NewEncoder(width, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := (width / seg) * (seg/2 + 1)
+	for i := 0; i < 500; i++ {
+		_, _, transitions := e.Encode(randVec(width, rng))
+		if transitions > bound {
+			t.Fatalf("beat %d: %d transitions exceed bound %d", i, transitions, bound)
+		}
+	}
+}
+
+// TestNeverWorseThanRawQuick: including invert-line flips, bus-invert never
+// exceeds raw transitions by more than one line flip per segment, and its
+// payload transitions alone never exceed raw.
+func TestNeverWorseThanRawQuick(t *testing.T) {
+	f := func(raw [4]uint64) bool {
+		const width, seg = 64, 16
+		e, err := NewEncoder(width, seg)
+		if err != nil {
+			return false
+		}
+		wire := bitutil.NewVec(width)
+		for _, r := range raw {
+			v := bitutil.NewVec(width)
+			v.SetField(0, 64, r)
+			rawT := wire.Transitions(v)
+			_, _, encT := e.Encode(v)
+			wire.CopyFrom(v)
+			if encT > rawT+width/seg {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamTransitionsComparesToRaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	flits := make([]bitutil.Vec, 200)
+	for i := range flits {
+		flits[i] = randVec(128, rng)
+	}
+	encoded, err := StreamTransitions(flits, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := 0
+	wire := bitutil.NewVec(128)
+	for _, f := range flits {
+		raw += wire.Transitions(f)
+		wire.CopyFrom(f)
+	}
+	// On uniform random data bus-invert must save transitions overall.
+	if encoded >= raw {
+		t.Errorf("bus-invert %d transitions not below raw %d on random data", encoded, raw)
+	}
+	// And the saving on random data is bounded (~25% is the literature
+	// figure for segmented bus-invert; allow a broad band).
+	saving := 1 - float64(encoded)/float64(raw)
+	if saving < 0.02 || saving > 0.5 {
+		t.Errorf("bus-invert saving %.2f outside plausible band", saving)
+	}
+}
+
+func TestStreamTransitionsEmpty(t *testing.T) {
+	got, err := StreamTransitions(nil, 8)
+	if err != nil || got != 0 {
+		t.Errorf("empty stream: %d, %v", got, err)
+	}
+}
+
+func TestEncodeWidthMismatchPanics(t *testing.T) {
+	e, err := NewEncoder(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("did not panic")
+		}
+	}()
+	e.Encode(bitutil.NewVec(32))
+}
+
+func TestTieKeepsInvertLine(t *testing.T) {
+	// With exactly half the bits flipping, the encoder must keep the
+	// current invert-line state rather than toggle it.
+	e, err := NewEncoder(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := bitutil.NewVec(8)
+	v.SetField(0, 8, 0x0F) // 4 of 8 flip from zero wire: a tie
+	_, invert, transitions := e.Encode(v)
+	if invert[0] {
+		t.Error("tie toggled the invert line")
+	}
+	if transitions != 4 {
+		t.Errorf("transitions = %d, want 4", transitions)
+	}
+}

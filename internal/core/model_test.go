@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nocbt/internal/bitutil"
+)
+
+func TestTransitionProbabilityKnown(t *testing.T) {
+	tests := []struct {
+		x, y, w int
+		want    float64
+	}{
+		{0, 0, 32, 0},                 // both all-zero: no flips
+		{32, 32, 32, 0},               // both all-one: no flips
+		{0, 32, 32, 1},                // every wire flips
+		{16, 16, 32, 1 - 2*0.25},      // 1 - (16·16 + 16·16)/1024
+		{4, 4, 8, 1 - (16.0+16.0)/64}, // w=8 case
+	}
+	for _, tt := range tests {
+		got := TransitionProbability(tt.x, tt.y, tt.w)
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("P(%d,%d,%d) = %v, want %v", tt.x, tt.y, tt.w, got, tt.want)
+		}
+	}
+}
+
+func TestExpectedBTKnown(t *testing.T) {
+	// Paper Eq. (2) at w=32: E = x + y - xy/16.
+	tests := []struct {
+		x, y int
+		want float64
+	}{
+		{0, 0, 0},
+		{32, 32, 0},
+		{0, 32, 32},
+		{16, 16, 16},
+		{8, 24, 8 + 24 - 8*24.0/16},
+	}
+	for _, tt := range tests {
+		got := ExpectedBT(tt.x, tt.y, 32)
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("E(%d,%d,32) = %v, want %v", tt.x, tt.y, got, tt.want)
+		}
+	}
+}
+
+func TestExpectedBTEqualsWidthTimesProbability(t *testing.T) {
+	for _, w := range []int{8, 16, 32} {
+		for x := 0; x <= w; x += w / 4 {
+			for y := 0; y <= w; y += w / 4 {
+				e := ExpectedBT(x, y, w)
+				p := TransitionProbability(x, y, w)
+				if math.Abs(e-float64(w)*p) > 1e-9 {
+					t.Errorf("E(%d,%d,%d)=%v != w·P=%v", x, y, w, e, float64(w)*p)
+				}
+			}
+		}
+	}
+}
+
+func TestExpectedBTSymmetric(t *testing.T) {
+	f := func(xr, yr uint8) bool {
+		x, y := int(xr)%33, int(yr)%33
+		return ExpectedBT(x, y, 32) == ExpectedBT(y, x, 32)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpectedBTBadArgsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("x > w did not panic")
+		}
+	}()
+	ExpectedBT(33, 0, 32)
+}
+
+// randomWordWithPopcount builds a uniformly random width-bit pattern with
+// exactly k ones.
+func randomWordWithPopcount(k, width int, rng *rand.Rand) bitutil.Word {
+	perm := rng.Perm(width)
+	var w uint64
+	for _, pos := range perm[:k] {
+		w |= 1 << uint(pos)
+	}
+	return bitutil.Word(w)
+}
+
+// TestExpectedBTMonteCarlo validates the §III independence model: the
+// empirical mean BT between random fixed-popcount patterns must match
+// Eq. (2).
+func TestExpectedBTMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, tc := range []struct{ x, y, w int }{
+		{5, 20, 32},
+		{16, 16, 32},
+		{1, 30, 32},
+		{2, 6, 8},
+		{7, 3, 8},
+	} {
+		const trials = 20000
+		sum := 0
+		for i := 0; i < trials; i++ {
+			a := randomWordWithPopcount(tc.x, tc.w, rng)
+			b := randomWordWithPopcount(tc.y, tc.w, rng)
+			sum += bitutil.WordTransitions(a, b, tc.w)
+		}
+		got := float64(sum) / trials
+		want := ExpectedBT(tc.x, tc.y, tc.w)
+		// Standard error of the mean is well below 0.1 at 20k trials.
+		if math.Abs(got-want) > 0.15 {
+			t.Errorf("MC E(%d,%d,%d) = %v, analytic %v", tc.x, tc.y, tc.w, got, want)
+		}
+	}
+}
+
+func TestExpectedFlitBT(t *testing.T) {
+	xs := []int{0, 32, 16}
+	ys := []int{0, 32, 16}
+	// 0 + 0 + 16
+	if got := ExpectedFlitBT(xs, ys, 32); got != 16 {
+		t.Errorf("ExpectedFlitBT = %v, want 16", got)
+	}
+}
+
+func TestExpectedFlitBTMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	ExpectedFlitBT([]int{1}, []int{1, 2}, 32)
+}
+
+func TestPairProductSum(t *testing.T) {
+	if got := PairProductSum([]int{1, 2, 3}, []int{4, 5, 6}); got != 4+10+18 {
+		t.Errorf("PairProductSum = %d, want 32", got)
+	}
+}
+
+func TestExpectationGridFig1(t *testing.T) {
+	grid := ExpectationGrid(32)
+	if len(grid) != 33 || len(grid[0]) != 33 {
+		t.Fatalf("grid dims %dx%d, want 33x33", len(grid), len(grid[0]))
+	}
+	// Fig. 1 structure: zero at (0,0) and (32,32), maximum 32 on the
+	// anti-diagonal corners (0,32) and (32,0).
+	if grid[0][0] != 0 || grid[32][32] != 0 {
+		t.Errorf("corners (0,0)=%v (32,32)=%v, want 0", grid[0][0], grid[32][32])
+	}
+	if grid[0][32] != 32 || grid[32][0] != 32 {
+		t.Errorf("anti-corners = %v, %v, want 32", grid[0][32], grid[32][0])
+	}
+	// Monotonicity along y for fixed small x: with x < 16, E grows with y.
+	for y := 1; y <= 32; y++ {
+		if grid[4][y] < grid[4][y-1]-1e-12 {
+			t.Errorf("E(4,·) not non-decreasing at y=%d", y)
+		}
+	}
+}
+
+// TestMaximizingFMinimizesE verifies the paper's reduction: among
+// arrangements with fixed Σx+Σy, larger F = Σxy gives strictly smaller
+// expected BT.
+func TestMaximizingFMinimizesE(t *testing.T) {
+	xs1, ys1 := []int{30, 2}, []int{28, 4} // aligned: F = 840+8
+	xs2, ys2 := []int{30, 2}, []int{4, 28} // crossed: F = 120+56
+	f1, f2 := PairProductSum(xs1, ys1), PairProductSum(xs2, ys2)
+	if f1 <= f2 {
+		t.Fatalf("expected F aligned %d > crossed %d", f1, f2)
+	}
+	e1 := ExpectedFlitBT(xs1, ys1, 32)
+	e2 := ExpectedFlitBT(xs2, ys2, 32)
+	if e1 >= e2 {
+		t.Errorf("E aligned %v not < E crossed %v", e1, e2)
+	}
+}
+
+func TestPopcounts(t *testing.T) {
+	words := []bitutil.Word{0x00, 0xFF, 0x0F, 0x80}
+	got := Popcounts(words, 8)
+	want := []int{0, 8, 4, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Popcounts[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"nocbt/internal/bitutil"
+)
+
+// OrderDescending returns the words sorted by descending '1'-bit count and
+// the permutation applied: ordered[i] == words[perm[i]]. The sort is stable,
+// so equal popcounts keep their original relative order and the result is
+// deterministic.
+//
+// This is the software model of the paper's ordering unit (Fig. 14:
+// SWAR popcount followed by a sorting network); hardware cost is modelled
+// in internal/hwmodel.
+func OrderDescending(words []bitutil.Word, width int) ([]bitutil.Word, []int) {
+	perm := make([]int, len(words))
+	for i := range perm {
+		perm[i] = i
+	}
+	counts := Popcounts(words, width)
+	sort.SliceStable(perm, func(a, b int) bool {
+		return counts[perm[a]] > counts[perm[b]]
+	})
+	ordered := make([]bitutil.Word, len(words))
+	for i, p := range perm {
+		ordered[i] = words[p]
+	}
+	return ordered, perm
+}
+
+// PackSequential packs words into flits of `lanes` values each, in order,
+// padding the final flit with pad. This models the baseline (O0)
+// flitization and, applied to a descending-ordered stream, the paper's
+// "without NoC" ordered configuration: consecutive flits then carry
+// adjacent-rank values.
+func PackSequential(words []bitutil.Word, lanes int, pad bitutil.Word) [][]bitutil.Word {
+	if lanes <= 0 {
+		panic(fmt.Sprintf("core: non-positive lane count %d", lanes))
+	}
+	numFlits := (len(words) + lanes - 1) / lanes
+	flits := make([][]bitutil.Word, 0, numFlits)
+	for f := 0; f < numFlits; f++ {
+		flit := make([]bitutil.Word, lanes)
+		for l := 0; l < lanes; l++ {
+			idx := f*lanes + l
+			if idx < len(words) {
+				flit[l] = words[idx]
+			} else {
+				flit[l] = pad
+			}
+		}
+		flits = append(flits, flit)
+	}
+	return flits
+}
+
+// DistributeColumnMajor assigns rank-ordered words to numFlits flits of
+// `lanes` values: rank r goes to flit r mod numFlits, lane r / numFlits.
+//
+// For numFlits == 2 this is exactly the §III-B optimal interleave
+// x1 ≥ y1 ≥ x2 ≥ y2 ≥ …; generally it keeps each lane's values adjacent in
+// rank across consecutive flits, which is what minimizes the expected BT of
+// the flit sequence within one packet. Missing tail values pad with pad.
+func DistributeColumnMajor(ranked []bitutil.Word, numFlits, lanes int, pad bitutil.Word) [][]bitutil.Word {
+	if numFlits <= 0 || lanes <= 0 {
+		panic(fmt.Sprintf("core: bad flit geometry %dx%d", numFlits, lanes))
+	}
+	if len(ranked) > numFlits*lanes {
+		panic(fmt.Sprintf("core: %d values exceed %d flits × %d lanes", len(ranked), numFlits, lanes))
+	}
+	flits := make([][]bitutil.Word, numFlits)
+	for f := range flits {
+		flit := make([]bitutil.Word, lanes)
+		for l := range flit {
+			flit[l] = pad
+		}
+		flits[f] = flit
+	}
+	for r, w := range ranked {
+		flits[r%numFlits][r/numFlits] = w
+	}
+	return flits
+}
+
+// StreamTransitions returns the total BT of a flit sequence traversing one
+// link: the sum of lane-wise transitions between every consecutive flit
+// pair at the given lane width.
+func StreamTransitions(flits [][]bitutil.Word, width int) int {
+	total := 0
+	for i := 1; i < len(flits); i++ {
+		total += bitutil.SliceTransitions(flits[i-1], flits[i], width)
+	}
+	return total
+}
+
+// Pair is one (weight, input) value pair of a DNN task. The weight drives
+// affiliated ordering; the input either follows its weight (affiliated) or
+// is ordered independently (separated).
+type Pair struct {
+	Weight bitutil.Word
+	Input  bitutil.Word
+}
+
+// AffiliatedOrder sorts pairs by descending weight popcount, keeping each
+// input attached to its weight (§IV-A). The returned permutation satisfies
+// ordered[i] == pairs[perm[i]]. Because pairing is preserved, no recovery
+// information is needed downstream: conv/linear layers are order-invariant.
+func AffiliatedOrder(pairs []Pair, width int) ([]Pair, []int) {
+	perm := make([]int, len(pairs))
+	for i := range perm {
+		perm[i] = i
+	}
+	counts := make([]int, len(pairs))
+	for i, p := range pairs {
+		counts[i] = p.Weight.OnesCount(width)
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		return counts[perm[a]] > counts[perm[b]]
+	})
+	ordered := make([]Pair, len(pairs))
+	for i, p := range perm {
+		ordered[i] = pairs[p]
+	}
+	return ordered, perm
+}
+
+// Separated is the result of separated-ordering (§IV-B): weights and inputs
+// each sorted by their own popcount, plus the minimal side-channel needed to
+// re-pair them at the PE.
+type Separated struct {
+	// Weights sorted by descending weight popcount.
+	Weights []bitutil.Word
+	// Inputs sorted by descending input popcount.
+	Inputs []bitutil.Word
+	// PartnerIndex[i] is the position in Weights of the weight originally
+	// paired with Inputs[i]. This is the "minimal-bit-width index" the
+	// paper transmits: ⌈log₂ N⌉ bits per input.
+	PartnerIndex []int
+}
+
+// SeparatedOrder orders weights and inputs independently by descending
+// popcount and computes the partner index side-channel.
+func SeparatedOrder(weights, inputs []bitutil.Word, width int) Separated {
+	if len(weights) != len(inputs) {
+		panic(fmt.Sprintf("core: %d weights vs %d inputs", len(weights), len(inputs)))
+	}
+	orderedW, wPerm := OrderDescending(weights, width)
+	orderedI, iPerm := OrderDescending(inputs, width)
+	// invW[k] = position of original weight k in the ordered weight list.
+	invW := make([]int, len(wPerm))
+	for pos, orig := range wPerm {
+		invW[orig] = pos
+	}
+	partner := make([]int, len(iPerm))
+	for pos, orig := range iPerm {
+		partner[pos] = invW[orig]
+	}
+	return Separated{Weights: orderedW, Inputs: orderedI, PartnerIndex: partner}
+}
+
+// RecoverPairs reconstructs the original (weight, input) pairing from a
+// separated-ordered packet — the PE-side de-ordering step. The returned
+// pairs are in ordered-weight order, which is a consistent pairing (the
+// dot product over them equals the original task's dot product).
+func (s Separated) RecoverPairs() []Pair {
+	pairs := make([]Pair, len(s.Weights))
+	for i, w := range s.Weights {
+		pairs[i].Weight = w
+	}
+	for i, in := range s.Inputs {
+		p := s.PartnerIndex[i]
+		if p < 0 || p >= len(pairs) {
+			panic(fmt.Sprintf("core: partner index %d outside [0,%d)", p, len(pairs)))
+		}
+		pairs[p].Input = in
+	}
+	return pairs
+}
+
+// IndexBits returns the side-channel cost of separated-ordering for an
+// n-value task: ⌈log₂ n⌉ bits per index.
+func IndexBits(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	bits := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		bits++
+	}
+	return bits
+}
+
+// SplitPairs separates a pair slice into its weight and input columns.
+func SplitPairs(pairs []Pair) (weights, inputs []bitutil.Word) {
+	weights = make([]bitutil.Word, len(pairs))
+	inputs = make([]bitutil.Word, len(pairs))
+	for i, p := range pairs {
+		weights[i] = p.Weight
+		inputs[i] = p.Input
+	}
+	return weights, inputs
+}
+
+// ZipPairs combines weight and input columns into pairs.
+func ZipPairs(weights, inputs []bitutil.Word) []Pair {
+	if len(weights) != len(inputs) {
+		panic(fmt.Sprintf("core: %d weights vs %d inputs", len(weights), len(inputs)))
+	}
+	pairs := make([]Pair, len(weights))
+	for i := range pairs {
+		pairs[i] = Pair{Weight: weights[i], Input: inputs[i]}
+	}
+	return pairs
+}

@@ -1,0 +1,392 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"nocbt/internal/bitutil"
+	"nocbt/internal/quant"
+)
+
+func randWords(n, width int, rng *rand.Rand) []bitutil.Word {
+	out := make([]bitutil.Word, n)
+	mask := uint64(1)<<uint(width) - 1
+	for i := range out {
+		out[i] = bitutil.Word(rng.Uint64() & mask)
+	}
+	return out
+}
+
+func TestOrderDescendingProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		width := []int{8, 32}[trial%2]
+		words := randWords(1+rng.Intn(50), width, rng)
+		ordered, perm := OrderDescending(words, width)
+
+		if len(ordered) != len(words) || len(perm) != len(words) {
+			t.Fatalf("length mismatch")
+		}
+		// perm is a permutation and ordered[i] == words[perm[i]].
+		seen := make([]bool, len(words))
+		for i, p := range perm {
+			if p < 0 || p >= len(words) || seen[p] {
+				t.Fatalf("invalid permutation %v", perm)
+			}
+			seen[p] = true
+			if ordered[i] != words[p] {
+				t.Fatalf("ordered[%d] != words[perm[%d]]", i, i)
+			}
+		}
+		// Descending popcounts.
+		counts := Popcounts(ordered, width)
+		for i := 1; i < len(counts); i++ {
+			if counts[i] > counts[i-1] {
+				t.Fatalf("popcounts not descending at %d: %v", i, counts)
+			}
+		}
+		// Multiset preserved.
+		a := append([]bitutil.Word(nil), words...)
+		b := append([]bitutil.Word(nil), ordered...)
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("multiset changed")
+			}
+		}
+	}
+}
+
+func TestOrderDescendingStable(t *testing.T) {
+	// Equal popcounts must keep original order: 0x03 (2 ones) before 0x05
+	// (2 ones) before 0x06 (2 ones).
+	words := []bitutil.Word{0x03, 0x05, 0xFF, 0x06}
+	ordered, _ := OrderDescending(words, 8)
+	want := []bitutil.Word{0xFF, 0x03, 0x05, 0x06}
+	for i := range want {
+		if ordered[i] != want[i] {
+			t.Errorf("ordered[%d] = %#x, want %#x (stability)", i, ordered[i], want[i])
+		}
+	}
+}
+
+func TestOrderDescendingEmpty(t *testing.T) {
+	ordered, perm := OrderDescending(nil, 8)
+	if len(ordered) != 0 || len(perm) != 0 {
+		t.Error("empty input must give empty output")
+	}
+}
+
+func TestPackSequential(t *testing.T) {
+	words := []bitutil.Word{1, 2, 3, 4, 5}
+	flits := PackSequential(words, 2, 0xEE)
+	if len(flits) != 3 {
+		t.Fatalf("flit count %d, want 3", len(flits))
+	}
+	if flits[0][0] != 1 || flits[0][1] != 2 || flits[2][0] != 5 {
+		t.Errorf("unexpected packing %v", flits)
+	}
+	if flits[2][1] != 0xEE {
+		t.Errorf("padding = %#x, want 0xEE", flits[2][1])
+	}
+}
+
+func TestPackSequentialBadLanesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("did not panic")
+		}
+	}()
+	PackSequential(nil, 0, 0)
+}
+
+func TestDistributeColumnMajorTwoFlits(t *testing.T) {
+	// Ranks 0..5 over 2 flits × 3 lanes: flit0 = [0,2,4], flit1 = [1,3,5].
+	// Lane-wise this is the paper's x1 ≥ y1 ≥ x2 ≥ y2 ≥ x3 ≥ y3 interleave.
+	ranked := []bitutil.Word{10, 11, 12, 13, 14, 15}
+	flits := DistributeColumnMajor(ranked, 2, 3, 0)
+	if flits[0][0] != 10 || flits[0][1] != 12 || flits[0][2] != 14 {
+		t.Errorf("flit0 = %v", flits[0])
+	}
+	if flits[1][0] != 11 || flits[1][1] != 13 || flits[1][2] != 15 {
+		t.Errorf("flit1 = %v", flits[1])
+	}
+}
+
+func TestDistributeColumnMajorPadding(t *testing.T) {
+	ranked := []bitutil.Word{1, 2, 3}
+	flits := DistributeColumnMajor(ranked, 2, 3, 0xAA)
+	// rank0→f0l0, rank1→f1l0, rank2→f0l1; rest pad.
+	if flits[0][0] != 1 || flits[1][0] != 2 || flits[0][1] != 3 {
+		t.Errorf("placement wrong: %v", flits)
+	}
+	if flits[1][1] != 0xAA || flits[0][2] != 0xAA || flits[1][2] != 0xAA {
+		t.Errorf("padding wrong: %v", flits)
+	}
+}
+
+func TestDistributeColumnMajorOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("did not panic")
+		}
+	}()
+	DistributeColumnMajor(make([]bitutil.Word, 7), 2, 3, 0)
+}
+
+func TestStreamTransitions(t *testing.T) {
+	flits := [][]bitutil.Word{
+		{0x00, 0xFF},
+		{0x0F, 0xFF}, // 4 flips on lane 0
+		{0x0F, 0x00}, // 8 flips on lane 1
+	}
+	if got := StreamTransitions(flits, 8); got != 12 {
+		t.Errorf("StreamTransitions = %d, want 12", got)
+	}
+	if got := StreamTransitions(flits[:1], 8); got != 0 {
+		t.Errorf("single flit stream BT = %d, want 0", got)
+	}
+	if got := StreamTransitions(nil, 8); got != 0 {
+		t.Errorf("empty stream BT = %d, want 0", got)
+	}
+}
+
+// TestInterleaveOptimalityExhaustive verifies the §III-B claim: over every
+// way of arranging 2N values into two N-lane flits, the descending
+// interleave achieves the maximum F = Σ xi·yi.
+func TestInterleaveOptimalityExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(3) // N ∈ {2,3,4}
+		vals := make([]int, 2*n)
+		for i := range vals {
+			vals[i] = rng.Intn(33)
+		}
+
+		// The count-based strategy: sort descending, interleave.
+		sorted := append([]int(nil), vals...)
+		sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+		xs := make([]int, n)
+		ys := make([]int, n)
+		for i := 0; i < n; i++ {
+			xs[i] = sorted[2*i]
+			ys[i] = sorted[2*i+1]
+		}
+		fCount := PairProductSum(xs, ys)
+
+		// Exhaustive maximum over all subset choices for flit 1; the best
+		// lane pairing for a fixed split is descending-descending (the
+		// rearrangement inequality), so checking splits suffices for the
+		// true maximum.
+		best := -1
+		for mask := 0; mask < 1<<(2*n); mask++ {
+			if popcountInt(mask) != n {
+				continue
+			}
+			var a, b []int
+			for i, v := range vals {
+				if mask>>uint(i)&1 == 1 {
+					a = append(a, v)
+				} else {
+					b = append(b, v)
+				}
+			}
+			sort.Sort(sort.Reverse(sort.IntSlice(a)))
+			sort.Sort(sort.Reverse(sort.IntSlice(b)))
+			if f := PairProductSum(a, b); f > best {
+				best = f
+			}
+		}
+		if fCount != best {
+			t.Fatalf("trial %d: count-based F=%d, exhaustive max=%d (vals %v)",
+				trial, fCount, best, vals)
+		}
+	}
+}
+
+func popcountInt(v int) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// TestPairwiseExchangeLemma checks the paper's local step: for four counts
+// with x1 ≥ y1 ≥ x2 ≥ y2, the aligned pairing dominates both alternatives.
+func TestPairwiseExchangeLemma(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		v := []int{int(a) % 33, int(b) % 33, int(c) % 33, int(d) % 33}
+		sort.Sort(sort.Reverse(sort.IntSlice(v)))
+		x1, y1, x2, y2 := v[0], v[1], v[2], v[3]
+		aligned := x1*y1 + x2*y2
+		cross1 := x1*y2 + x2*y1
+		cross2 := x1*x2 + y1*y2
+		return aligned >= cross1 && aligned >= cross2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOrderingReducesStreamBT is the end-to-end statistical check behind
+// Tab. I: on random data, ordered packing must produce no more transitions
+// than the baseline packing.
+func TestOrderingReducesStreamBT(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, width := range []int{8, 32} {
+		words := randWords(800, width, rng)
+		baseline := StreamTransitions(PackSequential(words, 8, 0), width)
+		ordered, _ := OrderDescending(words, width)
+		orderedBT := StreamTransitions(PackSequential(ordered, 8, 0), width)
+		if orderedBT >= baseline {
+			t.Errorf("width %d: ordered BT %d not below baseline %d", width, orderedBT, baseline)
+		}
+	}
+}
+
+func TestAffiliatedOrderKeepsPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	weights := randWords(40, 8, rng)
+	inputs := randWords(40, 8, rng)
+	pairs := ZipPairs(weights, inputs)
+	ordered, perm := AffiliatedOrder(pairs, 8)
+
+	// Weights descending.
+	for i := 1; i < len(ordered); i++ {
+		if ordered[i].Weight.OnesCount(8) > ordered[i-1].Weight.OnesCount(8) {
+			t.Fatalf("weights not descending at %d", i)
+		}
+	}
+	// Pairing preserved through the permutation.
+	for i, p := range perm {
+		if ordered[i].Weight != weights[p] || ordered[i].Input != inputs[p] {
+			t.Fatalf("pair %d broken", i)
+		}
+	}
+}
+
+func TestAffiliatedOrderPreservesDotProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	n := 30
+	w8 := make([]int8, n)
+	i8 := make([]int8, n)
+	for i := range w8 {
+		w8[i] = int8(rng.Intn(255) - 127)
+		i8[i] = int8(rng.Intn(255) - 127)
+	}
+	want := quant.DotQ(w8, i8)
+
+	pairs := ZipPairs(bitutil.Fixed8Words(w8), bitutil.Fixed8Words(i8))
+	ordered, _ := AffiliatedOrder(pairs, 8)
+	ow := make([]int8, n)
+	oi := make([]int8, n)
+	for i, p := range ordered {
+		ow[i] = bitutil.WordFixed8(p.Weight)
+		oi[i] = bitutil.WordFixed8(p.Input)
+	}
+	if got := quant.DotQ(ow, oi); got != want {
+		t.Errorf("affiliated-ordered dot %d, want %d", got, want)
+	}
+}
+
+func TestSeparatedOrderRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(60)
+		w8 := make([]int8, n)
+		i8 := make([]int8, n)
+		for i := range w8 {
+			w8[i] = int8(rng.Intn(255) - 127)
+			i8[i] = int8(rng.Intn(255) - 127)
+		}
+		want := quant.DotQ(w8, i8)
+
+		sep := SeparatedOrder(bitutil.Fixed8Words(w8), bitutil.Fixed8Words(i8), 8)
+
+		// Both columns descending.
+		for i := 1; i < n; i++ {
+			if sep.Weights[i].OnesCount(8) > sep.Weights[i-1].OnesCount(8) {
+				t.Fatalf("weights not descending")
+			}
+			if sep.Inputs[i].OnesCount(8) > sep.Inputs[i-1].OnesCount(8) {
+				t.Fatalf("inputs not descending")
+			}
+		}
+
+		pairs := sep.RecoverPairs()
+		ow := make([]int8, n)
+		oi := make([]int8, n)
+		for i, p := range pairs {
+			ow[i] = bitutil.WordFixed8(p.Weight)
+			oi[i] = bitutil.WordFixed8(p.Input)
+		}
+		if got := quant.DotQ(ow, oi); got != want {
+			t.Fatalf("trial %d: recovered dot %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestSeparatedOrderMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("did not panic")
+		}
+	}()
+	SeparatedOrder(make([]bitutil.Word, 2), make([]bitutil.Word, 3), 8)
+}
+
+// TestSeparatedBeatsAffiliatedOnInputs: separated-ordering also orders the
+// input half, so the input-half stream BT must not exceed the affiliated
+// arrangement's input-half BT on random data.
+func TestSeparatedBeatsAffiliatedOnInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	weights := randWords(400, 8, rng)
+	inputs := randWords(400, 8, rng)
+
+	affPairs, _ := AffiliatedOrder(ZipPairs(weights, inputs), 8)
+	_, affInputs := SplitPairs(affPairs)
+	sep := SeparatedOrder(weights, inputs, 8)
+
+	affBT := StreamTransitions(PackSequential(affInputs, 8, 0), 8)
+	sepBT := StreamTransitions(PackSequential(sep.Inputs, 8, 0), 8)
+	if sepBT > affBT {
+		t.Errorf("separated input BT %d exceeds affiliated %d", sepBT, affBT)
+	}
+}
+
+func TestIndexBits(t *testing.T) {
+	tests := []struct{ n, want int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{16, 4}, {17, 5}, {25, 5}, {26, 5}, {400, 9},
+	}
+	for _, tt := range tests {
+		if got := IndexBits(tt.n); got != tt.want {
+			t.Errorf("IndexBits(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestZipSplitPairs(t *testing.T) {
+	w := []bitutil.Word{1, 2, 3}
+	in := []bitutil.Word{4, 5, 6}
+	pairs := ZipPairs(w, in)
+	gw, gi := SplitPairs(pairs)
+	for i := range w {
+		if gw[i] != w[i] || gi[i] != in[i] {
+			t.Errorf("round trip broke at %d", i)
+		}
+	}
+}
+
+func TestZipPairsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("did not panic")
+		}
+	}()
+	ZipPairs(make([]bitutil.Word, 1), make([]bitutil.Word, 2))
+}

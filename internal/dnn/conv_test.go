@@ -1,0 +1,229 @@
+package dnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nocbt/internal/tensor"
+)
+
+func TestConv2DForwardKnown(t *testing.T) {
+	// 1 input channel, 1 output channel, 2x2 kernel of all ones, no pad.
+	c := NewConv2D(1, 1, 2, 1, 0, rand.New(rand.NewSource(1)))
+	c.W.Fill(1)
+	c.B.Data[0] = 0.5
+	x := tensor.FromSlice([]float32{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 3, 3)
+	out := c.Forward(x)
+	want := []float32{
+		1 + 2 + 4 + 5 + 0.5, 2 + 3 + 5 + 6 + 0.5,
+		4 + 5 + 7 + 8 + 0.5, 5 + 6 + 8 + 9 + 0.5,
+	}
+	if out.Dim(1) != 2 || out.Dim(2) != 2 {
+		t.Fatalf("output shape %v, want [1 2 2]", out.Shape())
+	}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Errorf("out[%d] = %v, want %v", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestConv2DForwardPadding(t *testing.T) {
+	c := NewConv2D(1, 1, 3, 1, 1, rand.New(rand.NewSource(1)))
+	c.W.Fill(1)
+	c.B.Fill(0)
+	x := tensor.New(1, 2, 2)
+	x.Fill(1)
+	out := c.Forward(x)
+	if out.Dim(1) != 2 || out.Dim(2) != 2 {
+		t.Fatalf("padded output shape %v, want [1 2 2]", out.Shape())
+	}
+	// Corner output covers only the 2x2 in-bounds region.
+	if got := out.At(0, 0, 0); got != 4 {
+		t.Errorf("corner = %v, want 4", got)
+	}
+}
+
+func TestConv2DForwardStride(t *testing.T) {
+	c := NewConv2D(1, 1, 2, 2, 0, rand.New(rand.NewSource(1)))
+	c.W.Fill(1)
+	c.B.Fill(0)
+	x := tensor.FromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 4, 4)
+	out := c.Forward(x)
+	if out.Dim(1) != 2 || out.Dim(2) != 2 {
+		t.Fatalf("strided output shape %v", out.Shape())
+	}
+	if got := out.At(0, 0, 0); got != 1+2+5+6 {
+		t.Errorf("out(0,0) = %v, want 14", got)
+	}
+	if got := out.At(0, 1, 1); got != 11+12+15+16 {
+		t.Errorf("out(1,1) = %v, want 54", got)
+	}
+}
+
+func TestConv2DMultiChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := NewConv2D(2, 3, 2, 1, 0, rng)
+	x := tensor.New(2, 3, 3)
+	x.Uniform(-1, 1, rng)
+	out := c.Forward(x)
+	if out.Dim(0) != 3 || out.Dim(1) != 2 || out.Dim(2) != 2 {
+		t.Fatalf("multi-channel output shape %v, want [3 2 2]", out.Shape())
+	}
+	// Reference computation for one output element.
+	oc, oy, ox := 1, 1, 0
+	want := c.B.Data[oc]
+	for ic := 0; ic < 2; ic++ {
+		for ky := 0; ky < 2; ky++ {
+			for kx := 0; kx < 2; kx++ {
+				want += c.W.At(oc, ic, ky, kx) * x.At(ic, oy+ky, ox+kx)
+			}
+		}
+	}
+	if got := out.At(oc, oy, ox); math.Abs(float64(got-want)) > 1e-5 {
+		t.Errorf("out(%d,%d,%d) = %v, want %v", oc, oy, ox, got, want)
+	}
+}
+
+func TestConv2DOutSize(t *testing.T) {
+	tests := []struct {
+		k, s, p      int
+		h, w         int
+		wantH, wantW int
+	}{
+		{5, 1, 0, 32, 32, 28, 28}, // LeNet conv1
+		{5, 1, 0, 14, 14, 10, 10}, // LeNet conv2
+		{3, 1, 1, 64, 64, 64, 64}, // DarkNet same-pad
+		{3, 2, 1, 8, 8, 4, 4},
+	}
+	for _, tt := range tests {
+		c := NewConv2D(1, 1, tt.k, tt.s, tt.p, rand.New(rand.NewSource(1)))
+		oh, ow := c.OutSize(tt.h, tt.w)
+		if oh != tt.wantH || ow != tt.wantW {
+			t.Errorf("k%d s%d p%d on %dx%d: got %dx%d, want %dx%d",
+				tt.k, tt.s, tt.p, tt.h, tt.w, oh, ow, tt.wantH, tt.wantW)
+		}
+	}
+}
+
+func TestConv2DBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad geometry did not panic")
+		}
+	}()
+	NewConv2D(0, 1, 3, 1, 0, rand.New(rand.NewSource(1)))
+}
+
+func TestConv2DWrongInputPanics(t *testing.T) {
+	c := NewConv2D(2, 1, 3, 1, 0, rand.New(rand.NewSource(1)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong channel count did not panic")
+		}
+	}()
+	c.Forward(tensor.New(1, 5, 5))
+}
+
+// numericalGrad estimates d(loss)/d(param) via central differences where
+// loss = Σ out[i] * seed[i].
+func numericalGrad(forward func() *tensor.Tensor, param *tensor.Tensor, idx int, seed []float32) float64 {
+	const eps = 1e-3
+	orig := param.Data[idx]
+	param.Data[idx] = orig + eps
+	up := forward()
+	param.Data[idx] = orig - eps
+	dn := forward()
+	param.Data[idx] = orig
+	var lossUp, lossDn float64
+	for i := range up.Data {
+		lossUp += float64(up.Data[i]) * float64(seed[i])
+		lossDn += float64(dn.Data[i]) * float64(seed[i])
+	}
+	return (lossUp - lossDn) / (2 * eps)
+}
+
+func TestConv2DBackwardNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewConv2D(2, 2, 3, 1, 1, rng)
+	x := tensor.New(2, 4, 4)
+	x.Uniform(-1, 1, rng)
+
+	out := c.Forward(x)
+	seed := make([]float32, out.Size())
+	for i := range seed {
+		seed[i] = rng.Float32()*2 - 1
+	}
+	gradOut := tensor.FromSlice(seed, out.Shape()...)
+	c.ZeroGrads()
+	gradIn := c.Backward(gradOut)
+
+	forward := func() *tensor.Tensor { return c.Forward(x) }
+
+	// Check a sample of weight gradients.
+	for _, idx := range []int{0, 7, 17, c.W.Size() - 1} {
+		want := numericalGrad(forward, c.W, idx, seed)
+		got := float64(c.gradW.Data[idx])
+		if math.Abs(got-want) > 1e-2*math.Max(1, math.Abs(want)) {
+			t.Errorf("gradW[%d] = %v, numerical %v", idx, got, want)
+		}
+	}
+	// Bias gradients.
+	for idx := 0; idx < c.B.Size(); idx++ {
+		want := numericalGrad(forward, c.B, idx, seed)
+		got := float64(c.gradB.Data[idx])
+		if math.Abs(got-want) > 1e-2*math.Max(1, math.Abs(want)) {
+			t.Errorf("gradB[%d] = %v, numerical %v", idx, got, want)
+		}
+	}
+	// Input gradients via perturbing x.
+	for _, idx := range []int{0, 5, 21, x.Size() - 1} {
+		want := numericalGrad(func() *tensor.Tensor { return c.Forward(x) }, x, idx, seed)
+		got := float64(gradIn.Data[idx])
+		if math.Abs(got-want) > 1e-2*math.Max(1, math.Abs(want)) {
+			t.Errorf("gradIn[%d] = %v, numerical %v", idx, got, want)
+		}
+	}
+}
+
+func TestConv2DBackwardBeforeForwardPanics(t *testing.T) {
+	c := NewConv2D(1, 1, 2, 1, 0, rand.New(rand.NewSource(1)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward before Forward did not panic")
+		}
+	}()
+	c.Backward(tensor.New(1, 1, 1))
+}
+
+func TestConv2DZeroGrads(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := NewConv2D(1, 1, 2, 1, 0, rng)
+	x := tensor.New(1, 3, 3)
+	x.Uniform(-1, 1, rng)
+	out := c.Forward(x)
+	g := tensor.New(out.Shape()...)
+	g.Fill(1)
+	c.Backward(g)
+	c.ZeroGrads()
+	for _, v := range c.gradW.Data {
+		if v != 0 {
+			t.Fatal("ZeroGrads left weight gradient")
+		}
+	}
+	for _, v := range c.gradB.Data {
+		if v != 0 {
+			t.Fatal("ZeroGrads left bias gradient")
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package dnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nocbt/internal/tensor"
+)
+
+func TestReLUForward(t *testing.T) {
+	r := NewReLU()
+	x := tensor.FromSlice([]float32{-1, 0, 2, -3.5, 4}, 5)
+	out := r.Forward(x)
+	want := []float32{0, 0, 2, 0, 4}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Errorf("relu[%d] = %v, want %v", i, out.Data[i], want[i])
+		}
+	}
+}
+
+func TestReLUBackward(t *testing.T) {
+	r := NewReLU()
+	x := tensor.FromSlice([]float32{-1, 0, 2, 4}, 4)
+	r.Forward(x)
+	g := tensor.FromSlice([]float32{10, 20, 30, 40}, 4)
+	gi := r.Backward(g)
+	want := []float32{0, 0, 30, 40}
+	for i := range want {
+		if gi.Data[i] != want[i] {
+			t.Errorf("grad[%d] = %v, want %v", i, gi.Data[i], want[i])
+		}
+	}
+}
+
+func TestReLUBackwardBeforeForwardPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("did not panic")
+		}
+	}()
+	NewReLU().Backward(tensor.New(1))
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	f := NewFlatten()
+	x := tensor.New(2, 3, 4)
+	for i := range x.Data {
+		x.Data[i] = float32(i)
+	}
+	out := f.Forward(x)
+	if out.Rank() != 1 || out.Size() != 24 {
+		t.Fatalf("flatten shape %v", out.Shape())
+	}
+	g := tensor.New(24)
+	for i := range g.Data {
+		g.Data[i] = float32(-i)
+	}
+	gi := f.Backward(g)
+	if gi.Rank() != 3 || gi.Dim(0) != 2 || gi.Dim(1) != 3 || gi.Dim(2) != 4 {
+		t.Fatalf("unflattened grad shape %v", gi.Shape())
+	}
+	if gi.At(1, 2, 3) != -23 {
+		t.Errorf("grad value = %v, want -23", gi.At(1, 2, 3))
+	}
+}
+
+func TestMaxPool2Forward(t *testing.T) {
+	p := NewMaxPool2()
+	x := tensor.FromSlice([]float32{
+		1, 2, 5, 6,
+		3, 4, 7, 8,
+		-1, -2, 0, 0,
+		-3, -4, 0, 9,
+	}, 1, 4, 4)
+	out := p.Forward(x)
+	if out.Dim(1) != 2 || out.Dim(2) != 2 {
+		t.Fatalf("pooled shape %v", out.Shape())
+	}
+	want := []float32{4, 8, -1, 9}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Errorf("pool[%d] = %v, want %v", i, out.Data[i], want[i])
+		}
+	}
+}
+
+func TestMaxPool2NegativeWindow(t *testing.T) {
+	// All-negative window must still pick the maximum (closest to zero),
+	// not default to 0.
+	p := NewMaxPool2()
+	x := tensor.FromSlice([]float32{
+		-5, -2,
+		-9, -7,
+	}, 1, 2, 2)
+	out := p.Forward(x)
+	if out.Data[0] != -2 {
+		t.Errorf("all-negative pool = %v, want -2", out.Data[0])
+	}
+}
+
+func TestMaxPool2Backward(t *testing.T) {
+	p := NewMaxPool2()
+	x := tensor.FromSlice([]float32{
+		1, 2, 5, 6,
+		3, 4, 7, 8,
+		-1, -2, 0, 0,
+		-3, -4, 0, 9,
+	}, 1, 4, 4)
+	p.Forward(x)
+	g := tensor.FromSlice([]float32{10, 20, 30, 40}, 1, 2, 2)
+	gi := p.Backward(g)
+	// Gradient flows only to each window's argmax.
+	if gi.At(0, 1, 1) != 10 {
+		t.Errorf("grad at (1,1) = %v, want 10", gi.At(0, 1, 1))
+	}
+	if gi.At(0, 1, 3) != 20 {
+		t.Errorf("grad at (1,3) = %v, want 20", gi.At(0, 1, 3))
+	}
+	if gi.At(0, 2, 0) != 30 {
+		t.Errorf("grad at (2,0) = %v, want 30", gi.At(0, 2, 0))
+	}
+	if gi.At(0, 3, 3) != 40 {
+		t.Errorf("grad at (3,3) = %v, want 40", gi.At(0, 3, 3))
+	}
+	total := float32(0)
+	for _, v := range gi.Data {
+		total += v
+	}
+	if total != 100 {
+		t.Errorf("gradient mass %v, want 100 (conservation)", total)
+	}
+}
+
+func TestMaxPool2OddSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd input did not panic")
+		}
+	}()
+	NewMaxPool2().Forward(tensor.New(1, 3, 4))
+}
+
+func TestGlobalAvgPoolForward(t *testing.T) {
+	g := NewGlobalAvgPool()
+	x := tensor.FromSlice([]float32{
+		1, 2, 3, 4, // channel 0: mean 2.5
+		10, 10, 10, 10, // channel 1: mean 10
+	}, 2, 2, 2)
+	out := g.Forward(x)
+	if out.Rank() != 1 || out.Size() != 2 {
+		t.Fatalf("gap shape %v", out.Shape())
+	}
+	if out.Data[0] != 2.5 || out.Data[1] != 10 {
+		t.Errorf("gap = %v, want [2.5 10]", out.Data)
+	}
+}
+
+func TestGlobalAvgPoolBackward(t *testing.T) {
+	g := NewGlobalAvgPool()
+	x := tensor.New(2, 2, 2)
+	g.Forward(x)
+	grad := tensor.FromSlice([]float32{4, 8}, 2)
+	gi := g.Backward(grad)
+	for y := 0; y < 2; y++ {
+		for xx := 0; xx < 2; xx++ {
+			if gi.At(0, y, xx) != 1 {
+				t.Errorf("grad ch0 (%d,%d) = %v, want 1", y, xx, gi.At(0, y, xx))
+			}
+			if gi.At(1, y, xx) != 2 {
+				t.Errorf("grad ch1 (%d,%d) = %v, want 2", y, xx, gi.At(1, y, xx))
+			}
+		}
+	}
+}
+
+func TestPoolingBackwardNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	p := NewMaxPool2()
+	x := tensor.New(2, 4, 4)
+	x.Uniform(-1, 1, rng)
+	out := p.Forward(x)
+	seed := make([]float32, out.Size())
+	for i := range seed {
+		seed[i] = rng.Float32()*2 - 1
+	}
+	gi := p.Backward(tensor.FromSlice(seed, out.Shape()...))
+	forward := func() *tensor.Tensor { return p.Forward(x) }
+	for idx := 0; idx < x.Size(); idx += 3 {
+		want := numericalGrad(forward, x, idx, seed)
+		got := float64(gi.Data[idx])
+		if math.Abs(got-want) > 1e-2*math.Max(1, math.Abs(want)) {
+			t.Errorf("pool gradIn[%d] = %v, numerical %v", idx, got, want)
+		}
+	}
+}
+
+func TestLayerNames(t *testing.T) {
+	tests := []struct {
+		layer Layer
+		want  string
+	}{
+		{NewReLU(), "relu"},
+		{NewFlatten(), "flatten"},
+		{NewMaxPool2(), "maxpool2"},
+		{NewGlobalAvgPool(), "gavgpool"},
+	}
+	for _, tt := range tests {
+		if got := tt.layer.Name(); got != tt.want {
+			t.Errorf("Name() = %q, want %q", got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package dnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nocbt/internal/tensor"
+)
+
+func TestLinearForwardKnown(t *testing.T) {
+	l := NewLinear(3, 2, rand.New(rand.NewSource(1)))
+	copy(l.W.Data, []float32{
+		1, 2, 3, // row 0
+		-1, 0, 1, // row 1
+	})
+	copy(l.B.Data, []float32{0.5, -0.5})
+	x := tensor.FromSlice([]float32{1, 1, 2}, 3)
+	out := l.Forward(x)
+	if got := out.Data[0]; got != 1+2+6+0.5 {
+		t.Errorf("out[0] = %v, want 9.5", got)
+	}
+	if got := out.Data[1]; got != -1+0+2-0.5 {
+		t.Errorf("out[1] = %v, want 0.5", got)
+	}
+}
+
+func TestLinearWrongInputPanics(t *testing.T) {
+	l := NewLinear(3, 2, rand.New(rand.NewSource(1)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong input size did not panic")
+		}
+	}()
+	l.Forward(tensor.New(4))
+}
+
+func TestLinearBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad geometry did not panic")
+		}
+	}()
+	NewLinear(0, 2, rand.New(rand.NewSource(1)))
+}
+
+func TestLinearBackwardNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	l := NewLinear(6, 4, rng)
+	x := tensor.New(6)
+	x.Uniform(-1, 1, rng)
+
+	out := l.Forward(x)
+	seed := make([]float32, out.Size())
+	for i := range seed {
+		seed[i] = rng.Float32()*2 - 1
+	}
+	l.ZeroGrads()
+	gradIn := l.Backward(tensor.FromSlice(seed, out.Shape()...))
+
+	forward := func() *tensor.Tensor { return l.Forward(x) }
+	for idx := 0; idx < l.W.Size(); idx += 5 {
+		want := numericalGrad(forward, l.W, idx, seed)
+		got := float64(l.gradW.Data[idx])
+		if math.Abs(got-want) > 1e-2*math.Max(1, math.Abs(want)) {
+			t.Errorf("gradW[%d] = %v, numerical %v", idx, got, want)
+		}
+	}
+	for idx := 0; idx < l.B.Size(); idx++ {
+		want := numericalGrad(forward, l.B, idx, seed)
+		got := float64(l.gradB.Data[idx])
+		if math.Abs(got-want) > 1e-2*math.Max(1, math.Abs(want)) {
+			t.Errorf("gradB[%d] = %v, numerical %v", idx, got, want)
+		}
+	}
+	for idx := 0; idx < x.Size(); idx++ {
+		want := numericalGrad(forward, x, idx, seed)
+		got := float64(gradIn.Data[idx])
+		if math.Abs(got-want) > 1e-2*math.Max(1, math.Abs(want)) {
+			t.Errorf("gradIn[%d] = %v, numerical %v", idx, got, want)
+		}
+	}
+}
+
+func TestLinearBackwardBeforeForwardPanics(t *testing.T) {
+	l := NewLinear(2, 2, rand.New(rand.NewSource(1)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward before Forward did not panic")
+		}
+	}()
+	l.Backward(tensor.New(2))
+}
+
+// TestLinearOrderInvariance is the float half of the paper's Fig. 5
+// order-invariance argument: permuting (input, weight) pairs of a neuron
+// leaves the mathematical dot product unchanged. Floating-point addition is
+// only approximately associative, so equality is up to a small tolerance —
+// the exact-equality version of this property lives in the fixed-point
+// domain (quant.DotQ).
+func TestLinearOrderInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const n = 64
+	l := NewLinear(n, 1, rng)
+	x := tensor.New(n)
+	x.Uniform(-1, 1, rng)
+	want := l.Forward(x).Data[0]
+
+	perm := rng.Perm(n)
+	l2 := NewLinear(n, 1, rng)
+	x2 := tensor.New(n)
+	for i, j := range perm {
+		l2.W.Data[i] = l.W.Data[j]
+		x2.Data[i] = x.Data[j]
+	}
+	l2.B.Data[0] = l.B.Data[0]
+	got := l2.Forward(x2).Data[0]
+	if math.Abs(float64(got-want)) > 1e-4 {
+		t.Errorf("permuted dot product %v, want %v", got, want)
+	}
+}
+
+func TestLinearParamsGrads(t *testing.T) {
+	l := NewLinear(3, 2, rand.New(rand.NewSource(1)))
+	if got := len(l.Params()); got != 2 {
+		t.Errorf("Params count = %d, want 2", got)
+	}
+	if got := len(l.Grads()); got != 2 {
+		t.Errorf("Grads count = %d, want 2", got)
+	}
+	for i, p := range l.Params() {
+		if p.Size() != l.Grads()[i].Size() {
+			t.Errorf("param %d size %d != grad size %d", i, p.Size(), l.Grads()[i].Size())
+		}
+	}
+}

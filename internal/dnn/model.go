@@ -1,0 +1,176 @@
+package dnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nocbt/internal/tensor"
+)
+
+// Model is an ordered stack of layers with a name used in reports.
+type Model struct {
+	ModelName string
+	Layers    []Layer
+	// InShape is the expected input shape (CHW).
+	InShape []int
+}
+
+// Name returns the model's report name.
+func (m *Model) Name() string { return m.ModelName }
+
+// Forward runs the full forward pass.
+func (m *Model) Forward(x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range m.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward runs the full backward pass from the loss gradient. Every layer
+// in the model must be Trainable.
+func (m *Model) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		tr, ok := m.Layers[i].(Trainable)
+		if !ok {
+			panic(fmt.Sprintf("dnn: layer %s is not trainable", m.Layers[i].Name()))
+		}
+		gradOut = tr.Backward(gradOut)
+	}
+	return gradOut
+}
+
+// ZeroGrads clears gradients on every trainable layer.
+func (m *Model) ZeroGrads() {
+	for _, l := range m.Layers {
+		if tr, ok := l.(Trainable); ok {
+			tr.ZeroGrads()
+		}
+	}
+}
+
+// Params returns all parameter tensors in layer order.
+func (m *Model) Params() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range m.Layers {
+		if tr, ok := l.(Trainable); ok {
+			out = append(out, tr.Params()...)
+		}
+	}
+	return out
+}
+
+// Grads returns all gradient tensors matching Params element-wise.
+func (m *Model) Grads() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range m.Layers {
+		if tr, ok := l.(Trainable); ok {
+			out = append(out, tr.Grads()...)
+		}
+	}
+	return out
+}
+
+// WeightValues returns the concatenated weight (not bias) values of every
+// conv and linear layer — the raw material of the paper's "weights" BT
+// experiments.
+func (m *Model) WeightValues() []float32 {
+	var out []float32
+	for _, l := range m.Layers {
+		switch t := l.(type) {
+		case *Conv2D:
+			out = append(out, t.W.Data...)
+		case *Linear:
+			out = append(out, t.W.Data...)
+		}
+	}
+	return out
+}
+
+// LayerWeightSlices returns each conv/linear layer's weight values as its
+// own slice. Per-layer grouping matters for fixed-8 experiments: quantization
+// scales are chosen per layer, as the accelerator does.
+func (m *Model) LayerWeightSlices() [][]float32 {
+	var out [][]float32
+	for _, l := range m.Layers {
+		switch t := l.(type) {
+		case *Conv2D:
+			out = append(out, t.W.Data)
+		case *Linear:
+			out = append(out, t.W.Data)
+		}
+	}
+	return out
+}
+
+// ParamCount returns the total number of parameters.
+func (m *Model) ParamCount() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.Size()
+	}
+	return n
+}
+
+// LeNet builds the classic LeNet-5 topology the paper evaluates
+// (32×32×1 input, as in Fig. 2):
+//
+//	conv5x5 1→6  → ReLU → maxpool2
+//	conv5x5 6→16 → ReLU → maxpool2
+//	flatten (400) → fc 400→120 → ReLU → fc 120→84 → ReLU → fc 84→10
+//
+// Weights are Kaiming-uniform from rng ("random weights"); train with
+// internal/train to obtain "trained weights".
+func LeNet(rng *rand.Rand) *Model {
+	return &Model{
+		ModelName: "LeNet",
+		InShape:   []int{1, 32, 32},
+		Layers: []Layer{
+			NewConv2D(1, 6, 5, 1, 0, rng),
+			NewReLU(),
+			NewMaxPool2(),
+			NewConv2D(6, 16, 5, 1, 0, rng),
+			NewReLU(),
+			NewMaxPool2(),
+			NewFlatten(),
+			NewLinear(400, 120, rng),
+			NewReLU(),
+			NewLinear(120, 84, rng),
+			NewReLU(),
+			NewLinear(84, 10, rng),
+		},
+	}
+}
+
+// DarkNetTiny builds the "DarkNet-like" model of the paper's Fig. 13 with
+// the reduced 64×64×3 input the authors use to speed up simulation: a
+// DarkNet-style trunk of 3×3 stride-1 pad-1 convolutions doubling channels
+// between 2×2 max-pools, closed by a 1×1 convolution onto the class count
+// and global average pooling.
+//
+//	conv3x3  3→8   → ReLU → maxpool2   (64→32)
+//	conv3x3  8→16  → ReLU → maxpool2   (32→16)
+//	conv3x3 16→32  → ReLU → maxpool2   (16→8)
+//	conv3x3 32→64  → ReLU → maxpool2   (8→4)
+//	conv1x1 64→10  → gavgpool → 10
+func DarkNetTiny(rng *rand.Rand) *Model {
+	return &Model{
+		ModelName: "DarkNet",
+		InShape:   []int{3, 64, 64},
+		Layers: []Layer{
+			NewConv2D(3, 8, 3, 1, 1, rng),
+			NewReLU(),
+			NewMaxPool2(),
+			NewConv2D(8, 16, 3, 1, 1, rng),
+			NewReLU(),
+			NewMaxPool2(),
+			NewConv2D(16, 32, 3, 1, 1, rng),
+			NewReLU(),
+			NewMaxPool2(),
+			NewConv2D(32, 64, 3, 1, 1, rng),
+			NewReLU(),
+			NewMaxPool2(),
+			NewConv2D(64, 10, 1, 1, 0, rng),
+			NewGlobalAvgPool(),
+		},
+	}
+}

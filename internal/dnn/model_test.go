@@ -1,0 +1,161 @@
+package dnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nocbt/internal/tensor"
+)
+
+func TestLeNetShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := LeNet(rng)
+	x := tensor.New(m.InShape...)
+	x.Uniform(0, 1, rng)
+	out := m.Forward(x)
+	if out.Rank() != 1 || out.Size() != 10 {
+		t.Fatalf("LeNet output shape %v, want [10]", out.Shape())
+	}
+}
+
+func TestLeNetParamCount(t *testing.T) {
+	// Classic LeNet-5 parameter count:
+	// conv1: 6*1*5*5 + 6 = 156
+	// conv2: 16*6*5*5 + 16 = 2416
+	// fc1:   120*400 + 120 = 48120
+	// fc2:   84*120 + 84 = 10164
+	// fc3:   10*84 + 10 = 850
+	// total: 61706
+	m := LeNet(rand.New(rand.NewSource(1)))
+	if got := m.ParamCount(); got != 61706 {
+		t.Errorf("LeNet ParamCount = %d, want 61706", got)
+	}
+}
+
+func TestDarkNetTinyShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := DarkNetTiny(rng)
+	x := tensor.New(m.InShape...)
+	x.Uniform(0, 1, rng)
+	out := m.Forward(x)
+	if out.Rank() != 1 || out.Size() != 10 {
+		t.Fatalf("DarkNet output shape %v, want [10]", out.Shape())
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	if got := LeNet(rand.New(rand.NewSource(1))).Name(); got != "LeNet" {
+		t.Errorf("LeNet name %q", got)
+	}
+	if got := DarkNetTiny(rand.New(rand.NewSource(1))).Name(); got != "DarkNet" {
+		t.Errorf("DarkNet name %q", got)
+	}
+}
+
+func TestModelForwardDeterministic(t *testing.T) {
+	m := LeNet(rand.New(rand.NewSource(5)))
+	x := tensor.New(m.InShape...)
+	x.Uniform(0, 1, rand.New(rand.NewSource(6)))
+	a := m.Forward(x.Clone())
+	b := m.Forward(x.Clone())
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("forward not deterministic at %d: %v vs %v", i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+func TestWeightValuesCount(t *testing.T) {
+	m := LeNet(rand.New(rand.NewSource(1)))
+	// Weight-only count (biases excluded): 150 + 2400 + 48000 + 10080 + 840.
+	want := 6*1*5*5 + 16*6*5*5 + 120*400 + 84*120 + 10*84
+	if got := len(m.WeightValues()); got != want {
+		t.Errorf("WeightValues length = %d, want %d", got, want)
+	}
+}
+
+func TestModelBackwardRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := LeNet(rng)
+	x := tensor.New(m.InShape...)
+	x.Uniform(0, 1, rng)
+	out := m.Forward(x)
+	g := tensor.New(out.Shape()...)
+	g.Fill(1)
+	m.ZeroGrads()
+	gi := m.Backward(g)
+	if gi.Rank() != 3 || gi.Dim(0) != 1 || gi.Dim(1) != 32 || gi.Dim(2) != 32 {
+		t.Fatalf("input gradient shape %v", gi.Shape())
+	}
+	// Some gradient must be non-zero somewhere.
+	nonZero := false
+	for _, gr := range m.Grads() {
+		for _, v := range gr.Data {
+			if v != 0 {
+				nonZero = true
+				break
+			}
+		}
+	}
+	if !nonZero {
+		t.Error("all gradients zero after backward")
+	}
+}
+
+func TestModelParamsGradsAligned(t *testing.T) {
+	m := DarkNetTiny(rand.New(rand.NewSource(4)))
+	params := m.Params()
+	grads := m.Grads()
+	if len(params) != len(grads) {
+		t.Fatalf("params %d vs grads %d", len(params), len(grads))
+	}
+	for i := range params {
+		if params[i].Size() != grads[i].Size() {
+			t.Errorf("param %d size %d != grad size %d", i, params[i].Size(), grads[i].Size())
+		}
+	}
+}
+
+// TestConvOrderInvarianceFig5 reproduces the paper's Fig. 5: a 3×3
+// convolution produces the same output when the paired (input, weight)
+// pattern is permuted consistently, because the accumulation is a plain
+// sum of products.
+func TestConvOrderInvarianceFig5(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	// Build a 3x3 single-channel conv applied to a 3x3 input: one output.
+	c := NewConv2D(1, 1, 3, 1, 0, rng)
+	x := tensor.New(1, 3, 3)
+	x.Uniform(-1, 1, rng)
+	want := c.Forward(x).Data[0]
+
+	// Permute the 9 (weight, input) pairs identically — as in Fig. 5 where
+	// [A..I]×[a..i] becomes [E D C; A B H; G F I]×[e d c; a b h; g f i].
+	perm := rng.Perm(9)
+	c2 := NewConv2D(1, 1, 3, 1, 0, rng)
+	x2 := tensor.New(1, 3, 3)
+	for i, j := range perm {
+		c2.W.Data[i] = c.W.Data[j]
+		x2.Data[i] = x.Data[j]
+	}
+	c2.B.Data[0] = c.B.Data[0]
+	got := c2.Forward(x2).Data[0]
+	if math.Abs(float64(got-want)) > 1e-5 {
+		t.Errorf("permuted conv = %v, want %v (order invariance violated)", got, want)
+	}
+}
+
+func TestModelBackwardNonTrainablePanics(t *testing.T) {
+	m := &Model{ModelName: "bad", Layers: []Layer{fakeLayer{}}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward through non-trainable layer did not panic")
+		}
+	}()
+	m.Backward(tensor.New(1))
+}
+
+type fakeLayer struct{}
+
+func (fakeLayer) Forward(x *tensor.Tensor) *tensor.Tensor { return x }
+func (fakeLayer) Name() string                            { return "fake" }

@@ -1,0 +1,180 @@
+package flit
+
+import (
+	"fmt"
+
+	"nocbt/internal/bitutil"
+)
+
+// Kind classifies a flit's position within its packet.
+type Kind uint8
+
+const (
+	// Head is the first flit of a multi-flit packet; it carries the
+	// routing header.
+	Head Kind = iota + 1
+	// Body is a middle flit.
+	Body
+	// Tail is the last flit of a multi-flit packet.
+	Tail
+	// HeadTail is the only flit of a single-flit packet.
+	HeadTail
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Head:
+		return "head"
+	case Body:
+		return "body"
+	case Tail:
+		return "tail"
+	case HeadTail:
+		return "head+tail"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Flit is one link beat. Payload is the LinkBits-wide pattern that
+// physically toggles wires (everything BT measurement sees); the remaining
+// fields model side-band/bookkeeping state that real routers keep per flit
+// (type bits, VC id) and that the paper does not count as payload
+// transitions.
+type Flit struct {
+	Kind     Kind
+	PacketID uint64
+	// Seq is the flit's position within its packet, starting at 0.
+	Seq int
+	// Src and Dst are node IDs; Dst drives X-Y routing for head flits.
+	Src, Dst int
+	// VC is the virtual channel assigned on the current hop's input
+	// buffer. It is rewritten by every link traversal.
+	VC int
+	// Payload is the on-wire bit pattern.
+	Payload bitutil.Vec
+}
+
+// IsHead reports whether this flit opens a packet (Head or HeadTail).
+func (f *Flit) IsHead() bool { return f.Kind == Head || f.Kind == HeadTail }
+
+// IsTail reports whether this flit closes a packet (Tail or HeadTail).
+func (f *Flit) IsTail() bool { return f.Kind == Tail || f.Kind == HeadTail }
+
+// Packet is an ordered flit sequence travelling from Src to Dst.
+type Packet struct {
+	ID       uint64
+	Src, Dst int
+	Flits    []*Flit
+}
+
+// NewPacket assembles a packet: a head flit carrying the header payload
+// followed by one flit per payload vector. Kind/Seq/Src/Dst fields are
+// filled in; the caller provides already-built payload bit patterns.
+func NewPacket(id uint64, src, dst int, header bitutil.Vec, payloads []bitutil.Vec) *Packet {
+	total := 1 + len(payloads)
+	p := &Packet{ID: id, Src: src, Dst: dst, Flits: make([]*Flit, 0, total)}
+	mk := func(seq int, payload bitutil.Vec) *Flit {
+		kind := Body
+		switch {
+		case total == 1:
+			kind = HeadTail
+		case seq == 0:
+			kind = Head
+		case seq == total-1:
+			kind = Tail
+		}
+		return &Flit{
+			Kind:     kind,
+			PacketID: id,
+			Seq:      seq,
+			Src:      src,
+			Dst:      dst,
+			Payload:  payload,
+		}
+	}
+	p.Flits = append(p.Flits, mk(0, header))
+	for i, pv := range payloads {
+		p.Flits = append(p.Flits, mk(i+1, pv))
+	}
+	return p
+}
+
+// PayloadVecs returns the payload vectors of the non-header flits.
+func (p *Packet) PayloadVecs() []bitutil.Vec {
+	out := make([]bitutil.Vec, 0, len(p.Flits)-1)
+	for _, f := range p.Flits[1:] {
+		out = append(out, f.Payload)
+	}
+	return out
+}
+
+// Len returns the flit count.
+func (p *Packet) Len() int { return len(p.Flits) }
+
+// PacketKind tags what a packet carries in the accelerator protocol.
+type PacketKind uint8
+
+const (
+	// KindTask is an MC→PE packet carrying one task (or task segment).
+	KindTask PacketKind = iota + 1
+	// KindResult is a PE→MC packet carrying one partial or final sum.
+	KindResult
+)
+
+// headerBits is the total width of the encoded header fields.
+const headerBits = 16 + 16 + 32 + 32 + 8 + 16 + 8
+
+// Header is the routing/task metadata encoded into the head flit payload.
+// These bits toggle link wires like any other payload bits, so they are
+// part of every BT measurement.
+type Header struct {
+	Dst, Src  uint16
+	PacketID  uint32
+	TaskID    uint32
+	Kind      PacketKind
+	PairCount uint16
+	Ordering  Ordering
+}
+
+// EncodeHeader packs h into a link-wide bit vector. Field layout (LSB up):
+// dst:16, src:16, packetID:32, taskID:32, kind:8, pairCount:16, ordering:8.
+func EncodeHeader(g Geometry, h Header) bitutil.Vec {
+	v := bitutil.NewVec(g.LinkBits)
+	off := 0
+	put := func(width int, val uint64) {
+		v.SetField(off, width, val)
+		off += width
+	}
+	put(16, uint64(h.Dst))
+	put(16, uint64(h.Src))
+	put(32, uint64(h.PacketID))
+	put(32, uint64(h.TaskID))
+	put(8, uint64(h.Kind))
+	put(16, uint64(h.PairCount))
+	put(8, uint64(h.Ordering))
+	return v
+}
+
+// DecodeHeader unpacks a head flit payload built by EncodeHeader.
+func DecodeHeader(g Geometry, v bitutil.Vec) Header {
+	if v.Width() != g.LinkBits {
+		panic(fmt.Sprintf("flit: header width %d, geometry wants %d", v.Width(), g.LinkBits))
+	}
+	off := 0
+	get := func(width int) uint64 {
+		val := v.Field(off, width)
+		off += width
+		return val
+	}
+	return Header{
+		Dst:       uint16(get(16)),
+		Src:       uint16(get(16)),
+		PacketID:  uint32(get(32)),
+		TaskID:    uint32(get(32)),
+		Kind:      PacketKind(get(8)),
+		PairCount: uint16(get(16)),
+		Ordering:  Ordering(get(8)),
+	}
+}

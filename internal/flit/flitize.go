@@ -1,0 +1,236 @@
+package flit
+
+import (
+	"fmt"
+
+	"nocbt/internal/bitutil"
+	"nocbt/internal/core"
+)
+
+// Task is the payload of one DNN task: the (input, weight) pairs of one
+// output neuron (or a segment of them) plus the bias (Fig. 2: k·k inputs,
+// k·k weights, one bias).
+type Task struct {
+	Inputs  []bitutil.Word
+	Weights []bitutil.Word
+	// Bias is placed in the weight half of the last data flit.
+	Bias bitutil.Word
+}
+
+// Options configures flitization.
+type Options struct {
+	// Ordering selects O0/O1/O2.
+	Ordering Ordering
+	// InBandIndex makes separated-ordering transmit its re-pairing indices
+	// as extra index flits that cross the NoC (and therefore cost BT).
+	// When false the index travels out-of-band, matching the paper's
+	// negligible-overhead accounting; the ablation benches quantify the
+	// difference.
+	InBandIndex bool
+}
+
+// Flitized is the on-wire form of a task.
+type Flitized struct {
+	// Data is the half-half data flit payloads: lanes [0, half) carry
+	// inputs, lanes [half, lanes) carry weights; the bias sits in the last
+	// lane of the last data flit.
+	Data []bitutil.Vec
+	// Index is the separated-ordering index flit payloads (only with
+	// Ordering == Separated and InBandIndex).
+	Index []bitutil.Vec
+	// PartnerIndex is the separated-ordering re-pairing table:
+	// PartnerIndex[i] is the rank (in the ordered weight sequence) of the
+	// weight paired with ordered input i. Nil for O0/O1.
+	PartnerIndex []int
+}
+
+// Payloads returns all flit payloads in transmission order: data flits then
+// index flits.
+func (f Flitized) Payloads() []bitutil.Vec {
+	out := make([]bitutil.Vec, 0, len(f.Data)+len(f.Index))
+	out = append(out, f.Data...)
+	return append(out, f.Index...)
+}
+
+// DataFlitCount returns how many data flits a task of n pairs needs: the
+// smallest count whose lane grid holds n pairs plus the bias cell.
+func (g Geometry) DataFlitCount(n int) int {
+	half := g.HalfLanes()
+	return (n + 1 + half - 1) / half
+}
+
+// Flitize converts a task into flit payloads under the chosen ordering.
+//
+// Placement: with M data flits and H = HalfLanes pair slots per flit,
+// baseline (O0) fills pair k into flit k/H, slot k%H (flit-major, the
+// natural streaming order of Fig. 2). O1/O2 place rank r into flit r%M,
+// slot r/M (column-major, Fig. 3): lane-wise, consecutive flits then carry
+// adjacent-rank values, which is the §III-B optimal interleave generalized
+// from two flits to M.
+func Flitize(g Geometry, t Task, opt Options) (Flitized, error) {
+	if err := g.Validate(); err != nil {
+		return Flitized{}, err
+	}
+	n := len(t.Weights)
+	if n == 0 {
+		return Flitized{}, fmt.Errorf("flit: empty task")
+	}
+	if len(t.Inputs) != n {
+		return Flitized{}, fmt.Errorf("flit: %d inputs vs %d weights", len(t.Inputs), n)
+	}
+
+	inputs := t.Inputs
+	weights := t.Weights
+	var partner []int
+	switch opt.Ordering {
+	case Baseline:
+		// Natural order.
+	case Affiliated:
+		ordered, _ := core.AffiliatedOrder(core.ZipPairs(weights, inputs), g.LaneBits())
+		weights, inputs = core.SplitPairs(ordered)
+	case Separated:
+		sep := core.SeparatedOrder(weights, inputs, g.LaneBits())
+		weights, inputs = sep.Weights, sep.Inputs
+		partner = sep.PartnerIndex
+	default:
+		return Flitized{}, fmt.Errorf("flit: unknown ordering %d", int(opt.Ordering))
+	}
+
+	half := g.HalfLanes()
+	m := g.DataFlitCount(n)
+	data := make([]bitutil.Vec, m)
+	for i := range data {
+		data[i] = bitutil.NewVec(g.LinkBits)
+	}
+	lb := g.LaneBits()
+	for r := 0; r < n; r++ {
+		var fl, slot int
+		if opt.Ordering == Baseline {
+			fl, slot = r/half, r%half
+		} else {
+			fl, slot = r%m, r/m
+		}
+		data[fl].SetField(slot*lb, lb, uint64(inputs[r]))
+		data[fl].SetField((half+slot)*lb, lb, uint64(weights[r]))
+	}
+	// Bias occupies the last lane of the last data flit; DataFlitCount
+	// reserved that cell in both placement schemes.
+	data[m-1].SetField((g.Lanes()-1)*lb, lb, uint64(t.Bias))
+
+	out := Flitized{Data: data, PartnerIndex: partner}
+	if opt.Ordering == Separated && opt.InBandIndex {
+		out.Index = EncodePartnerIndex(g, partner)
+	}
+	return out, nil
+}
+
+// Deflitize reconstructs a consistently paired task from data flit
+// payloads. n is the pair count (from the packet header) and ord the
+// ordering the sender applied. For separated-ordering the partner table
+// must be supplied (decoded from index flits or passed out-of-band).
+//
+// The returned task's pairs are NOT in the original task order — they are
+// in the sender's transmission rank order with pairing restored, which is
+// all a conv/linear consumer needs (order invariance, Fig. 5).
+func Deflitize(g Geometry, data []bitutil.Vec, n int, ord Ordering, partner []int) (Task, error) {
+	if err := g.Validate(); err != nil {
+		return Task{}, err
+	}
+	if n <= 0 {
+		return Task{}, fmt.Errorf("flit: non-positive pair count %d", n)
+	}
+	m := g.DataFlitCount(n)
+	if len(data) != m {
+		return Task{}, fmt.Errorf("flit: %d data flits for %d pairs, want %d", len(data), n, m)
+	}
+	half := g.HalfLanes()
+	lb := g.LaneBits()
+	inputs := make([]bitutil.Word, n)
+	weights := make([]bitutil.Word, n)
+	for r := 0; r < n; r++ {
+		var fl, slot int
+		if ord == Baseline {
+			fl, slot = r/half, r%half
+		} else {
+			fl, slot = r%m, r/m
+		}
+		inputs[r] = bitutil.Word(data[fl].Field(slot*lb, lb))
+		weights[r] = bitutil.Word(data[fl].Field((half+slot)*lb, lb))
+	}
+	bias := bitutil.Word(data[m-1].Field((g.Lanes()-1)*lb, lb))
+
+	if ord == Separated {
+		if len(partner) != n {
+			return Task{}, fmt.Errorf("flit: partner table length %d, want %d", len(partner), n)
+		}
+		sep := core.Separated{Weights: weights, Inputs: inputs, PartnerIndex: partner}
+		pairs := sep.RecoverPairs()
+		weights, inputs = core.SplitPairs(pairs)
+	}
+	return Task{Inputs: inputs, Weights: weights, Bias: bias}, nil
+}
+
+// EncodePartnerIndex packs the separated-ordering partner table into index
+// flit payloads: n fields of core.IndexBits(n) bits each, packed LSB-first
+// across as many link-wide flits as needed. For n == 1 the index is empty
+// and no flits are produced.
+func EncodePartnerIndex(g Geometry, partner []int) []bitutil.Vec {
+	n := len(partner)
+	ib := core.IndexBits(n)
+	if ib == 0 {
+		return nil
+	}
+	perFlit := g.LinkBits / ib
+	if perFlit == 0 {
+		panic(fmt.Sprintf("flit: %d-bit index wider than %d-bit link", ib, g.LinkBits))
+	}
+	numFlits := (n + perFlit - 1) / perFlit
+	vecs := make([]bitutil.Vec, numFlits)
+	for i := range vecs {
+		vecs[i] = bitutil.NewVec(g.LinkBits)
+	}
+	for i, p := range partner {
+		fl, slot := i/perFlit, i%perFlit
+		vecs[fl].SetField(slot*ib, ib, uint64(p))
+	}
+	return vecs
+}
+
+// DecodePartnerIndex reverses EncodePartnerIndex for an n-pair task.
+func DecodePartnerIndex(g Geometry, vecs []bitutil.Vec, n int) ([]int, error) {
+	ib := core.IndexBits(n)
+	if ib == 0 {
+		if n == 1 {
+			return []int{0}, nil
+		}
+		return nil, nil
+	}
+	perFlit := g.LinkBits / ib
+	if perFlit == 0 {
+		return nil, fmt.Errorf("flit: %d-bit index wider than %d-bit link", ib, g.LinkBits)
+	}
+	want := (n + perFlit - 1) / perFlit
+	if len(vecs) != want {
+		return nil, fmt.Errorf("flit: %d index flits for %d pairs, want %d", len(vecs), n, want)
+	}
+	partner := make([]int, n)
+	for i := range partner {
+		fl, slot := i/perFlit, i%perFlit
+		partner[i] = int(vecs[fl].Field(slot*ib, ib))
+	}
+	return partner, nil
+}
+
+// IndexFlitCount returns how many index flits separated-ordering adds for
+// an n-pair task under geometry g.
+func (g Geometry) IndexFlitCount(n int) int {
+	ib := core.IndexBits(n)
+	if ib == 0 {
+		return 0
+	}
+	perFlit := g.LinkBits / ib
+	if perFlit == 0 {
+		panic(fmt.Sprintf("flit: %d-bit index wider than %d-bit link", ib, g.LinkBits))
+	}
+	return (n + perFlit - 1) / perFlit
+}

@@ -1,0 +1,99 @@
+// Package flit implements the paper's packet and flit formats: half-half
+// flitization of DNN tasks (Fig. 2), the three ordering configurations
+// (O0 baseline, O1 affiliated, O2 separated), header encoding, and the
+// separated-ordering index side-channel.
+package flit
+
+import (
+	"errors"
+	"fmt"
+
+	"nocbt/internal/bitutil"
+)
+
+// Geometry describes a link/flit format. The paper evaluates two:
+// 512-bit links carrying 16 float-32 values and 128-bit links carrying
+// 16 fixed-8 values.
+type Geometry struct {
+	// LinkBits is the link (and flit payload) width in bits.
+	LinkBits int
+	// Format is the lane value encoding.
+	Format bitutil.Format
+}
+
+// Float32Geometry is the paper's float-32 configuration: 512-bit links,
+// 16 values per flit.
+func Float32Geometry() Geometry { return Geometry{LinkBits: 512, Format: bitutil.Float32} }
+
+// Fixed8Geometry is the paper's fixed-8 configuration: 128-bit links,
+// 16 values per flit.
+func Fixed8Geometry() Geometry { return Geometry{LinkBits: 128, Format: bitutil.Fixed8} }
+
+// Validate reports whether the geometry is usable: the link must hold a
+// whole, even number of lanes (half-half flitization needs an even count)
+// and enough room for the packet header fields.
+func (g Geometry) Validate() error {
+	if g.LinkBits <= 0 {
+		return fmt.Errorf("flit: non-positive link width %d", g.LinkBits)
+	}
+	lw := g.Format.Bits()
+	if g.LinkBits%lw != 0 {
+		return fmt.Errorf("flit: link width %d not a multiple of lane width %d", g.LinkBits, lw)
+	}
+	if g.Lanes()%2 != 0 {
+		return fmt.Errorf("flit: odd lane count %d; half-half flitization needs an even count", g.Lanes())
+	}
+	if g.LinkBits < headerBits {
+		return fmt.Errorf("flit: link width %d cannot hold %d-bit header", g.LinkBits, headerBits)
+	}
+	return nil
+}
+
+// Lanes returns the number of values one flit carries.
+func (g Geometry) Lanes() int { return g.LinkBits / g.Format.Bits() }
+
+// HalfLanes returns the lane count of each half of a half-half flit:
+// inputs occupy the left (low) half, weights the right (high) half.
+func (g Geometry) HalfLanes() int { return g.Lanes() / 2 }
+
+// LaneBits returns the width of one lane in bits.
+func (g Geometry) LaneBits() int { return g.Format.Bits() }
+
+// String implements fmt.Stringer.
+func (g Geometry) String() string {
+	return fmt.Sprintf("%d-bit link, %d×%s", g.LinkBits, g.Lanes(), g.Format)
+}
+
+// Ordering selects the paper's transmission-ordering configuration.
+type Ordering int
+
+const (
+	// Baseline (O0) transmits pairs in their natural task order.
+	Baseline Ordering = iota
+	// Affiliated (O1) sorts (weight, input) pairs by descending weight
+	// popcount; inputs stay attached to their weights (§IV-A).
+	Affiliated
+	// Separated (O2) sorts weights and inputs independently by their own
+	// popcounts and ships a minimal-bit-width re-pairing index (§IV-B).
+	Separated
+)
+
+// String implements fmt.Stringer using the paper's O0/O1/O2 names.
+func (o Ordering) String() string {
+	switch o {
+	case Baseline:
+		return "O0"
+	case Affiliated:
+		return "O1"
+	case Separated:
+		return "O2"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
+}
+
+// Orderings lists the three evaluated configurations in paper order.
+func Orderings() []Ordering { return []Ordering{Baseline, Affiliated, Separated} }
+
+// ErrBadGeometry wraps geometry validation failures surfaced by builders.
+var ErrBadGeometry = errors.New("flit: bad geometry")

@@ -1,0 +1,159 @@
+package hwmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOrderingUnitCountBits(t *testing.T) {
+	if got := (OrderingUnitSpec{Lanes: 16, LaneBits: 8}).CountBits(); got != 4 {
+		t.Errorf("CountBits(8) = %d, want 4", got)
+	}
+	if got := (OrderingUnitSpec{Lanes: 16, LaneBits: 32}).CountBits(); got != 6 {
+		t.Errorf("CountBits(32) = %d, want 6", got)
+	}
+}
+
+func TestOrderingUnitGESameOrderAsPaper(t *testing.T) {
+	// The model must land in the same order of magnitude as the paper's
+	// synthesized 12.91 kGE — between the light fixed-8 configuration and
+	// the heavy float-32 affiliated configuration.
+	fx := OrderingUnitSpec{Lanes: 16, LaneBits: 8, Affiliated: true}
+	fl := OrderingUnitSpec{Lanes: 16, LaneBits: 32, Affiliated: true}
+	geFx, geFl := fx.GE(), fl.GE()
+	if geFx <= 0 || geFl <= geFx {
+		t.Fatalf("degenerate GE estimates: %v, %v", geFx, geFl)
+	}
+	paper := PaperValues().OrderingUnitKGE * 1000
+	if geFx > paper*3 {
+		t.Errorf("fixed-8 unit %0.f GE more than 3× the paper's %0.f", geFx, paper)
+	}
+	if geFl < paper/3 {
+		t.Errorf("float-32 unit %0.f GE less than a third of the paper's %0.f", geFl, paper)
+	}
+}
+
+func TestOrderingUnitMuchSmallerThanRouter(t *testing.T) {
+	// Tab. II's point: the ordering unit is tiny next to a router.
+	unit := OrderingUnitSpec{Lanes: 16, LaneBits: 8, Affiliated: true}
+	router := PaperRouter()
+	if ratio := router.GE() / unit.GE(); ratio < 5 {
+		t.Errorf("router/unit GE ratio %.1f; expected the router to dwarf the unit", ratio)
+	}
+	// And the paper's own numbers: 125.54/12.91 ≈ 9.7.
+	p := PaperValues()
+	if ratio := p.RouterKGE / p.OrderingUnitKGE; math.Abs(ratio-9.72) > 0.1 {
+		t.Errorf("paper ratio %.2f, expected ≈9.72", ratio)
+	}
+}
+
+func TestRouterGEOrderOfMagnitude(t *testing.T) {
+	// The buffer-dominated model of the paper's router parameters must be
+	// within 3× of the synthesized 125.54 kGE.
+	ge := PaperRouter().GE()
+	paper := PaperValues().RouterKGE * 1000
+	if ge < paper/3 || ge > paper*3 {
+		t.Errorf("router model %.0f GE vs paper %.0f GE: outside 3×", ge, paper)
+	}
+}
+
+func TestEnergyCalibration(t *testing.T) {
+	// By construction, a 125.54 kGE router at 125 MHz and α=1 must give
+	// exactly the paper's 16.92 mW.
+	p := PaperValues()
+	got := p.RouterKGE * 1000 * EnergyPerGECycle * p.FrequencyMHz * 1e6
+	if math.Abs(got-16.92e-3) > 1e-9 {
+		t.Errorf("calibration broken: %.6f W", got)
+	}
+}
+
+func TestPowerScalesWithFrequencyAndActivity(t *testing.T) {
+	unit := OrderingUnitSpec{Lanes: 16, LaneBits: 8}
+	base := unit.PowerW(125e6, 1)
+	if got := unit.PowerW(250e6, 1); math.Abs(got-2*base) > 1e-12 {
+		t.Errorf("power not linear in frequency")
+	}
+	if got := unit.PowerW(125e6, 0.5); math.Abs(got-base/2) > 1e-12 {
+		t.Errorf("power not linear in activity")
+	}
+}
+
+func TestSortLatency(t *testing.T) {
+	s := OrderingUnitSpec{Lanes: 16, LaneBits: 8}
+	if got := s.SortLatencyCycles(BubbleSort, false); got != 16 {
+		t.Errorf("bubble latency %d, want 16", got)
+	}
+	// Paper: separated-ordering doubles the time.
+	if got := s.SortLatencyCycles(BubbleSort, true); got != 32 {
+		t.Errorf("separated bubble latency %d, want 32", got)
+	}
+	if got := s.SortLatencyCycles(BitonicSort, false); got != 10 { // 4·5/2
+		t.Errorf("bitonic latency %d, want 10", got)
+	}
+	if got := s.SortLatencyCycles(MergeSort, false); got != 8 { // 2·4
+		t.Errorf("merge latency %d, want 8", got)
+	}
+}
+
+func TestSortAlgorithmString(t *testing.T) {
+	if BubbleSort.String() != "bubble" || BitonicSort.String() != "bitonic" || MergeSort.String() != "merge" {
+		t.Error("sort algorithm names wrong")
+	}
+}
+
+func TestSortLatencyUnknownAlgorithmPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("did not panic")
+		}
+	}()
+	(OrderingUnitSpec{Lanes: 16, LaneBits: 8}).SortLatencyCycles(SortAlgorithm(99), false)
+}
+
+func TestPaperLinkPowerArithmetic(t *testing.T) {
+	// §V-C: 0.173 pJ × 64 bits × 112 links × 125 MHz = 155.008 mW.
+	ours := PaperLinkModel(EnergyPerTransitionOurs)
+	if got := ours.PowerW(); math.Abs(got-155.008e-3) > 1e-9 {
+		t.Errorf("our link power %.6f W, want 0.155008", got)
+	}
+	// Banerjee model: 476.672 mW.
+	ban := PaperLinkModel(EnergyPerTransitionBanerjee)
+	if got := ban.PowerW(); math.Abs(got-476.672e-3) > 1e-9 {
+		t.Errorf("Banerjee link power %.6f W, want 0.476672", got)
+	}
+}
+
+func TestReducedPowerMatchesPaper(t *testing.T) {
+	// With the 40.85% BT reduction: 155.008 → 91.688 mW and
+	// 476.672 → 281.951 mW (paper rounds to 3 decimals).
+	ours := PaperLinkModel(EnergyPerTransitionOurs)
+	if got := ours.ReducedPowerW(0.4085); math.Abs(got-91.688e-3) > 1e-5 {
+		t.Errorf("reduced power %.6f W, want ≈0.091688", got)
+	}
+	ban := PaperLinkModel(EnergyPerTransitionBanerjee)
+	if got := ban.ReducedPowerW(0.4085); math.Abs(got-281.951e-3) > 1e-5 {
+		t.Errorf("reduced Banerjee power %.6f W, want ≈0.281951", got)
+	}
+}
+
+func TestEnergyForTransitions(t *testing.T) {
+	m := PaperLinkModel(EnergyPerTransitionOurs)
+	if got := m.EnergyForTransitions(1e6); math.Abs(got-0.173e-6) > 1e-15 {
+		t.Errorf("energy for 1M transitions = %v J", got)
+	}
+}
+
+func TestAffiliatedUnitBiggerThanWeightOnly(t *testing.T) {
+	aff := OrderingUnitSpec{Lanes: 16, LaneBits: 8, Affiliated: true}
+	solo := OrderingUnitSpec{Lanes: 16, LaneBits: 8}
+	if aff.GE() <= solo.GE() {
+		t.Error("affiliated unit must carry more payload bits")
+	}
+}
+
+func TestPopcountAndCompareSwapPositive(t *testing.T) {
+	s := OrderingUnitSpec{Lanes: 16, LaneBits: 32, Affiliated: true}
+	if s.PopcountGE() <= 0 || s.CompareSwapGE() <= 0 {
+		t.Error("negative primitive estimates")
+	}
+}

@@ -1,0 +1,166 @@
+// Package noc implements the cycle-driven 2D-mesh Network-on-Chip simulator
+// the paper's with-NoC experiments run on: X-Y dimension-order routing,
+// wormhole switching, virtual channels with credit-based flow control, and
+// per-link bit-transition recording (Fig. 8).
+//
+// The simulator reproduces the NocDAS configuration the paper states:
+// 4 virtual channels with 4-flit buffers per VC, 512-bit links for float-32
+// traffic and 128-bit links for fixed-8 traffic. One simulator cycle moves
+// each flit at most one hop; routers are single-cycle (route computation,
+// VC allocation and switch traversal can all complete in the same cycle),
+// which preserves the flit interleaving behaviour that dilutes ordering
+// gains — the effect the with-NoC experiments measure — without modelling
+// router pipeline depth the paper does not vary.
+package noc
+
+import "fmt"
+
+// Port indices of a router. Port 0 is the local (NI) port; the four mesh
+// directions follow.
+const (
+	Local = iota
+	North
+	East
+	South
+	West
+	numPorts
+)
+
+// portName returns a short label for a port index.
+func portName(p int) string {
+	switch p {
+	case Local:
+		return "local"
+	case North:
+		return "north"
+	case East:
+		return "east"
+	case South:
+		return "south"
+	case West:
+		return "west"
+	default:
+		return fmt.Sprintf("port%d", p)
+	}
+}
+
+// Config describes a mesh NoC instance.
+type Config struct {
+	// Width and Height are the mesh dimensions in routers.
+	Width, Height int
+	// VCs is the virtual channel count per input port (paper: 4).
+	VCs int
+	// BufDepth is the flit capacity of each VC buffer (paper: 4).
+	BufDepth int
+	// LinkBits is the link width in bits; every flit payload must have
+	// exactly this width (paper: 512 for float-32, 128 for fixed-8).
+	LinkBits int
+	// CountInjection adds NI→router injection links to TotalBT. The
+	// paper's Fig. 8 records router output ports only (router→router and
+	// router→NI), so this defaults to false.
+	CountInjection bool
+}
+
+// DefaultConfig returns the paper's default platform: a 4×4 mesh with
+// 4 VCs × 4-flit buffers and the given link width.
+func DefaultConfig(linkBits int) Config {
+	return Config{Width: 4, Height: 4, VCs: 4, BufDepth: 4, LinkBits: linkBits}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Width < 1 || c.Height < 1 {
+		return fmt.Errorf("noc: bad mesh %dx%d", c.Width, c.Height)
+	}
+	if c.Width*c.Height < 2 {
+		return fmt.Errorf("noc: mesh %dx%d has no links", c.Width, c.Height)
+	}
+	if c.VCs < 1 {
+		return fmt.Errorf("noc: need at least one VC, got %d", c.VCs)
+	}
+	if c.BufDepth < 1 {
+		return fmt.Errorf("noc: need buffer depth ≥ 1, got %d", c.BufDepth)
+	}
+	if c.LinkBits < 1 {
+		return fmt.Errorf("noc: bad link width %d", c.LinkBits)
+	}
+	return nil
+}
+
+// Nodes returns the router count.
+func (c Config) Nodes() int { return c.Width * c.Height }
+
+// XY converts a node ID to mesh coordinates: x = column, y = row.
+func (c Config) XY(node int) (x, y int) { return node % c.Width, node / c.Width }
+
+// Node converts coordinates to a node ID.
+func (c Config) Node(x, y int) int { return y*c.Width + x }
+
+// InterRouterLinks returns the number of unidirectional router-to-router
+// links: 2 per adjacent pair. The paper quotes 112 links for an 8×8 mesh,
+// counting each adjacent pair once (bidirectional pairs): that is
+// InterRouterLinks()/2.
+func (c Config) InterRouterLinks() int {
+	horizontal := (c.Width - 1) * c.Height
+	vertical := c.Width * (c.Height - 1)
+	return 2 * (horizontal + vertical)
+}
+
+// route computes X-Y dimension-order routing: correct X (East/West) first,
+// then Y (North/South), then eject at Local. Deterministic and, with
+// credit-based wormhole flow control, deadlock-free.
+func (c Config) route(cur, dst int) int {
+	cx, cy := c.XY(cur)
+	dx, dy := c.XY(dst)
+	switch {
+	case dx > cx:
+		return East
+	case dx < cx:
+		return West
+	case dy > cy:
+		return South
+	case dy < cy:
+		return North
+	default:
+		return Local
+	}
+}
+
+// neighbor returns the node adjacent to `node` through the given port, or
+// -1 if the port faces the mesh edge.
+func (c Config) neighbor(node, port int) int {
+	x, y := c.XY(node)
+	switch port {
+	case North:
+		y--
+	case South:
+		y++
+	case East:
+		x++
+	case West:
+		x--
+	default:
+		return -1
+	}
+	if x < 0 || x >= c.Width || y < 0 || y >= c.Height {
+		return -1
+	}
+	return c.Node(x, y)
+}
+
+// opposite returns the port on the far router that a link through `port`
+// arrives at.
+func opposite(port int) int {
+	switch port {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	case West:
+		return East
+	default:
+		panic(fmt.Sprintf("noc: port %s has no opposite", portName(port)))
+	}
+}

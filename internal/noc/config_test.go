@@ -1,0 +1,137 @@
+package noc
+
+import "testing"
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(128).Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{Width: 0, Height: 4, VCs: 4, BufDepth: 4, LinkBits: 128},
+		{Width: 1, Height: 1, VCs: 4, BufDepth: 4, LinkBits: 128},
+		{Width: 4, Height: 4, VCs: 0, BufDepth: 4, LinkBits: 128},
+		{Width: 4, Height: 4, VCs: 4, BufDepth: 0, LinkBits: 128},
+		{Width: 4, Height: 4, VCs: 4, BufDepth: 4, LinkBits: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d passed validation", i)
+		}
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	c := DefaultConfig(512)
+	if c.Width != 4 || c.Height != 4 {
+		t.Errorf("default mesh %dx%d, want 4x4", c.Width, c.Height)
+	}
+	if c.VCs != 4 || c.BufDepth != 4 {
+		t.Errorf("default VCs=%d depth=%d, want 4/4", c.VCs, c.BufDepth)
+	}
+}
+
+func TestXYNodeRoundTrip(t *testing.T) {
+	c := Config{Width: 5, Height: 3}
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 5; x++ {
+			id := c.Node(x, y)
+			gx, gy := c.XY(id)
+			if gx != x || gy != y {
+				t.Errorf("round trip (%d,%d) -> %d -> (%d,%d)", x, y, id, gx, gy)
+			}
+		}
+	}
+}
+
+func TestInterRouterLinksPaperCount(t *testing.T) {
+	// The paper's §V-C counts 112 inter-router links in an 8×8 NoC
+	// (bidirectional pairs); unidirectional that is 224.
+	c := Config{Width: 8, Height: 8}
+	if got := c.InterRouterLinks(); got != 224 {
+		t.Errorf("8x8 unidirectional links = %d, want 224", got)
+	}
+	if got := c.InterRouterLinks() / 2; got != 112 {
+		t.Errorf("8x8 bidirectional pairs = %d, want 112 (paper)", got)
+	}
+	c44 := Config{Width: 4, Height: 4}
+	if got := c44.InterRouterLinks(); got != 48 {
+		t.Errorf("4x4 unidirectional links = %d, want 48", got)
+	}
+}
+
+func TestRouteXYOrder(t *testing.T) {
+	c := Config{Width: 4, Height: 4}
+	tests := []struct {
+		name     string
+		cur, dst int
+		want     int
+	}{
+		{"east first", c.Node(0, 0), c.Node(3, 3), East},
+		{"west first", c.Node(3, 0), c.Node(0, 3), West},
+		{"then south", c.Node(3, 0), c.Node(3, 3), South},
+		{"then north", c.Node(2, 3), c.Node(2, 0), North},
+		{"x before y", c.Node(1, 1), c.Node(2, 0), East},
+		{"arrived", c.Node(2, 2), c.Node(2, 2), Local},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := c.route(tt.cur, tt.dst); got != tt.want {
+				t.Errorf("route(%d,%d) = %s, want %s", tt.cur, tt.dst, portName(got), portName(tt.want))
+			}
+		})
+	}
+}
+
+func TestNeighbor(t *testing.T) {
+	c := Config{Width: 3, Height: 3}
+	center := c.Node(1, 1)
+	if got := c.neighbor(center, North); got != c.Node(1, 0) {
+		t.Errorf("north neighbor = %d", got)
+	}
+	if got := c.neighbor(center, South); got != c.Node(1, 2) {
+		t.Errorf("south neighbor = %d", got)
+	}
+	if got := c.neighbor(center, East); got != c.Node(2, 1) {
+		t.Errorf("east neighbor = %d", got)
+	}
+	if got := c.neighbor(center, West); got != c.Node(0, 1) {
+		t.Errorf("west neighbor = %d", got)
+	}
+	// Edges.
+	if got := c.neighbor(c.Node(0, 0), West); got != -1 {
+		t.Errorf("west of corner = %d, want -1", got)
+	}
+	if got := c.neighbor(c.Node(2, 2), South); got != -1 {
+		t.Errorf("south of corner = %d, want -1", got)
+	}
+	if got := c.neighbor(center, Local); got != -1 {
+		t.Errorf("local neighbor = %d, want -1", got)
+	}
+}
+
+func TestOpposite(t *testing.T) {
+	pairs := map[int]int{North: South, South: North, East: West, West: East}
+	for p, want := range pairs {
+		if got := opposite(p); got != want {
+			t.Errorf("opposite(%s) = %s", portName(p), portName(got))
+		}
+	}
+}
+
+func TestOppositeLocalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("opposite(Local) did not panic")
+		}
+	}()
+	opposite(Local)
+}
+
+func TestPortNames(t *testing.T) {
+	want := map[int]string{Local: "local", North: "north", East: "east", South: "south", West: "west", 9: "port9"}
+	for p, w := range want {
+		if got := portName(p); got != w {
+			t.Errorf("portName(%d) = %q, want %q", p, got, w)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package noc
+
+import (
+	"fmt"
+
+	"nocbt/internal/bitutil"
+	"nocbt/internal/flit"
+)
+
+// LinkClass distinguishes where a link sits; BT totals are reported per
+// class because the paper's Fig. 8 counts router output ports (Router and
+// Ejection classes) but not NI injection wires.
+type LinkClass uint8
+
+const (
+	// RouterLink connects two routers.
+	RouterLink LinkClass = iota + 1
+	// EjectionLink connects a router's local output port to its NI.
+	EjectionLink
+	// InjectionLink connects an NI to its router's local input port.
+	InjectionLink
+)
+
+// String implements fmt.Stringer.
+func (c LinkClass) String() string {
+	switch c {
+	case RouterLink:
+		return "router"
+	case EjectionLink:
+		return "ejection"
+	case InjectionLink:
+		return "injection"
+	default:
+		return fmt.Sprintf("LinkClass(%d)", uint8(c))
+	}
+}
+
+// Link is one unidirectional physical channel with a transition recorder.
+// Wires hold their last driven value between flits, so idle cycles add no
+// transitions — exactly the Flit_pre / Flit_current comparison of Fig. 8.
+type Link struct {
+	// Name identifies the link in reports, e.g. "r5.east->r6".
+	Name string
+	// Class is the link's position in the topology.
+	Class LinkClass
+
+	wire bitutil.Vec // current wire state (starts all-zero)
+	bt   int64
+	sent int64
+
+	// inFlight is the flit traversing this cycle; it is delivered to the
+	// sink at the start of the next cycle.
+	inFlight *flit.Flit
+}
+
+// newLink builds a link with an all-zero initial wire state.
+func newLink(name string, class LinkClass, width int) *Link {
+	return &Link{Name: name, Class: class, wire: bitutil.NewVec(width)}
+}
+
+// transmit places f on the link, recording the bit transitions between the
+// previous wire state and f's payload. Exactly one flit may be in flight.
+func (l *Link) transmit(f *flit.Flit) {
+	if l.inFlight != nil {
+		panic(fmt.Sprintf("noc: link %s already carries a flit", l.Name))
+	}
+	if f.Payload.Width() != l.wire.Width() {
+		panic(fmt.Sprintf("noc: link %s is %d bits, flit payload %d",
+			l.Name, l.wire.Width(), f.Payload.Width()))
+	}
+	l.bt += int64(l.wire.Transitions(f.Payload))
+	l.wire.CopyFrom(f.Payload)
+	l.sent++
+	l.inFlight = f
+}
+
+// takeDelivery removes and returns the in-flight flit (nil if idle).
+func (l *Link) takeDelivery() *flit.Flit {
+	f := l.inFlight
+	l.inFlight = nil
+	return f
+}
+
+// BT returns the accumulated bit transitions on this link.
+func (l *Link) BT() int64 { return l.bt }
+
+// Flits returns how many flits have traversed this link.
+func (l *Link) Flits() int64 { return l.sent }
+
+// LinkStat is a snapshot of one link's counters.
+type LinkStat struct {
+	Name  string
+	Class LinkClass
+	BT    int64
+	Flits int64
+}

@@ -1,0 +1,116 @@
+package noc
+
+import (
+	"fmt"
+
+	"nocbt/internal/flit"
+)
+
+// NI is a network interface: it injects packets into its router's local
+// input port (one flit per cycle, wormhole, credit-controlled) and
+// reassembles ejected flits back into packets.
+type NI struct {
+	node int
+	// out feeds the router's local input port through the injection link.
+	out *outPort
+
+	queue  []*flit.Packet
+	cur    *flit.Packet
+	curIdx int
+	curVC  int
+	rrVC   int
+
+	partial map[uint64][]*flit.Flit
+	ejected []*flit.Packet
+}
+
+func newNI(node int, out *outPort) *NI {
+	return &NI{node: node, out: out, curVC: -1, partial: make(map[uint64][]*flit.Flit)}
+}
+
+// enqueue appends a packet to the injection queue.
+func (n *NI) enqueue(p *flit.Packet) { n.queue = append(n.queue, p) }
+
+// Pending returns how many packets are queued or mid-injection.
+func (n *NI) Pending() int {
+	c := len(n.queue)
+	if n.cur != nil {
+		c++
+	}
+	return c
+}
+
+// tick attempts to inject one flit. Returns the injected flit's packet and
+// whether it was the head flit (for latency bookkeeping), or nil.
+func (n *NI) tick() (injected *flit.Flit) {
+	if n.cur == nil {
+		if len(n.queue) == 0 {
+			return nil
+		}
+		n.cur = n.queue[0]
+		n.queue = n.queue[1:]
+		n.curIdx = 0
+		n.curVC = -1
+	}
+	f := n.cur.Flits[n.curIdx]
+	if n.curVC == -1 {
+		// Allocate an injection VC for the packet (round-robin over free
+		// downstream VCs).
+		vcs := len(n.out.vcBusy)
+		for k := 0; k < vcs; k++ {
+			v := (n.rrVC + k) % vcs
+			if !n.out.vcBusy[v] {
+				n.curVC = v
+				n.out.vcBusy[v] = true
+				n.rrVC = (v + 1) % vcs
+				break
+			}
+		}
+		if n.curVC == -1 {
+			return nil // all VCs owned by in-flight packets
+		}
+	}
+	if n.out.credits[n.curVC] <= 0 || n.out.link.inFlight != nil {
+		return nil // backpressure
+	}
+	f.VC = n.curVC
+	n.out.link.transmit(f)
+	n.out.credits[n.curVC]--
+	n.curIdx++
+	if f.IsTail() {
+		n.out.vcBusy[n.curVC] = false
+		n.cur = nil
+		n.curVC = -1
+	}
+	return f
+}
+
+// receive accepts an ejected flit; when the tail arrives the packet is
+// reassembled and appended to the ejected queue.
+func (n *NI) receive(f *flit.Flit) {
+	n.partial[f.PacketID] = append(n.partial[f.PacketID], f)
+	if !f.IsTail() {
+		return
+	}
+	flits := n.partial[f.PacketID]
+	delete(n.partial, f.PacketID)
+	for i, fl := range flits {
+		if fl.Seq != i {
+			panic(fmt.Sprintf("noc: packet %d reassembled out of order: flit %d at position %d",
+				f.PacketID, fl.Seq, i))
+		}
+	}
+	n.ejected = append(n.ejected, &flit.Packet{
+		ID:    f.PacketID,
+		Src:   f.Src,
+		Dst:   f.Dst,
+		Flits: flits,
+	})
+}
+
+// popEjected returns and clears the reassembled packets.
+func (n *NI) popEjected() []*flit.Packet {
+	out := n.ejected
+	n.ejected = nil
+	return out
+}

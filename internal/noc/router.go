@@ -1,0 +1,211 @@
+package noc
+
+import (
+	"fmt"
+
+	"nocbt/internal/flit"
+)
+
+// inVC is one virtual-channel buffer of an input port, with the per-packet
+// wormhole state of the packet currently at its head.
+type inVC struct {
+	q []*flit.Flit
+	// route is the output port of the packet at the queue head (-1 until
+	// route computation runs on its head flit).
+	route int
+	// outVC is the downstream VC granted to that packet (-1 until VC
+	// allocation succeeds).
+	outVC int
+}
+
+// inPort is a router input port: one buffer per VC plus the upstream output
+// structure to which pops return credits.
+type inPort struct {
+	vcs    []inVC
+	feeder *outPort
+	depth  int
+}
+
+func newInPort(vcs, depth int, feeder *outPort) *inPort {
+	p := &inPort{vcs: make([]inVC, vcs), feeder: feeder, depth: depth}
+	for i := range p.vcs {
+		p.vcs[i].route = -1
+		p.vcs[i].outVC = -1
+	}
+	return p
+}
+
+// push enqueues an arriving flit into its VC buffer, enforcing the credit
+// contract: arrivals must never overflow the buffer.
+func (p *inPort) push(f *flit.Flit) {
+	vc := &p.vcs[f.VC]
+	if len(vc.q) >= p.depth {
+		panic(fmt.Sprintf("noc: VC %d overflow (depth %d); credit protocol violated", f.VC, p.depth))
+	}
+	vc.q = append(vc.q, f)
+}
+
+// outPort is a router (or NI) output port: the outgoing link, downstream
+// credit counters, downstream VC ownership, and arbitration pointers.
+type outPort struct {
+	link    *Link
+	credits []int
+	vcBusy  []bool
+	// sink marks ejection ports whose NI consumes flits unconditionally.
+	sink bool
+	// rrVA rotates priority among VC-allocation requesters.
+	rrVA int
+	// rrSA rotates priority among switch-allocation candidates.
+	rrSA int
+}
+
+func newOutPort(link *Link, vcs, depth int, sink bool) *outPort {
+	p := &outPort{
+		link:    link,
+		credits: make([]int, vcs),
+		vcBusy:  make([]bool, vcs),
+		sink:    sink,
+	}
+	for i := range p.credits {
+		if sink {
+			p.credits[i] = int(^uint(0) >> 1) // effectively infinite
+		} else {
+			p.credits[i] = depth
+		}
+	}
+	return p
+}
+
+// freeVC returns the lowest-index free downstream VC, or -1.
+func (p *outPort) freeVC() int {
+	for v, busy := range p.vcBusy {
+		if !busy {
+			return v
+		}
+	}
+	return -1
+}
+
+// router is one mesh node's switch.
+type router struct {
+	id  int
+	in  [numPorts]*inPort
+	out [numPorts]*outPort
+	// buffered counts flits resident in input buffers, letting the
+	// simulator skip idle routers.
+	buffered int
+}
+
+// rc runs route computation: every head flit at a VC front with no route
+// yet gets its output port from X-Y routing.
+func (r *router) rc(cfg *Config) {
+	for pi := 0; pi < numPorts; pi++ {
+		in := r.in[pi]
+		if in == nil {
+			continue
+		}
+		for v := range in.vcs {
+			vc := &in.vcs[v]
+			if vc.route != -1 || len(vc.q) == 0 {
+				continue
+			}
+			if !vc.q[0].IsHead() {
+				continue
+			}
+			vc.route = cfg.route(r.id, vc.q[0].Dst)
+		}
+	}
+}
+
+// va runs VC allocation: head packets with a route but no downstream VC
+// request one from their output port; each output port grants free VCs in
+// round-robin requester order.
+func (r *router) va() {
+	for po := 0; po < numPorts; po++ {
+		out := r.out[po]
+		if out == nil {
+			continue
+		}
+		n := numPorts * len(r.in[Local].vcs)
+		granted := false
+		for k := 0; k < n; k++ {
+			idx := (out.rrVA + k) % n
+			pi, v := idx/len(r.in[Local].vcs), idx%len(r.in[Local].vcs)
+			in := r.in[pi]
+			if in == nil {
+				continue
+			}
+			vc := &in.vcs[v]
+			if vc.route != po || vc.outVC != -1 || len(vc.q) == 0 || !vc.q[0].IsHead() {
+				continue
+			}
+			free := out.freeVC()
+			if free == -1 {
+				break
+			}
+			vc.outVC = free
+			out.vcBusy[free] = true
+			if !granted {
+				out.rrVA = (idx + 1) % n
+				granted = true
+			}
+		}
+	}
+}
+
+// sa runs switch allocation and traversal: each output port picks one
+// eligible input VC (flit buffered, route matches, VC allocated, credit
+// available, crossbar input row free) in round-robin order and forwards
+// its flit onto the link. Returns the number of flits forwarded.
+func (r *router) sa() int {
+	var usedIn [numPorts]bool
+	moved := 0
+	for po := 0; po < numPorts; po++ {
+		out := r.out[po]
+		if out == nil || out.link.inFlight != nil {
+			continue
+		}
+		n := numPorts * len(r.in[Local].vcs)
+		for k := 0; k < n; k++ {
+			idx := (out.rrSA + k) % n
+			pi, v := idx/len(r.in[Local].vcs), idx%len(r.in[Local].vcs)
+			if usedIn[pi] {
+				continue
+			}
+			in := r.in[pi]
+			if in == nil {
+				continue
+			}
+			vc := &in.vcs[v]
+			if vc.route != po || vc.outVC == -1 || len(vc.q) == 0 {
+				continue
+			}
+			if out.credits[vc.outVC] <= 0 {
+				continue
+			}
+			f := vc.q[0]
+			vc.q = vc.q[1:]
+			r.buffered--
+			usedIn[pi] = true
+			moved++
+
+			f.VC = vc.outVC
+			out.link.transmit(f)
+			if !out.sink {
+				out.credits[f.VC]--
+			}
+			// Return a credit upstream for the buffer slot just freed.
+			if in.feeder != nil && !in.feeder.sink {
+				in.feeder.credits[v]++
+			}
+			if f.IsTail() {
+				out.vcBusy[f.VC] = false
+				vc.route = -1
+				vc.outVC = -1
+			}
+			out.rrSA = (idx + 1) % n
+			break
+		}
+	}
+	return moved
+}

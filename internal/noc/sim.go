@@ -1,0 +1,261 @@
+package noc
+
+import (
+	"fmt"
+
+	"nocbt/internal/flit"
+)
+
+// Sim is one mesh NoC instance. Create with New, feed packets with Inject,
+// advance with Step or Drain, then read Stats.
+type Sim struct {
+	cfg     Config
+	routers []*router
+	nis     []*NI
+	links   []*Link
+
+	cycle     int64
+	inNetwork int64 // flits transmitted by NIs and not yet ejected
+
+	packetStart map[uint64]int64
+	latencySum  int64
+	latencyMax  int64
+	delivered   int64
+
+	trace TraceFunc
+}
+
+// TraceFunc observes every flit delivery: the cycle it completed its link
+// traversal, the link it crossed, and the flit itself. Used by the trace
+// package to record packet traffic traces (one of the platform outputs in
+// the paper's Fig. 7).
+type TraceFunc func(cycle int64, linkName string, class LinkClass, f *flit.Flit)
+
+// SetTrace installs a delivery observer; nil disables tracing.
+func (s *Sim) SetTrace(fn TraceFunc) { s.trace = fn }
+
+// New builds the mesh, its links and NIs.
+func New(cfg Config) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sim{cfg: cfg, packetStart: make(map[uint64]int64)}
+	nodes := cfg.Nodes()
+	s.routers = make([]*router, nodes)
+	for id := 0; id < nodes; id++ {
+		s.routers[id] = &router{id: id}
+	}
+	// Mesh links: an output port on each side of every adjacent pair.
+	for id := 0; id < nodes; id++ {
+		r := s.routers[id]
+		for port := North; port <= West; port++ {
+			nb := cfg.neighbor(id, port)
+			if nb == -1 {
+				continue
+			}
+			link := newLink(fmt.Sprintf("r%d.%s->r%d", id, portName(port), nb), RouterLink, cfg.LinkBits)
+			s.links = append(s.links, link)
+			r.out[port] = newOutPort(link, cfg.VCs, cfg.BufDepth, false)
+			s.routers[nb].in[opposite(port)] = newInPort(cfg.VCs, cfg.BufDepth, r.out[port])
+		}
+	}
+	// Local ports: ejection link to the NI, injection link from the NI.
+	s.nis = make([]*NI, nodes)
+	for id := 0; id < nodes; id++ {
+		r := s.routers[id]
+		ej := newLink(fmt.Sprintf("r%d.local->ni%d", id, id), EjectionLink, cfg.LinkBits)
+		s.links = append(s.links, ej)
+		r.out[Local] = newOutPort(ej, cfg.VCs, cfg.BufDepth, true)
+
+		inj := newLink(fmt.Sprintf("ni%d->r%d.local", id, id), InjectionLink, cfg.LinkBits)
+		s.links = append(s.links, inj)
+		niOut := newOutPort(inj, cfg.VCs, cfg.BufDepth, false)
+		r.in[Local] = newInPort(cfg.VCs, cfg.BufDepth, niOut)
+		s.nis[id] = newNI(id, niOut)
+	}
+	return s, nil
+}
+
+// Config returns the simulator's configuration.
+func (s *Sim) Config() Config { return s.cfg }
+
+// Inject queues a packet for transmission at its source NI.
+func (s *Sim) Inject(p *flit.Packet) error {
+	if p.Src < 0 || p.Src >= s.cfg.Nodes() || p.Dst < 0 || p.Dst >= s.cfg.Nodes() {
+		return fmt.Errorf("noc: packet %d endpoints %d->%d outside mesh of %d nodes",
+			p.ID, p.Src, p.Dst, s.cfg.Nodes())
+	}
+	if len(p.Flits) == 0 {
+		return fmt.Errorf("noc: packet %d has no flits", p.ID)
+	}
+	for _, f := range p.Flits {
+		if f.Payload.Width() != s.cfg.LinkBits {
+			return fmt.Errorf("noc: packet %d flit payload %d bits, link is %d",
+				p.ID, f.Payload.Width(), s.cfg.LinkBits)
+		}
+	}
+	s.nis[p.Src].enqueue(p)
+	return nil
+}
+
+// Step advances the simulation one cycle.
+func (s *Sim) Step() {
+	s.cycle++
+
+	// Phase 1 — deliver last cycle's in-flight flits.
+	for _, r := range s.routers {
+		for port := 0; port < numPorts; port++ {
+			in := r.in[port]
+			if in == nil {
+				continue
+			}
+			if f := in.feeder.link.takeDelivery(); f != nil {
+				in.push(f)
+				r.buffered++
+				if s.trace != nil {
+					s.trace(s.cycle, in.feeder.link.Name, in.feeder.link.Class, f)
+				}
+			}
+		}
+		// Ejection link delivers to the NI.
+		if f := r.out[Local].link.takeDelivery(); f != nil {
+			if s.trace != nil {
+				s.trace(s.cycle, r.out[Local].link.Name, EjectionLink, f)
+			}
+			ni := s.nis[r.id]
+			ni.receive(f)
+			s.inNetwork--
+			if f.IsTail() {
+				s.delivered++
+				if start, ok := s.packetStart[f.PacketID]; ok {
+					lat := s.cycle - start
+					s.latencySum += lat
+					if lat > s.latencyMax {
+						s.latencyMax = lat
+					}
+					delete(s.packetStart, f.PacketID)
+				}
+			}
+		}
+	}
+
+	// Phase 2 — NI injection.
+	for _, ni := range s.nis {
+		if f := ni.tick(); f != nil {
+			s.inNetwork++
+			if f.IsHead() {
+				s.packetStart[f.PacketID] = s.cycle
+			}
+		}
+	}
+
+	// Phase 3 — routers: route computation, VC allocation, switch
+	// allocation + traversal.
+	for _, r := range s.routers {
+		if r.buffered == 0 {
+			continue
+		}
+		r.rc(&s.cfg)
+		r.va()
+		r.sa()
+	}
+}
+
+// Busy reports whether any flit is queued, buffered or in flight.
+func (s *Sim) Busy() bool {
+	if s.inNetwork > 0 {
+		return true
+	}
+	for _, ni := range s.nis {
+		if ni.Pending() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Drain steps until the network is empty, failing after maxCycles to guard
+// against protocol bugs (X-Y wormhole routing itself cannot deadlock).
+func (s *Sim) Drain(maxCycles int64) error {
+	for i := int64(0); s.Busy(); i++ {
+		if i >= maxCycles {
+			return fmt.Errorf("noc: network not drained after %d cycles (%d flits in flight)",
+				maxCycles, s.inNetwork)
+		}
+		s.Step()
+	}
+	return nil
+}
+
+// Cycle returns the current simulation time.
+func (s *Sim) Cycle() int64 { return s.cycle }
+
+// PopEjected returns and clears packets delivered to the node's NI.
+func (s *Sim) PopEjected(node int) []*flit.Packet {
+	return s.nis[node].popEjected()
+}
+
+// Stats aggregates the simulation counters.
+type Stats struct {
+	// Cycles is the simulated time.
+	Cycles int64
+	// RouterBT is the bit transitions on router→router links.
+	RouterBT int64
+	// EjectionBT is the bit transitions on router→NI links.
+	EjectionBT int64
+	// InjectionBT is the bit transitions on NI→router links.
+	InjectionBT int64
+	// RouterFlits counts flit traversals of router→router links (flit-hops).
+	RouterFlits int64
+	// PacketsDelivered counts fully reassembled packets.
+	PacketsDelivered int64
+	// AvgLatency is the mean head-injection→tail-ejection latency.
+	AvgLatency float64
+	// MaxLatency is the worst packet latency.
+	MaxLatency int64
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Sim) Stats() Stats {
+	st := Stats{
+		Cycles:           s.cycle,
+		PacketsDelivered: s.delivered,
+		MaxLatency:       s.latencyMax,
+	}
+	for _, l := range s.links {
+		switch l.Class {
+		case RouterLink:
+			st.RouterBT += l.BT()
+			st.RouterFlits += l.Flits()
+		case EjectionLink:
+			st.EjectionBT += l.BT()
+		case InjectionLink:
+			st.InjectionBT += l.BT()
+		}
+	}
+	if s.delivered > 0 {
+		st.AvgLatency = float64(s.latencySum) / float64(s.delivered)
+	}
+	return st
+}
+
+// TotalBT returns the transitions the paper's Fig. 8 recorder accumulates:
+// all router output ports (router→router plus ejection), plus injection
+// links when the configuration asks for them.
+func (s *Sim) TotalBT() int64 {
+	st := s.Stats()
+	total := st.RouterBT + st.EjectionBT
+	if s.cfg.CountInjection {
+		total += st.InjectionBT
+	}
+	return total
+}
+
+// LinkStats returns per-link counters for detailed reporting.
+func (s *Sim) LinkStats() []LinkStat {
+	out := make([]LinkStat, 0, len(s.links))
+	for _, l := range s.links {
+		out = append(out, LinkStat{Name: l.Name, Class: l.Class, BT: l.BT(), Flits: l.Flits()})
+	}
+	return out
+}

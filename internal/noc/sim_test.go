@@ -1,0 +1,420 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+
+	"nocbt/internal/bitutil"
+	"nocbt/internal/flit"
+)
+
+// mkPacket builds a raw test packet with the given 8-bit payload patterns
+// (the first is the head flit's payload).
+func mkPacket(id uint64, src, dst, linkBits int, payloads ...uint64) *flit.Packet {
+	vecs := make([]bitutil.Vec, len(payloads))
+	for i, p := range payloads {
+		v := bitutil.NewVec(linkBits)
+		width := linkBits
+		if width > 64 {
+			width = 64
+		}
+		v.SetField(0, width, p)
+		vecs[i] = v
+	}
+	pkt := flit.NewPacket(id, src, dst, vecs[0], vecs[1:])
+	return pkt
+}
+
+func testConfig(w, h, linkBits int) Config {
+	return Config{Width: w, Height: h, VCs: 4, BufDepth: 4, LinkBits: linkBits}
+}
+
+func TestSingleHopDelivery(t *testing.T) {
+	s, err := New(testConfig(2, 1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := mkPacket(1, 0, 1, 8, 0x00, 0xFF, 0x0F)
+	if err := s.Inject(pkt); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(1000); err != nil {
+		t.Fatal(err)
+	}
+	got := s.PopEjected(1)
+	if len(got) != 1 {
+		t.Fatalf("ejected %d packets, want 1", len(got))
+	}
+	if got[0].ID != 1 || got[0].Len() != 3 {
+		t.Errorf("packet %d with %d flits", got[0].ID, got[0].Len())
+	}
+	for i, f := range got[0].Flits {
+		if !f.Payload.Equal(pkt.Flits[i].Payload) {
+			t.Errorf("flit %d payload corrupted", i)
+		}
+	}
+}
+
+func TestSingleHopBTAccounting(t *testing.T) {
+	s, err := New(testConfig(2, 1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Payload sequence on every link: 0x00, 0xFF, 0x0F from an all-zero
+	// wire: 0 + 8 + 4 = 12 transitions per link.
+	if err := s.Inject(mkPacket(1, 0, 1, 8, 0x00, 0xFF, 0x0F)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(1000); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.RouterBT != 12 {
+		t.Errorf("RouterBT = %d, want 12", st.RouterBT)
+	}
+	if st.EjectionBT != 12 {
+		t.Errorf("EjectionBT = %d, want 12", st.EjectionBT)
+	}
+	if st.InjectionBT != 12 {
+		t.Errorf("InjectionBT = %d, want 12", st.InjectionBT)
+	}
+	// Paper's recorder: router output ports only.
+	if got := s.TotalBT(); got != 24 {
+		t.Errorf("TotalBT = %d, want 24", got)
+	}
+}
+
+func TestCountInjectionConfig(t *testing.T) {
+	cfg := testConfig(2, 1, 8)
+	cfg.CountInjection = true
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Inject(mkPacket(1, 0, 1, 8, 0x00, 0xFF)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalBT(); got != 24 { // 8 per link class
+		t.Errorf("TotalBT with injection = %d, want 24", got)
+	}
+}
+
+func TestMultiHopXYPath(t *testing.T) {
+	// 3x3 mesh, packet from (0,0) to (2,1): XY = two hops east then one
+	// south. Verify exactly those links saw traffic.
+	cfg := testConfig(3, 3, 8)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := cfg.Node(0, 0), cfg.Node(2, 1)
+	if err := s.Inject(mkPacket(1, src, dst, 8, 0xAA)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(1000); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"r0.east->r1":   true,
+		"r1.east->r2":   true,
+		"r2.south->r5":  true,
+		"r5.local->ni5": true,
+		"ni0->r0.local": true,
+	}
+	for _, ls := range s.LinkStats() {
+		if want[ls.Name] {
+			if ls.Flits != 1 {
+				t.Errorf("link %s carried %d flits, want 1", ls.Name, ls.Flits)
+			}
+			delete(want, ls.Name)
+		} else if ls.Flits != 0 {
+			t.Errorf("link %s carried %d flits, want 0 (off XY path)", ls.Name, ls.Flits)
+		}
+	}
+	if len(want) != 0 {
+		t.Errorf("links never seen: %v", want)
+	}
+	if got := s.PopEjected(dst); len(got) != 1 {
+		t.Fatalf("delivered %d packets", len(got))
+	}
+}
+
+func TestLatencyStats(t *testing.T) {
+	cfg := testConfig(4, 1, 8)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Inject(mkPacket(1, 0, 3, 8, 0x01)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(1000); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.PacketsDelivered != 1 {
+		t.Fatalf("delivered %d", st.PacketsDelivered)
+	}
+	// 3 router hops + injection + ejection = 5 link traversals; the head
+	// is injected at cycle 1 and delivered some cycles later.
+	if st.AvgLatency < 4 || st.AvgLatency > 12 {
+		t.Errorf("single-flit 3-hop latency %.1f outside sane range", st.AvgLatency)
+	}
+	if st.MaxLatency != int64(st.AvgLatency) {
+		t.Errorf("one packet: max %d != avg %v", st.MaxLatency, st.AvgLatency)
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	s, err := New(testConfig(2, 2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Inject(mkPacket(1, 0, 9, 8, 1)); err == nil {
+		t.Error("out-of-range dst accepted")
+	}
+	if err := s.Inject(mkPacket(1, -1, 0, 8, 1)); err == nil {
+		t.Error("negative src accepted")
+	}
+	if err := s.Inject(&flit.Packet{ID: 2, Src: 0, Dst: 1}); err == nil {
+		t.Error("empty packet accepted")
+	}
+	if err := s.Inject(mkPacket(3, 0, 1, 16, 1)); err == nil {
+		t.Error("wrong payload width accepted")
+	}
+}
+
+func TestDrainTimeout(t *testing.T) {
+	s, err := New(testConfig(2, 1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Inject(mkPacket(1, 0, 1, 8, 1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(1); err == nil {
+		t.Error("Drain(1) with pending traffic must fail")
+	}
+}
+
+func TestManyPacketsSamePath(t *testing.T) {
+	// Back-to-back packets over one path must all arrive intact and in
+	// injection order (same VC ordering is not guaranteed across VCs, but
+	// per-source FIFO injection with a single destination keeps IDs
+	// complete).
+	s, err := New(testConfig(2, 1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := s.Inject(mkPacket(uint64(i+1), 0, 1, 8, uint64(i), uint64(i+1), uint64(i+2))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Drain(10000); err != nil {
+		t.Fatal(err)
+	}
+	got := s.PopEjected(1)
+	if len(got) != n {
+		t.Fatalf("delivered %d packets, want %d", len(got), n)
+	}
+	seen := make(map[uint64]bool)
+	for _, p := range got {
+		if seen[p.ID] {
+			t.Errorf("packet %d delivered twice", p.ID)
+		}
+		seen[p.ID] = true
+		if p.Len() != 3 {
+			t.Errorf("packet %d has %d flits", p.ID, p.Len())
+		}
+	}
+}
+
+func TestCrossTrafficAllDelivered(t *testing.T) {
+	// Many sources to many destinations through shared columns: the
+	// credit/VC protocol must deliver everything without loss.
+	cfg := testConfig(4, 4, 16)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	const n = 300
+	type sent struct {
+		dst      int
+		payloads []uint64
+	}
+	sentByID := make(map[uint64]sent)
+	for i := 0; i < n; i++ {
+		src := rng.Intn(16)
+		dst := rng.Intn(16)
+		for dst == src {
+			dst = rng.Intn(16)
+		}
+		numFlits := 1 + rng.Intn(6)
+		payloads := make([]uint64, numFlits)
+		for j := range payloads {
+			payloads[j] = uint64(rng.Intn(1 << 16))
+		}
+		id := uint64(i + 1)
+		sentByID[id] = sent{dst: dst, payloads: payloads}
+		if err := s.Inject(mkPacket(id, src, dst, 16, payloads...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Drain(100000); err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	for node := 0; node < 16; node++ {
+		for _, p := range s.PopEjected(node) {
+			want, ok := sentByID[p.ID]
+			if !ok {
+				t.Fatalf("unknown packet %d delivered", p.ID)
+			}
+			if want.dst != node {
+				t.Errorf("packet %d delivered to %d, want %d", p.ID, node, want.dst)
+			}
+			if p.Len() != len(want.payloads) {
+				t.Errorf("packet %d has %d flits, want %d", p.ID, p.Len(), len(want.payloads))
+			}
+			for j, f := range p.Flits {
+				if got := f.Payload.Field(0, 16); got != want.payloads[j] {
+					t.Errorf("packet %d flit %d payload %#x, want %#x", p.ID, j, got, want.payloads[j])
+				}
+			}
+			delete(sentByID, p.ID)
+			delivered++
+		}
+	}
+	if delivered != n {
+		t.Errorf("delivered %d of %d packets; missing: %d", delivered, n, len(sentByID))
+	}
+	st := s.Stats()
+	if st.PacketsDelivered != int64(n) {
+		t.Errorf("stats delivered %d, want %d", st.PacketsDelivered, n)
+	}
+	if st.RouterFlits == 0 {
+		t.Error("no router link traffic recorded")
+	}
+}
+
+func TestHotspotContention(t *testing.T) {
+	// All nodes send to one hotspot; wormhole + VC arbitration must still
+	// deliver everything (liveness under contention).
+	cfg := testConfig(4, 4, 8)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := uint64(1)
+	for src := 0; src < 16; src++ {
+		if src == 5 {
+			continue
+		}
+		for k := 0; k < 5; k++ {
+			if err := s.Inject(mkPacket(id, src, 5, 8, uint64(id), uint64(id>>2), uint64(k))); err != nil {
+				t.Fatal(err)
+			}
+			id++
+		}
+	}
+	if err := s.Drain(50000); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.PopEjected(5)); got != 75 {
+		t.Errorf("hotspot received %d packets, want 75", got)
+	}
+}
+
+func TestIdleLinkNoBT(t *testing.T) {
+	// After a drain, stepping an idle network must add no transitions
+	// (wires hold state).
+	s, err := New(testConfig(2, 1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Inject(mkPacket(1, 0, 1, 8, 0xFF)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(1000); err != nil {
+		t.Fatal(err)
+	}
+	before := s.TotalBT()
+	for i := 0; i < 100; i++ {
+		s.Step()
+	}
+	if got := s.TotalBT(); got != before {
+		t.Errorf("idle stepping changed BT %d -> %d", before, got)
+	}
+}
+
+func TestLongPacketWormhole(t *testing.T) {
+	// A packet longer than the buffer depth must stream through with
+	// credit backpressure.
+	s, err := New(testConfig(4, 1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := make([]uint64, 20)
+	for i := range payloads {
+		payloads[i] = uint64(i)
+	}
+	if err := s.Inject(mkPacket(1, 0, 3, 8, payloads...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(10000); err != nil {
+		t.Fatal(err)
+	}
+	got := s.PopEjected(3)
+	if len(got) != 1 || got[0].Len() != 20 {
+		t.Fatalf("long packet not delivered intact")
+	}
+}
+
+func TestBusyReflectsState(t *testing.T) {
+	s, err := New(testConfig(2, 1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Busy() {
+		t.Error("fresh sim busy")
+	}
+	if err := s.Inject(mkPacket(1, 0, 1, 8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Busy() {
+		t.Error("sim with queued packet not busy")
+	}
+	if err := s.Drain(100); err != nil {
+		t.Fatal(err)
+	}
+	if s.Busy() {
+		t.Error("drained sim still busy")
+	}
+}
+
+func TestSelfDelivery(t *testing.T) {
+	// A packet to the source node must go NI→router→NI without touching
+	// mesh links.
+	s, err := New(testConfig(2, 2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Inject(mkPacket(1, 0, 0, 8, 0x3C)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.PopEjected(0)); got != 1 {
+		t.Fatalf("self packet not delivered: %d", got)
+	}
+	if st := s.Stats(); st.RouterFlits != 0 {
+		t.Errorf("self delivery used %d router-link hops", st.RouterFlits)
+	}
+}

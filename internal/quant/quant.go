@@ -1,0 +1,113 @@
+// Package quant implements the symmetric 8-bit fixed-point ("fixed-8")
+// number format used by the paper's second data-precision configuration.
+//
+// Values are stored as two's-complement int8 with a per-tensor scale:
+//
+//	real ≈ q × Scale, q ∈ [-127, 127]
+//
+// The scale is chosen so the largest-magnitude value in the tensor maps to
+// ±127 (symmetric quantization, no zero-point). Two's complement matters for
+// the paper's results: trained weights cluster near zero, so positive values
+// have few '1' bits while negative values have many (sign-extension ones),
+// which makes the popcount distribution bimodal and popcount ordering very
+// effective (Tab. I: 55.71% BT reduction for trained fixed-8).
+package quant
+
+import (
+	"fmt"
+	"math"
+)
+
+// QMax is the largest quantized magnitude. Symmetric quantization uses
+// [-127, 127] and never produces -128, keeping negation exact.
+const QMax = 127
+
+// Params holds the quantization parameters of one tensor.
+type Params struct {
+	// Scale converts a quantized integer back to the real domain:
+	// real = q * Scale. Always > 0.
+	Scale float32
+}
+
+// Choose returns quantization parameters covering vals: the scale maps the
+// maximum absolute value onto QMax. An all-zero (or empty) input gets a
+// scale of 1 so that quantization remains well defined.
+func Choose(vals []float32) Params {
+	maxAbs := float32(0)
+	for _, v := range vals {
+		a := float32(math.Abs(float64(v)))
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return Params{Scale: 1}
+	}
+	return Params{Scale: maxAbs / QMax}
+}
+
+// Quantize maps a real value to its int8 representation under p, rounding
+// to nearest (ties away from zero) and saturating to ±QMax.
+func (p Params) Quantize(v float32) int8 {
+	if p.Scale <= 0 {
+		panic(fmt.Sprintf("quant: non-positive scale %v", p.Scale))
+	}
+	q := math.Round(float64(v) / float64(p.Scale))
+	if q > QMax {
+		q = QMax
+	} else if q < -QMax {
+		q = -QMax
+	}
+	return int8(q)
+}
+
+// Dequantize maps a quantized value back to the real domain.
+func (p Params) Dequantize(q int8) float32 {
+	return float32(q) * p.Scale
+}
+
+// QuantizeSlice quantizes every element of vals.
+func (p Params) QuantizeSlice(vals []float32) []int8 {
+	out := make([]int8, len(vals))
+	for i, v := range vals {
+		out[i] = p.Quantize(v)
+	}
+	return out
+}
+
+// DequantizeSlice dequantizes every element of qs.
+func (p Params) DequantizeSlice(qs []int8) []float32 {
+	out := make([]float32, len(qs))
+	for i, q := range qs {
+		out[i] = p.Dequantize(q)
+	}
+	return out
+}
+
+// MaxError returns the worst-case absolute quantization error under p for
+// values inside the covered range: half a quantization step.
+func (p Params) MaxError() float32 {
+	return p.Scale / 2
+}
+
+// DotQ computes the exact integer dot product Σ a[i]*b[i] in an int32
+// accumulator. Because integer addition is associative, the result is
+// independent of element order — the property that lets the accelerator
+// consume affiliated-ordered packets without any de-ordering step.
+func DotQ(a, b []int8) int32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("quant: dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var acc int32
+	for i := range a {
+		acc += int32(a[i]) * int32(b[i])
+	}
+	return acc
+}
+
+// DotReal computes the real-domain value of a quantized dot product:
+// (Σ qa*qb) × scaleA × scaleB. This is how the fixed-8 PE produces its
+// partial sum: exact integer accumulation, one final rescale.
+func DotReal(a, b []int8, pa, pb Params) float32 {
+	return float32(DotQ(a, b)) * pa.Scale * pb.Scale
+}

@@ -1,0 +1,197 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestChooseScale(t *testing.T) {
+	tests := []struct {
+		name string
+		vals []float32
+		want float32
+	}{
+		{"unit range", []float32{-1, 0.5, 1}, 1.0 / QMax},
+		{"small values", []float32{0.0254, -0.0127}, 0.0254 / QMax},
+		{"all zero", []float32{0, 0, 0}, 1},
+		{"empty", nil, 1},
+		{"negative max", []float32{-4, 2}, 4.0 / QMax},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Choose(tt.vals).Scale
+			if math.Abs(float64(got-tt.want)) > 1e-9 {
+				t.Errorf("Choose(%v).Scale = %v, want %v", tt.vals, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestQuantizeEndpoints(t *testing.T) {
+	p := Choose([]float32{-1, 1})
+	if got := p.Quantize(1); got != QMax {
+		t.Errorf("Quantize(1) = %d, want %d", got, QMax)
+	}
+	if got := p.Quantize(-1); got != -QMax {
+		t.Errorf("Quantize(-1) = %d, want %d", got, -QMax)
+	}
+	if got := p.Quantize(0); got != 0 {
+		t.Errorf("Quantize(0) = %d, want 0", got)
+	}
+}
+
+func TestQuantizeSaturates(t *testing.T) {
+	p := Params{Scale: 0.01}
+	if got := p.Quantize(1000); got != QMax {
+		t.Errorf("saturation high: %d", got)
+	}
+	if got := p.Quantize(-1000); got != -QMax {
+		t.Errorf("saturation low: %d", got)
+	}
+}
+
+func TestQuantizeNeverMinus128(t *testing.T) {
+	p := Params{Scale: 0.5}
+	for v := float32(-100); v <= 100; v += 0.25 {
+		if q := p.Quantize(v); q == -128 {
+			t.Fatalf("Quantize(%v) produced -128; symmetric range must stop at -127", v)
+		}
+	}
+}
+
+func TestQuantizeBadScalePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero scale did not panic")
+		}
+	}()
+	Params{}.Quantize(1)
+}
+
+func TestRoundTripErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float32, 1000)
+	for i := range vals {
+		vals[i] = (rng.Float32() - 0.5) * 4
+	}
+	p := Choose(vals)
+	bound := float64(p.MaxError()) + 1e-6
+	for _, v := range vals {
+		back := p.Dequantize(p.Quantize(v))
+		if err := math.Abs(float64(back - v)); err > bound {
+			t.Fatalf("round-trip error %v for %v exceeds bound %v", err, v, bound)
+		}
+	}
+}
+
+func TestRoundTripErrorBoundQuick(t *testing.T) {
+	f := func(raw []float32) bool {
+		vals := make([]float32, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(float64(v)) && !math.IsInf(float64(v), 0) && math.Abs(float64(v)) < 1e20 {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		p := Choose(vals)
+		bound := float64(p.MaxError()) * (1 + 1e-5)
+		for _, v := range vals {
+			if math.Abs(float64(p.Dequantize(p.Quantize(v))-v)) > bound+1e-30 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeSliceDequantizeSlice(t *testing.T) {
+	vals := []float32{-1, -0.5, 0, 0.5, 1}
+	p := Choose(vals)
+	qs := p.QuantizeSlice(vals)
+	want := []int8{-127, -64, 0, 64, 127}
+	for i := range qs {
+		if qs[i] != want[i] {
+			t.Errorf("QuantizeSlice[%d] = %d, want %d", i, qs[i], want[i])
+		}
+	}
+	back := p.DequantizeSlice(qs)
+	for i := range back {
+		if math.Abs(float64(back[i]-vals[i])) > float64(p.MaxError()) {
+			t.Errorf("DequantizeSlice[%d] = %v, want ≈ %v", i, back[i], vals[i])
+		}
+	}
+}
+
+func TestDotQ(t *testing.T) {
+	a := []int8{1, -2, 3, 127}
+	b := []int8{4, 5, -6, 127}
+	want := int32(1*4 - 2*5 - 3*6 + 127*127)
+	if got := DotQ(a, b); got != want {
+		t.Errorf("DotQ = %d, want %d", got, want)
+	}
+}
+
+func TestDotQEmpty(t *testing.T) {
+	if got := DotQ(nil, nil); got != 0 {
+		t.Errorf("DotQ(nil,nil) = %d", got)
+	}
+}
+
+func TestDotQLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	DotQ([]int8{1}, []int8{1, 2})
+}
+
+// TestDotQOrderInvariance is the fixed-point half of the paper's Fig. 5
+// argument: permuting paired elements never changes the integer dot product.
+func TestDotQOrderInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(64)
+		a := make([]int8, n)
+		b := make([]int8, n)
+		for i := range a {
+			a[i] = int8(rng.Intn(255) - 127)
+			b[i] = int8(rng.Intn(255) - 127)
+		}
+		want := DotQ(a, b)
+		perm := rng.Perm(n)
+		pa := make([]int8, n)
+		pb := make([]int8, n)
+		for i, j := range perm {
+			pa[i], pb[i] = a[j], b[j]
+		}
+		if got := DotQ(pa, pb); got != want {
+			t.Fatalf("trial %d: permuted DotQ = %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestDotReal(t *testing.T) {
+	pa := Params{Scale: 0.5}
+	pb := Params{Scale: 0.25}
+	a := []int8{2, 4}
+	b := []int8{8, 2}
+	// (2*8 + 4*2) * 0.5 * 0.25 = 24 * 0.125 = 3
+	if got := DotReal(a, b, pa, pb); got != 3 {
+		t.Errorf("DotReal = %v, want 3", got)
+	}
+}
+
+func TestMaxError(t *testing.T) {
+	p := Params{Scale: 0.02}
+	if got := p.MaxError(); got != 0.01 {
+		t.Errorf("MaxError = %v, want 0.01", got)
+	}
+}

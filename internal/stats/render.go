@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"nocbt/internal/bitutil"
+)
+
+// RenderBars draws a labelled horizontal ASCII bar chart of values in
+// [0, max]. Used to print the Figs. 10/11 probability profiles.
+func RenderBars(labels []string, values []float64, max float64, width int) string {
+	if len(labels) != len(values) {
+		panic(fmt.Sprintf("stats: %d labels for %d values", len(labels), len(values)))
+	}
+	if width <= 0 {
+		width = 40
+	}
+	if max <= 0 {
+		max = 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var sb strings.Builder
+	for i, v := range values {
+		n := int(v/max*float64(width) + 0.5)
+		if n > width {
+			n = width
+		}
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&sb, "%-*s |%s%s| %.4f\n",
+			labelW, labels[i], strings.Repeat("#", n), strings.Repeat(" ", width-n), v)
+	}
+	return sb.String()
+}
+
+// RenderPopcountGrid draws the Fig. 9 view: one row per flit, one cell per
+// lane, each cell showing the lane value's '1'-bit count.
+func RenderPopcountGrid(flits [][]bitutil.Word, width, maxRows int) string {
+	var sb strings.Builder
+	rows := len(flits)
+	if maxRows > 0 && rows > maxRows {
+		rows = maxRows
+	}
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&sb, "flit %3d |", i)
+		for _, w := range flits[i] {
+			fmt.Fprintf(&sb, "%3d", w.OnesCount(width))
+		}
+		sb.WriteString(" |\n")
+	}
+	if rows < len(flits) {
+		fmt.Fprintf(&sb, "... (%d more flits)\n", len(flits)-rows)
+	}
+	return sb.String()
+}
+
+// Table accumulates rows and renders them with aligned columns — the
+// formatting backend for every reproduced paper table.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells beyond the header width are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted cells: each argument is rendered with
+// %v unless it is a float64, which renders with 2 decimals.
+func (t *Table) AddRowf(cells ...interface{}) {
+	strs := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			strs[i] = fmt.Sprintf("%.2f", v)
+		default:
+			strs[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.AddRow(strs...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.header)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteString("\n")
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

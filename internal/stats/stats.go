@@ -1,0 +1,152 @@
+// Package stats computes the bit-level distributions behind the paper's
+// Figs. 9–11 — per-bit-position '1' probability and per-position transition
+// probability — and renders them (plus generic result tables) as text.
+package stats
+
+import (
+	"fmt"
+
+	"nocbt/internal/bitutil"
+)
+
+// BitDistribution is the per-bit-position probability of observing a '1'
+// across a value population (Figs. 10/11, top row).
+type BitDistribution struct {
+	// Width is the value width in bits; position 0 is the LSB.
+	Width int
+	// OneProb[i] is P(bit i == 1).
+	OneProb []float64
+	// Count is the population size.
+	Count int
+}
+
+// BitDist measures the '1' probability at every bit position of the words.
+func BitDist(words []bitutil.Word, width int) BitDistribution {
+	ones := make([]int, width)
+	for _, w := range words {
+		for b := 0; b < width; b++ {
+			if w>>uint(b)&1 == 1 {
+				ones[b]++
+			}
+		}
+	}
+	d := BitDistribution{Width: width, OneProb: make([]float64, width), Count: len(words)}
+	if len(words) == 0 {
+		return d
+	}
+	for b := range ones {
+		d.OneProb[b] = float64(ones[b]) / float64(len(words))
+	}
+	return d
+}
+
+// MSBFirst returns the probabilities ordered MSB→LSB, the orientation the
+// paper plots (sign bit first for float-32).
+func (d BitDistribution) MSBFirst() []float64 {
+	out := make([]float64, d.Width)
+	for i := range out {
+		out[i] = d.OneProb[d.Width-1-i]
+	}
+	return out
+}
+
+// TransitionDistribution is the per-bit-position transition probability
+// between consecutive flits of a stream (Figs. 10/11, bottom row).
+type TransitionDistribution struct {
+	// Width is the lane width; position 0 is the LSB of each lane.
+	Width int
+	// FlipProb[i] is P(bit i toggles between consecutive flits), averaged
+	// over all lanes and flit pairs.
+	FlipProb []float64
+	// Pairs is how many (flit, next flit, lane) comparisons were counted.
+	Pairs int
+}
+
+// TransitionDist measures lane-position-wise transition probabilities over
+// a stream of flits, each flit being a slice of lane words.
+func TransitionDist(flits [][]bitutil.Word, width int) TransitionDistribution {
+	flips := make([]int, width)
+	pairs := 0
+	for i := 1; i < len(flits); i++ {
+		prev, cur := flits[i-1], flits[i]
+		if len(prev) != len(cur) {
+			panic(fmt.Sprintf("stats: flit lane counts differ: %d vs %d", len(prev), len(cur)))
+		}
+		for l := range cur {
+			x := prev[l] ^ cur[l]
+			for b := 0; b < width; b++ {
+				if x>>uint(b)&1 == 1 {
+					flips[b]++
+				}
+			}
+			pairs++
+		}
+	}
+	d := TransitionDistribution{Width: width, FlipProb: make([]float64, width), Pairs: pairs}
+	if pairs == 0 {
+		return d
+	}
+	for b := range flips {
+		d.FlipProb[b] = float64(flips[b]) / float64(pairs)
+	}
+	return d
+}
+
+// MSBFirst returns the flip probabilities ordered MSB→LSB.
+func (d TransitionDistribution) MSBFirst() []float64 {
+	out := make([]float64, d.Width)
+	for i := range out {
+		out[i] = d.FlipProb[d.Width-1-i]
+	}
+	return out
+}
+
+// Mean returns the average transition probability across positions — the
+// per-wire toggle rate the link power model consumes.
+func (d TransitionDistribution) Mean() float64 {
+	if d.Width == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range d.FlipProb {
+		sum += p
+	}
+	return sum / float64(d.Width)
+}
+
+// Summary describes a population of float64 samples.
+type Summary struct {
+	Count    int
+	Mean     float64
+	Min, Max float64
+}
+
+// Summarize computes population statistics.
+func Summarize(vals []float64) Summary {
+	s := Summary{Count: len(vals)}
+	if len(vals) == 0 {
+		return s
+	}
+	s.Min, s.Max = vals[0], vals[0]
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(len(vals))
+	return s
+}
+
+// ReductionRate returns the paper's headline metric: 1 − ordered/baseline,
+// as a fraction (multiply by 100 for percent). A zero baseline returns 0.
+func ReductionRate(baseline, ordered float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return 1 - ordered/baseline
+}

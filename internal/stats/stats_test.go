@@ -1,0 +1,209 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"nocbt/internal/bitutil"
+)
+
+func TestBitDistKnown(t *testing.T) {
+	// Half the population has bit 0 set; all have bit 3 set; none bit 7.
+	words := []bitutil.Word{0x09, 0x08, 0x09, 0x08}
+	d := BitDist(words, 8)
+	if d.Count != 4 || d.Width != 8 {
+		t.Fatalf("dist meta: %+v", d)
+	}
+	if d.OneProb[0] != 0.5 {
+		t.Errorf("P(bit0) = %v, want 0.5", d.OneProb[0])
+	}
+	if d.OneProb[3] != 1 {
+		t.Errorf("P(bit3) = %v, want 1", d.OneProb[3])
+	}
+	if d.OneProb[7] != 0 {
+		t.Errorf("P(bit7) = %v, want 0", d.OneProb[7])
+	}
+}
+
+func TestBitDistEmpty(t *testing.T) {
+	d := BitDist(nil, 8)
+	if d.Count != 0 || len(d.OneProb) != 8 {
+		t.Errorf("empty dist: %+v", d)
+	}
+}
+
+func TestBitDistUniformRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	words := make([]bitutil.Word, 20000)
+	for i := range words {
+		words[i] = bitutil.Word(rng.Uint64() & 0xFFFFFFFF)
+	}
+	d := BitDist(words, 32)
+	for b, p := range d.OneProb {
+		if math.Abs(p-0.5) > 0.02 {
+			t.Errorf("uniform random bit %d: P=%v, want ≈0.5", b, p)
+		}
+	}
+}
+
+func TestBitDistFloat32SignBit(t *testing.T) {
+	// The paper's Fig. 10 observation: for symmetric random weights the
+	// sign bit (position 31) is ~0.5, and the exponent MSB (bit 30) is 0
+	// for values in (-1, 1).
+	rng := rand.New(rand.NewSource(2))
+	words := make([]bitutil.Word, 10000)
+	for i := range words {
+		words[i] = bitutil.Float32Word((rng.Float32() - 0.5))
+	}
+	d := BitDist(words, 32)
+	if math.Abs(d.OneProb[31]-0.5) > 0.03 {
+		t.Errorf("sign bit P=%v, want ≈0.5", d.OneProb[31])
+	}
+	if d.OneProb[30] != 0 {
+		t.Errorf("exponent MSB P=%v, want 0 for |v|<1", d.OneProb[30])
+	}
+}
+
+func TestMSBFirst(t *testing.T) {
+	words := []bitutil.Word{0x01} // only LSB set
+	d := BitDist(words, 8)
+	msb := d.MSBFirst()
+	if msb[0] != 0 || msb[7] != 1 {
+		t.Errorf("MSBFirst = %v", msb)
+	}
+}
+
+func TestTransitionDistKnown(t *testing.T) {
+	flits := [][]bitutil.Word{
+		{0x00, 0x00},
+		{0x01, 0x01}, // bit 0 flips in both lanes
+		{0x01, 0x03}, // bit 1 flips in lane 1
+	}
+	d := TransitionDist(flits, 8)
+	if d.Pairs != 4 { // 2 flit pairs × 2 lanes
+		t.Fatalf("pairs = %d, want 4", d.Pairs)
+	}
+	if d.FlipProb[0] != 0.5 { // bit 0 flipped in 2 of 4 comparisons
+		t.Errorf("P(flip bit0) = %v, want 0.5", d.FlipProb[0])
+	}
+	if d.FlipProb[1] != 0.25 {
+		t.Errorf("P(flip bit1) = %v, want 0.25", d.FlipProb[1])
+	}
+	if d.FlipProb[7] != 0 {
+		t.Errorf("P(flip bit7) = %v, want 0", d.FlipProb[7])
+	}
+}
+
+func TestTransitionDistEmpty(t *testing.T) {
+	d := TransitionDist(nil, 8)
+	if d.Pairs != 0 || d.Mean() != 0 {
+		t.Errorf("empty transition dist: %+v", d)
+	}
+}
+
+func TestTransitionDistMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("did not panic")
+		}
+	}()
+	TransitionDist([][]bitutil.Word{{1}, {1, 2}}, 8)
+}
+
+func TestTransitionDistMean(t *testing.T) {
+	flits := [][]bitutil.Word{{0x00}, {0xFF}}
+	d := TransitionDist(flits, 8)
+	if d.Mean() != 1 {
+		t.Errorf("all-flip mean = %v, want 1", d.Mean())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.Count != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if z := Summarize(nil); z.Count != 0 {
+		t.Errorf("empty summary: %+v", z)
+	}
+}
+
+func TestReductionRate(t *testing.T) {
+	if got := ReductionRate(100, 60); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("ReductionRate = %v, want 0.4", got)
+	}
+	if got := ReductionRate(0, 5); got != 0 {
+		t.Errorf("zero baseline rate = %v", got)
+	}
+}
+
+func TestRenderBars(t *testing.T) {
+	out := RenderBars([]string{"a", "bb"}, []float64{1, 0.5}, 1, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "##########") {
+		t.Errorf("full bar missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "#####") || strings.Contains(lines[1], "######") {
+		t.Errorf("half bar wrong: %q", lines[1])
+	}
+}
+
+func TestRenderBarsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("did not panic")
+		}
+	}()
+	RenderBars([]string{"a"}, []float64{1, 2}, 1, 10)
+}
+
+func TestRenderPopcountGrid(t *testing.T) {
+	flits := [][]bitutil.Word{
+		{0xFF, 0x00},
+		{0x0F, 0x01},
+		{0x03, 0x00},
+	}
+	out := RenderPopcountGrid(flits, 8, 2)
+	if !strings.Contains(out, "flit   0 |  8  0 |") {
+		t.Errorf("grid row 0 wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "1 more flits") {
+		t.Errorf("truncation note missing:\n%s", out)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("x", "1")
+	tb.AddRowf("longer-name", 3.14159)
+	out := tb.String()
+	if !strings.Contains(out, "name") || !strings.Contains(out, "longer-name") {
+		t.Errorf("table missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Errorf("float formatting wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + rule + 2 rows
+		t.Errorf("table has %d lines:\n%s", len(lines), out)
+	}
+	// Aligned columns: all lines equal length for single-space padding.
+	if len(lines[0]) == 0 || len(lines[2]) == 0 {
+		t.Error("empty table lines")
+	}
+}
+
+func TestTableRowWidthHandling(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("only-one")
+	tb.AddRow("x", "y", "dropped")
+	out := tb.String()
+	if strings.Contains(out, "dropped") {
+		t.Errorf("extra cell not dropped:\n%s", out)
+	}
+}

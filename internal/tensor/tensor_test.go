@@ -1,0 +1,242 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewShapeSize(t *testing.T) {
+	ten := New(2, 3, 4)
+	if ten.Size() != 24 {
+		t.Errorf("Size = %d, want 24", ten.Size())
+	}
+	if ten.Rank() != 3 {
+		t.Errorf("Rank = %d, want 3", ten.Rank())
+	}
+	if ten.Dim(1) != 3 {
+		t.Errorf("Dim(1) = %d, want 3", ten.Dim(1))
+	}
+	for _, v := range ten.Data {
+		if v != 0 {
+			t.Fatal("New tensor not zero-filled")
+		}
+	}
+}
+
+func TestNewBadShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(2,0) did not panic")
+		}
+	}()
+	New(2, 0)
+}
+
+func TestIndexRowMajor(t *testing.T) {
+	ten := New(2, 3, 4)
+	// Row-major: last dimension contiguous.
+	if got := ten.Index(0, 0, 1); got != 1 {
+		t.Errorf("Index(0,0,1) = %d, want 1", got)
+	}
+	if got := ten.Index(0, 1, 0); got != 4 {
+		t.Errorf("Index(0,1,0) = %d, want 4", got)
+	}
+	if got := ten.Index(1, 0, 0); got != 12 {
+		t.Errorf("Index(1,0,0) = %d, want 12", got)
+	}
+	if got := ten.Index(1, 2, 3); got != 23 {
+		t.Errorf("Index(1,2,3) = %d, want 23", got)
+	}
+}
+
+func TestAtSet(t *testing.T) {
+	ten := New(3, 3)
+	ten.Set(5.5, 1, 2)
+	if got := ten.At(1, 2); got != 5.5 {
+		t.Errorf("At(1,2) = %v, want 5.5", got)
+	}
+	if got := ten.Data[1*3+2]; got != 5.5 {
+		t.Errorf("backing store = %v, want 5.5", got)
+	}
+}
+
+func TestIndexOutOfRangePanics(t *testing.T) {
+	ten := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range index did not panic")
+		}
+	}()
+	ten.At(0, 2)
+}
+
+func TestIndexWrongRankPanics(t *testing.T) {
+	ten := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-rank index did not panic")
+		}
+	}()
+	ten.At(1)
+}
+
+func TestFromSlice(t *testing.T) {
+	data := []float32{1, 2, 3, 4, 5, 6}
+	ten := FromSlice(data, 2, 3)
+	if ten.At(1, 2) != 6 {
+		t.Errorf("At(1,2) = %v, want 6", ten.At(1, 2))
+	}
+	// Not copied: mutating the tensor mutates the slice.
+	ten.Set(9, 0, 0)
+	if data[0] != 9 {
+		t.Error("FromSlice copied data; want shared backing store")
+	}
+}
+
+func TestFromSliceBadLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad length did not panic")
+		}
+	}()
+	FromSlice(make([]float32, 5), 2, 3)
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	ten := New(4, 6)
+	ten.Set(7, 2, 1)
+	r := ten.Reshape(3, 8)
+	if r.Size() != 24 {
+		t.Errorf("reshaped size = %d", r.Size())
+	}
+	r.Data[0] = 42
+	if ten.Data[0] != 42 {
+		t.Error("Reshape must share backing data")
+	}
+}
+
+func TestReshapeBadVolumePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad reshape did not panic")
+		}
+	}()
+	New(2, 3).Reshape(7)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(2, 2)
+	a.Fill(3)
+	b := a.Clone()
+	b.Set(99, 0, 0)
+	if a.At(0, 0) != 3 {
+		t.Error("Clone shares data with original")
+	}
+}
+
+func TestFillScaleAddScaled(t *testing.T) {
+	a := New(4)
+	a.Fill(2)
+	a.Scale(3)
+	for _, v := range a.Data {
+		if v != 6 {
+			t.Fatalf("after Fill+Scale got %v, want 6", v)
+		}
+	}
+	b := New(4)
+	b.Fill(1)
+	a.AddScaled(b, -0.5)
+	for _, v := range a.Data {
+		if v != 5.5 {
+			t.Fatalf("after AddScaled got %v, want 5.5", v)
+		}
+	}
+}
+
+func TestAddScaledMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch did not panic")
+		}
+	}()
+	New(2).AddScaled(New(3), 1)
+}
+
+func TestMaxAbs(t *testing.T) {
+	a := FromSlice([]float32{0.5, -2.25, 1}, 3)
+	if got := a.MaxAbs(); got != 2.25 {
+		t.Errorf("MaxAbs = %v, want 2.25", got)
+	}
+	if got := New(3).MaxAbs(); got != 0 {
+		t.Errorf("MaxAbs(zero) = %v, want 0", got)
+	}
+}
+
+func TestKaimingUniformBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ten := New(1000)
+	fanIn := 25
+	ten.KaimingUniform(fanIn, rng)
+	bound := math.Sqrt(6 / float64(fanIn))
+	nonZero := 0
+	for _, v := range ten.Data {
+		if math.Abs(float64(v)) > bound {
+			t.Fatalf("value %v outside Kaiming bound %v", v, bound)
+		}
+		if v != 0 {
+			nonZero++
+		}
+	}
+	if nonZero < 990 {
+		t.Errorf("suspiciously many zeros: %d non-zero of 1000", nonZero)
+	}
+}
+
+func TestKaimingUniformBadFanInPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("fanIn 0 did not panic")
+		}
+	}()
+	New(1).KaimingUniform(0, rand.New(rand.NewSource(1)))
+}
+
+func TestNormalMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ten := New(20000)
+	ten.Normal(0.5, 0.1, rng)
+	var sum, sq float64
+	for _, v := range ten.Data {
+		sum += float64(v)
+	}
+	mean := sum / float64(ten.Size())
+	for _, v := range ten.Data {
+		d := float64(v) - mean
+		sq += d * d
+	}
+	std := math.Sqrt(sq / float64(ten.Size()))
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("sample mean %v, want ≈0.5", mean)
+	}
+	if math.Abs(std-0.1) > 0.01 {
+		t.Errorf("sample std %v, want ≈0.1", std)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ten := New(1000)
+	ten.Uniform(-3, -1, rng)
+	for _, v := range ten.Data {
+		if v < -3 || v > -1 {
+			t.Fatalf("value %v outside [-3,-1]", v)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(2, 3).String(); got != "Tensor[2 3]" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,180 @@
+// Package trace records packet traffic traces from the NoC simulator — one
+// of the NOC-DNA platform outputs in the paper's Fig. 7 — and re-derives
+// bit-transition statistics from them, giving an independent cross-check of
+// the simulator's in-line BT recorders.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"nocbt/internal/bitutil"
+	"nocbt/internal/flit"
+	"nocbt/internal/noc"
+)
+
+// Event is one flit crossing one link.
+type Event struct {
+	Cycle    int64
+	Link     string
+	Class    noc.LinkClass
+	PacketID uint64
+	Seq      int
+	Src, Dst int
+	// Transitions is the wire toggles this crossing caused on its link,
+	// recomputed by the Recorder from the payloads it has seen.
+	Transitions int
+}
+
+// Recorder captures events from a noc.Sim via SetTrace. It keeps an
+// independent per-link wire state so its transition counts do not rely on
+// the simulator's own recorders.
+type Recorder struct {
+	events []Event
+	wires  map[string]bitutil.Vec
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{wires: make(map[string]bitutil.Vec)}
+}
+
+// Hook returns the TraceFunc to install with Sim.SetTrace.
+func (r *Recorder) Hook() noc.TraceFunc {
+	return func(cycle int64, linkName string, class noc.LinkClass, f *flit.Flit) {
+		wire, ok := r.wires[linkName]
+		if !ok {
+			wire = bitutil.NewVec(f.Payload.Width())
+			r.wires[linkName] = wire
+		}
+		t := wire.Transitions(f.Payload)
+		wire.CopyFrom(f.Payload)
+		r.events = append(r.events, Event{
+			Cycle:       cycle,
+			Link:        linkName,
+			Class:       class,
+			PacketID:    f.PacketID,
+			Seq:         f.Seq,
+			Src:         f.Src,
+			Dst:         f.Dst,
+			Transitions: t,
+		})
+	}
+}
+
+// Events returns the recorded events in delivery order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// TotalBT sums transitions over the given link classes (all classes when
+// none are given).
+func (r *Recorder) TotalBT(classes ...noc.LinkClass) int64 {
+	want := make(map[noc.LinkClass]bool, len(classes))
+	for _, c := range classes {
+		want[c] = true
+	}
+	var total int64
+	for _, e := range r.events {
+		if len(classes) == 0 || want[e.Class] {
+			total += int64(e.Transitions)
+		}
+	}
+	return total
+}
+
+// PerLinkBT aggregates transitions per link name.
+func (r *Recorder) PerLinkBT() map[string]int64 {
+	out := make(map[string]int64)
+	for _, e := range r.events {
+		out[e.Link] += int64(e.Transitions)
+	}
+	return out
+}
+
+// PacketHops counts how many link crossings each packet made.
+func (r *Recorder) PacketHops() map[uint64]int {
+	out := make(map[uint64]int)
+	for _, e := range r.events {
+		if e.Seq == 0 { // count per packet using head flits only
+			out[e.PacketID]++
+		}
+	}
+	return out
+}
+
+// csvHeader is the column layout of the trace file format.
+var csvHeader = []string{"cycle", "link", "class", "packet", "seq", "src", "dst", "transitions"}
+
+// WriteCSV streams the trace to w.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, e := range r.events {
+		rec := []string{
+			strconv.FormatInt(e.Cycle, 10),
+			e.Link,
+			strconv.Itoa(int(e.Class)),
+			strconv.FormatUint(e.PacketID, 10),
+			strconv.Itoa(e.Seq),
+			strconv.Itoa(e.Src),
+			strconv.Itoa(e.Dst),
+			strconv.Itoa(e.Transitions),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(rd io.Reader) ([]Event, error) {
+	cr := csv.NewReader(rd)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty file")
+	}
+	if len(rows[0]) != len(csvHeader) || rows[0][0] != "cycle" {
+		return nil, fmt.Errorf("trace: unexpected header %v", rows[0])
+	}
+	events := make([]Event, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		var e Event
+		var cls int
+		fields := []interface{}{&e.Cycle, nil, &cls, &e.PacketID, &e.Seq, &e.Src, &e.Dst, &e.Transitions}
+		for c, cell := range row {
+			switch p := fields[c].(type) {
+			case *int64:
+				v, err := strconv.ParseInt(cell, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("trace: row %d col %d: %w", i+2, c, err)
+				}
+				*p = v
+			case *uint64:
+				v, err := strconv.ParseUint(cell, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("trace: row %d col %d: %w", i+2, c, err)
+				}
+				*p = v
+			case *int:
+				v, err := strconv.Atoi(cell)
+				if err != nil {
+					return nil, fmt.Errorf("trace: row %d col %d: %w", i+2, c, err)
+				}
+				*p = v
+			case nil:
+				e.Link = cell
+			}
+		}
+		e.Class = noc.LinkClass(cls)
+		events = append(events, e)
+	}
+	return events, nil
+}

@@ -1,0 +1,193 @@
+package nocbt
+
+import (
+	"strings"
+	"testing"
+
+	"nocbt/internal/bitutil"
+)
+
+func TestLeNetDeterministicPerSeed(t *testing.T) {
+	a := LeNet(3)
+	b := LeNet(3)
+	wa, wb := a.WeightValues(), b.WeightValues()
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatal("same seed produced different weights")
+		}
+	}
+	c := LeNet(4)
+	if c.WeightValues()[0] == wa[0] {
+		t.Error("different seeds produced identical first weight")
+	}
+}
+
+func TestSampleInputShapeMatchesModel(t *testing.T) {
+	m := LeNet(1)
+	x := SampleInput(m, 2)
+	if x.Rank() != 3 || x.Dim(0) != 1 || x.Dim(1) != 32 || x.Dim(2) != 32 {
+		t.Errorf("LeNet input shape %v", x.Shape())
+	}
+	d := DarkNet(1)
+	xd := SampleInput(d, 2)
+	if xd.Dim(0) != 3 || xd.Dim(1) != 64 {
+		t.Errorf("DarkNet input shape %v", xd.Shape())
+	}
+}
+
+func TestGeometryPresets(t *testing.T) {
+	if Float32().LinkBits != 512 || Fixed8().LinkBits != 128 {
+		t.Error("geometry presets wrong")
+	}
+	if len(Orderings()) != 3 {
+		t.Error("orderings wrong")
+	}
+}
+
+func TestPlatformPresets(t *testing.T) {
+	p := Platform4x4MC2(Fixed8())
+	if p.Mesh.Width != 4 || len(p.MCs) != 2 {
+		t.Errorf("4x4MC2 = %+v", p)
+	}
+	if p8 := Platform8x8MC8(Float32()); p8.Mesh.Width != 8 || len(p8.MCs) != 8 {
+		t.Errorf("8x8MC8 wrong")
+	}
+}
+
+func TestFig1Report(t *testing.T) {
+	out := Fig1Report(8)
+	if !strings.Contains(out, "E = x + y - xy/16") {
+		t.Error("Fig. 1 formula missing")
+	}
+	// Corner values: E(32,0) = 32.0 appears; E(0,0) = 0.0.
+	if !strings.Contains(out, "32.0") || !strings.Contains(out, "0.0") {
+		t.Errorf("Fig. 1 grid values missing:\n%s", out)
+	}
+}
+
+func TestTable1SmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("uses trained LeNet; skipped in -short mode")
+	}
+	cfg := Table1Config{Packets: 300, KernelSize: 25, LanesPerFlit: 8, Seed: 1}
+	rows := Table1(cfg)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.BaselineBT <= 0 || r.OrderedBT <= 0 {
+			t.Errorf("%s: degenerate BT values %v/%v", r.Source.Name, r.BaselineBT, r.OrderedBT)
+		}
+		if r.OrderedBT >= r.BaselineBT {
+			t.Errorf("%s: ordering did not reduce BT (%v -> %v)",
+				r.Source.Name, r.BaselineBT, r.OrderedBT)
+		}
+	}
+	// The paper's headline shape: fixed-8 trained shows the largest
+	// reduction of all four rows.
+	best := rows[0]
+	for _, r := range rows[1:] {
+		if r.ReductionPct > best.ReductionPct {
+			best = r
+		}
+	}
+	if best.Source.Name != "Fixed-8 trained" {
+		t.Errorf("largest reduction is %s (%.1f%%), paper says Fixed-8 trained",
+			best.Source.Name, best.ReductionPct)
+	}
+}
+
+func TestTable1BadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("did not panic")
+		}
+	}()
+	Table1(Table1Config{})
+}
+
+func TestFig9Report(t *testing.T) {
+	if testing.Short() {
+		t.Skip("uses trained LeNet; skipped in -short mode")
+	}
+	out := Fig9Report(6)
+	if !strings.Contains(out, "Before:") || !strings.Contains(out, "After") {
+		t.Errorf("Fig. 9 sections missing:\n%s", out)
+	}
+	if !strings.Contains(out, "flit   0") {
+		t.Errorf("grid rows missing:\n%s", out)
+	}
+}
+
+func TestBitLevelReportFloat32(t *testing.T) {
+	if testing.Short() {
+		t.Skip("uses trained LeNet; skipped in -short mode")
+	}
+	out := BitLevelReport(bitutil.Float32)
+	if !strings.Contains(out, "Fig. 10") {
+		t.Error("wrong figure label")
+	}
+	if !strings.Contains(out, "bit 31") {
+		t.Error("sign bit row missing")
+	}
+	if !strings.Contains(out, "mean toggle rate") {
+		t.Error("toggle summary missing")
+	}
+}
+
+func TestBitLevelReportFixed8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("uses trained LeNet; skipped in -short mode")
+	}
+	out := BitLevelReport(bitutil.Fixed8)
+	if !strings.Contains(out, "Fig. 11") {
+		t.Error("wrong figure label")
+	}
+	if !strings.Contains(out, "bit  7") {
+		t.Error("MSB row missing")
+	}
+}
+
+func TestTable2Report(t *testing.T) {
+	out := Table2Report()
+	for _, want := range []string{"ordering unit", "router", "12.91", "125.54", "bubble 16"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Tab. II report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLinkPowerReport(t *testing.T) {
+	out := LinkPowerReport(40.85)
+	for _, want := range []string{"155.01", "476.67", "91.69", "281.95"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("link power report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunModelOnNoCQuick(t *testing.T) {
+	// Small end-to-end check through the facade with random weights.
+	m := LeNet(1)
+	r, err := RunModelOnNoC("4x4 MC2", Platform4x4MC2(Fixed8()), O1, m, SampleInput(m, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalBT <= 0 || r.Cycles <= 0 || r.Packets <= 0 {
+		t.Errorf("degenerate run result: %+v", r)
+	}
+	if r.Ordering != O1 || r.Model != "LeNet" {
+		t.Errorf("metadata wrong: %+v", r)
+	}
+}
+
+func TestTrainedModelMemoized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains LeNet; skipped in -short mode")
+	}
+	a := TrainedLeNet(1)
+	b := TrainedLeNet(1)
+	if a != b {
+		t.Error("TrainedLeNet not memoized")
+	}
+}
