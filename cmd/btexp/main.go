@@ -1,17 +1,25 @@
-// Command btexp regenerates every table and figure of the paper.
+// Command btexp regenerates every table and figure of the paper, plus
+// arbitrary grids through the concurrent sweep runner.
 //
 // Usage:
 //
 //	btexp [-seed N] [-quick] [-trained=false] [-o file] <experiment>
 //
 // Experiments: fig1, table1, fig9, fig10, fig11, fig12, fig13, table2,
-// power, all.
+// power, sweep, all.
+//
+// The sweep experiment runs the full ordering × platform × format × model
+// grid on a bounded worker pool; restrict it with -platforms/-formats/
+// -models/-seeds and emit machine-readable output with -json.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"nocbt"
@@ -19,22 +27,33 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "btexp:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	seed := flag.Int64("seed", 1, "experiment seed")
-	quick := flag.Bool("quick", false, "smaller streams / random weights for a fast pass")
-	trained := flag.Bool("trained", true, "use trained weights for the with-NoC experiments")
-	out := flag.String("o", "", "write output to file instead of stdout")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		return fmt.Errorf("usage: btexp [flags] <fig1|table1|fig9|fig10|fig11|fig12|fig13|table2|power|all>")
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("btexp", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "experiment seed")
+	quick := fs.Bool("quick", false, "smaller streams / random weights for a fast pass")
+	trained := fs.Bool("trained", true, "use trained weights for the with-NoC experiments")
+	out := fs.String("o", "", "write output to file instead of stdout")
+	platforms := fs.String("platforms", "", "sweep: comma-separated subset of 4x4,8x8mc4,8x8mc8")
+	formats := fs.String("formats", "", "sweep: comma-separated subset of fixed8,float32")
+	models := fs.String("models", "", "sweep: comma-separated subset of lenet,darknet")
+	seeds := fs.String("seeds", "", "sweep: comma-separated seed list (default: -seed)")
+	asJSON := fs.Bool("json", false, "sweep: emit JSON instead of a table")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; a help request is not a failure
+		}
+		return err
 	}
-	exp := strings.ToLower(flag.Arg(0))
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: btexp [flags] <fig1|table1|fig9|fig10|fig11|fig12|fig13|table2|power|sweep|all>")
+	}
+	exp := strings.ToLower(fs.Arg(0))
 
 	t1cfg := nocbt.DefaultTable1Config()
 	t1cfg.Seed = *seed
@@ -54,8 +73,27 @@ func run() error {
 		return nil
 	}
 	noErr := func(s string) (string, error) { return s, nil }
+	runSweep := func() error {
+		spec, err := sweepSpec(*platforms, *formats, *models, *seeds, *seed, useTrained)
+		if err != nil {
+			return err
+		}
+		rows, err := nocbt.RunSweep(spec)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			var jb strings.Builder
+			if err := nocbt.WriteSweepJSON(&jb, rows); err != nil {
+				return err
+			}
+			return section(noErr(strings.TrimRight(jb.String(), "\n")))
+		}
+		return section(noErr("Sweep — ordering × platform × format × model grid\n" +
+			nocbt.SweepReport(rows)))
+	}
 
-	run := map[string]func() error{
+	runExp := map[string]func() error{
 		"fig1":   func() error { return section(noErr(nocbt.Fig1Report(4))) },
 		"table1": func() error { return section(noErr(nocbt.Table1Report(t1cfg))) },
 		"fig9":   func() error { return section(noErr(nocbt.Fig9Report(20))) },
@@ -65,17 +103,18 @@ func run() error {
 		"fig13":  func() error { s, err := nocbt.Fig13Report(*seed, useTrained); return section(s, err) },
 		"table2": func() error { return section(noErr(nocbt.Table2Report())) },
 		"power":  func() error { return section(noErr(nocbt.LinkPowerReport(40.85))) },
+		"sweep":  runSweep,
 	}
 
 	if exp == "all" {
 		for _, name := range []string{"fig1", "table1", "fig9", "fig10", "fig11", "fig12", "fig13", "table2", "power"} {
 			fmt.Fprintf(os.Stderr, "btexp: running %s...\n", name)
-			if err := run[name](); err != nil {
+			if err := runExp[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
 		}
 	} else {
-		f, ok := run[exp]
+		f, ok := runExp[exp]
 		if !ok {
 			return fmt.Errorf("unknown experiment %q", exp)
 		}
@@ -87,6 +126,55 @@ func run() error {
 	if *out != "" {
 		return os.WriteFile(*out, []byte(sb.String()), 0o644)
 	}
-	_, err := fmt.Print(sb.String())
+	_, err := io.WriteString(stdout, sb.String())
 	return err
+}
+
+// sweepSpec assembles a SweepSpec from the command-line subset flags;
+// empty flags keep the paper's full default axis.
+func sweepSpec(platforms, formats, models, seeds string, seed int64, trained bool) (nocbt.SweepSpec, error) {
+	spec := nocbt.SweepSpec{Trained: trained, Seeds: []int64{seed}}
+	if platforms != "" {
+		byName := map[string]nocbt.NamedPlatform{}
+		for _, p := range nocbt.PaperPlatforms() {
+			key := strings.ReplaceAll(strings.ToLower(p.Name), " ", "")
+			byName[key] = p // "4x4mc2", "8x8mc4", "8x8mc8"
+		}
+		byName["4x4"] = byName["4x4mc2"] // the only unambiguous short name
+		for _, name := range strings.Split(platforms, ",") {
+			p, ok := byName[strings.ToLower(strings.TrimSpace(name))]
+			if !ok {
+				return spec, fmt.Errorf("unknown platform %q (want 4x4, 8x8mc4 or 8x8mc8)", name)
+			}
+			spec.Platforms = append(spec.Platforms, p)
+		}
+	}
+	if formats != "" {
+		for _, name := range strings.Split(formats, ",") {
+			switch strings.ToLower(strings.TrimSpace(name)) {
+			case "fixed8", "fixed-8":
+				spec.Geometries = append(spec.Geometries, nocbt.Fixed8())
+			case "float32", "float-32":
+				spec.Geometries = append(spec.Geometries, nocbt.Float32())
+			default:
+				return spec, fmt.Errorf("unknown format %q (want fixed8 or float32)", name)
+			}
+		}
+	}
+	if models != "" {
+		for _, name := range strings.Split(models, ",") {
+			spec.Models = append(spec.Models, nocbt.SweepModel(strings.ToLower(strings.TrimSpace(name))))
+		}
+	}
+	if seeds != "" {
+		spec.Seeds = spec.Seeds[:0]
+		for _, s := range strings.Split(seeds, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				return spec, fmt.Errorf("bad seed %q: %w", s, err)
+			}
+			spec.Seeds = append(spec.Seeds, v)
+		}
+	}
+	return spec, nil
 }

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunFig1(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"fig1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "E = x + y - xy/16") {
+		t.Errorf("fig1 output missing formula:\n%s", sb.String())
+	}
+}
+
+func TestRunTable2AndPower(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"table2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Tab. II") {
+		t.Errorf("table2 output wrong:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := run([]string{"power"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "link power") {
+		t.Errorf("power output wrong:\n%s", sb.String())
+	}
+}
+
+func TestRunQuickTable1(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-quick", "table1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Tab. I") {
+		t.Errorf("table1 output wrong:\n%s", sb.String())
+	}
+}
+
+func TestRunSweepJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 3 NoC inferences; skipped in -short mode")
+	}
+	var sb strings.Builder
+	err := run([]string{"-quick", "-json", "-platforms", "4x4", "-formats", "fixed8", "sweep"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &rows); err != nil {
+		t.Fatalf("sweep -json emitted invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 rows (one per ordering), got %d", len(rows))
+	}
+	if rows[0]["platform"] != "4x4 MC2" || rows[0]["format"] != "fixed-8" {
+		t.Errorf("unexpected sweep row: %v", rows[0])
+	}
+}
+
+func TestRunHelpIsNotAnError(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-h"}, &sb); err != nil {
+		t.Errorf("-h returned error: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"nosuch"}, &sb); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("unknown experiment not rejected: %v", err)
+	}
+	if err := run([]string{}, &sb); err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Errorf("missing experiment not rejected: %v", err)
+	}
+	if err := run([]string{"-platforms", "9x9", "sweep"}, &sb); err == nil ||
+		!strings.Contains(err.Error(), "unknown platform") {
+		t.Errorf("bad platform not rejected: %v", err)
+	}
+	if err := run([]string{"-formats", "fp64", "sweep"}, &sb); err == nil ||
+		!strings.Contains(err.Error(), "unknown format") {
+		t.Errorf("bad format not rejected: %v", err)
+	}
+	if err := run([]string{"-seeds", "x", "sweep"}, &sb); err == nil ||
+		!strings.Contains(err.Error(), "bad seed") {
+		t.Errorf("bad seed not rejected: %v", err)
+	}
+	if err := run([]string{"-seeds", "1,23x", "sweep"}, &sb); err == nil ||
+		!strings.Contains(err.Error(), "bad seed") {
+		t.Errorf("seed with trailing garbage not rejected: %v", err)
+	}
+}
+
+func TestSweepSpecParsing(t *testing.T) {
+	spec, err := sweepSpec("8x8mc4,8x8mc8", "float32", "lenet,darknet", "3,4", 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Platforms) != 2 || spec.Platforms[0].Name != "8x8 MC4" {
+		t.Errorf("platforms parsed wrong: %+v", spec.Platforms)
+	}
+	if len(spec.Geometries) != 1 || spec.Geometries[0].LinkBits != 512 {
+		t.Errorf("formats parsed wrong: %+v", spec.Geometries)
+	}
+	if len(spec.Models) != 2 || spec.Models[1] != "darknet" {
+		t.Errorf("models parsed wrong: %+v", spec.Models)
+	}
+	if len(spec.Seeds) != 2 || spec.Seeds[0] != 3 || spec.Seeds[1] != 4 {
+		t.Errorf("seeds parsed wrong: %+v", spec.Seeds)
+	}
+}

@@ -8,8 +8,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -21,19 +23,30 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "dnntrain:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	modelName := flag.String("model", "lenet", "lenet or darknet")
-	samples := flag.Int("samples", 300, "training samples")
-	epochs := flag.Int("epochs", 8, "training epochs")
-	lr := flag.Float64("lr", 0.002, "learning rate")
-	seed := flag.Int64("seed", 1, "init/dataset seed")
-	flag.Parse()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dnntrain", flag.ContinueOnError)
+	modelName := fs.String("model", "lenet", "lenet or darknet")
+	samples := fs.Int("samples", 300, "training samples")
+	epochs := fs.Int("epochs", 8, "training epochs")
+	lr := fs.Float64("lr", 0.002, "learning rate")
+	seed := fs.Int64("seed", 1, "init/dataset seed")
+	holdout := fs.Int("holdout", 200, "holdout samples for the final accuracy")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; a help request is not a failure
+		}
+		return err
+	}
+	if *samples < 1 || *epochs < 1 || *holdout < 1 {
+		return fmt.Errorf("-samples, -epochs and -holdout must be >= 1 (got %d, %d, %d)",
+			*samples, *epochs, *holdout)
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	var model *dnn.Model
@@ -45,16 +58,16 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown model %q", *modelName)
 	}
-	fmt.Printf("%s: %d parameters, input %v\n", model.Name(), model.ParamCount(), model.InShape)
+	fmt.Fprintf(stdout, "%s: %d parameters, input %v\n", model.Name(), model.ParamCount(), model.InShape)
 
 	ds := train.SyntheticDigits(*samples, model.InShape, rng)
 	trainer := train.NewTrainer(model, train.Config{LR: float32(*lr), Epochs: *epochs})
 	for e := 0; e < *epochs; e++ {
 		st := trainer.Epoch(ds, rng)
-		fmt.Printf("epoch %2d: loss %.4f, accuracy %.2f\n", e+1, st.MeanLoss, st.Accuracy)
+		fmt.Fprintf(stdout, "epoch %2d: loss %.4f, accuracy %.2f\n", e+1, st.MeanLoss, st.Accuracy)
 	}
-	holdout := train.SyntheticDigits(200, model.InShape, rng)
-	fmt.Printf("holdout accuracy: %.2f\n", train.Evaluate(model, holdout))
+	eval := train.SyntheticDigits(*holdout, model.InShape, rng)
+	fmt.Fprintf(stdout, "holdout accuracy: %.2f\n", train.Evaluate(model, eval))
 
 	// Bit-level summary of the trained weights (per-layer fixed-8).
 	var qs []int8
@@ -63,11 +76,11 @@ func run() error {
 	}
 	words := bitutil.Fixed8Words(qs)
 	dist := stats.BitDist(words, 8)
-	fmt.Println("\nfixed-8 weight bit distribution (MSB first):")
+	fmt.Fprintln(stdout, "\nfixed-8 weight bit distribution (MSB first):")
 	labels := make([]string, 8)
 	for i := range labels {
 		labels[i] = fmt.Sprintf("bit %d", 7-i)
 	}
-	fmt.Print(stats.RenderBars(labels, dist.MSBFirst(), 1, 40))
+	io.WriteString(stdout, stats.RenderBars(labels, dist.MSBFirst(), 1, 40))
 	return nil
 }

@@ -8,8 +8,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -20,20 +22,26 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "nocsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	mesh := flag.String("mesh", "4x4", "mesh size WxH")
-	packets := flag.Int("packets", 1000, "packets to inject")
-	flits := flag.Int("flits", 4, "payload flits per packet")
-	linkBits := flag.Int("link", 128, "link width in bits")
-	seed := flag.Int64("seed", 1, "traffic seed")
-	verbose := flag.Bool("v", false, "print per-link statistics")
-	flag.Parse()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("nocsim", flag.ContinueOnError)
+	mesh := fs.String("mesh", "4x4", "mesh size WxH")
+	packets := fs.Int("packets", 1000, "packets to inject")
+	flits := fs.Int("flits", 4, "payload flits per packet")
+	linkBits := fs.Int("link", 128, "link width in bits")
+	seed := fs.Int64("seed", 1, "traffic seed")
+	verbose := fs.Bool("v", false, "print per-link statistics")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; a help request is not a failure
+		}
+		return err
+	}
 
 	var w, h int
 	if _, err := fmt.Sscanf(*mesh, "%dx%d", &w, &h); err != nil {
@@ -47,6 +55,9 @@ func run() error {
 
 	rng := rand.New(rand.NewSource(*seed))
 	nodes := cfg.Nodes()
+	if nodes < 2 {
+		return fmt.Errorf("mesh %q has %d node(s); need at least 2 for traffic", *mesh, nodes)
+	}
 	for i := 0; i < *packets; i++ {
 		src := rng.Intn(nodes)
 		dst := rng.Intn(nodes)
@@ -66,7 +77,11 @@ func run() error {
 			payloads[j] = v
 		}
 		header := bitutil.NewVec(*linkBits)
-		header.SetField(0, 32, uint64(i))
+		idBits := 32
+		if idBits > *linkBits {
+			idBits = *linkBits
+		}
+		header.SetField(0, idBits, uint64(i)&(1<<uint(idBits)-1))
 		pkt := flit.NewPacket(uint64(i+1), src, dst, header, payloads)
 		if err := sim.Inject(pkt); err != nil {
 			return err
@@ -77,13 +92,13 @@ func run() error {
 	}
 
 	st := sim.Stats()
-	fmt.Printf("mesh %dx%d, %d packets x %d flits, %d-bit links\n", w, h, *packets, *flits+1, *linkBits)
-	fmt.Printf("cycles:            %d\n", st.Cycles)
-	fmt.Printf("delivered packets: %d\n", st.PacketsDelivered)
-	fmt.Printf("router-link BT:    %d\n", st.RouterBT)
-	fmt.Printf("ejection BT:       %d\n", st.EjectionBT)
-	fmt.Printf("total BT (paper):  %d\n", sim.TotalBT())
-	fmt.Printf("avg latency:       %.1f cycles (max %d)\n", st.AvgLatency, st.MaxLatency)
+	fmt.Fprintf(stdout, "mesh %dx%d, %d packets x %d flits, %d-bit links\n", w, h, *packets, *flits+1, *linkBits)
+	fmt.Fprintf(stdout, "cycles:            %d\n", st.Cycles)
+	fmt.Fprintf(stdout, "delivered packets: %d\n", st.PacketsDelivered)
+	fmt.Fprintf(stdout, "router-link BT:    %d\n", st.RouterBT)
+	fmt.Fprintf(stdout, "ejection BT:       %d\n", st.EjectionBT)
+	fmt.Fprintf(stdout, "total BT (paper):  %d\n", sim.TotalBT())
+	fmt.Fprintf(stdout, "avg latency:       %.1f cycles (max %d)\n", st.AvgLatency, st.MaxLatency)
 
 	if *verbose {
 		t := stats.NewTable("link", "class", "flits", "BT")
@@ -93,8 +108,8 @@ func run() error {
 			}
 			t.AddRowf(ls.Name, ls.Class.String(), ls.Flits, ls.BT)
 		}
-		fmt.Println()
-		fmt.Print(t.String())
+		fmt.Fprintln(stdout)
+		io.WriteString(stdout, t.String())
 	}
 	return nil
 }

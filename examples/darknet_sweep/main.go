@@ -1,6 +1,7 @@
 // darknet_sweep runs the DarkNet-like model (64×64×3 input, as the paper
 // reduces it) across both data formats and all orderings on the default
-// platform — the DarkNet half of Fig. 13.
+// platform — the DarkNet half of Fig. 13 — using the concurrent sweep
+// runner, so the six (format, ordering) measurements run in parallel.
 package main
 
 import (
@@ -15,27 +16,26 @@ func main() {
 	trained := flag.Bool("trained", false, "briefly train the model first (slower)")
 	flag.Parse()
 
-	model := nocbt.DarkNet(1)
 	if *trained {
 		fmt.Println("training DarkNet on the synthetic digit dataset...")
-		model = nocbt.TrainedDarkNet(1)
 	}
-	input := nocbt.SampleInput(model, 7)
+	rows, err := nocbt.RunSweep(nocbt.SweepSpec{
+		Platforms: []nocbt.NamedPlatform{nocbt.DefaultPlatform()},
+		Models:    []nocbt.SweepModel{nocbt.DarkNetModel},
+		Trained:   *trained,
+		Seeds:     []int64{1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	for _, g := range []nocbt.Geometry{nocbt.Float32(), nocbt.Fixed8()} {
-		var baseline int64
-		for _, ord := range nocbt.Orderings() {
-			r, err := nocbt.RunModelOnNoC("4x4 MC2", nocbt.Platform4x4MC2(g), ord, model, input)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if ord == nocbt.O0 {
-				baseline = r.TotalBT
-			}
-			fmt.Printf("%-22s %s: BT=%13d  normalized=%.3f  (%.2f%% reduction)\n",
-				g, ord, r.TotalBT,
-				float64(r.TotalBT)/float64(baseline),
-				100*(1-float64(r.TotalBT)/float64(baseline)))
+	var baseline int64
+	for _, r := range rows {
+		if r.Ordering == nocbt.O0 {
+			baseline = r.TotalBT
 		}
+		fmt.Printf("%-22s %s: BT=%13d  normalized=%.3f  (%.2f%% reduction)\n",
+			r.Geometry, r.Ordering, r.TotalBT,
+			float64(r.TotalBT)/float64(baseline), r.ReductionPct)
 	}
 }

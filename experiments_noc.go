@@ -15,12 +15,20 @@ import (
 // DNN inference through the NoC.
 type NoCRunResult struct {
 	Platform string
+	// Model is the model's display name (e.g. "LeNet"); Workload is the
+	// sweep-grid workload name the run came from (e.g. "lenet", matching
+	// SweepModel). Sweep paths fill both; direct RunModelOnNoC calls leave
+	// Workload empty.
 	Model    string
+	Workload string
 	Geometry Geometry
 	Ordering Ordering
-	TotalBT  int64
-	Cycles   int64
-	Packets  int64
+	// Seed is the weight/input seed of the run (sweep paths fill it in;
+	// direct RunModelOnNoC calls leave it 0 unless the caller sets it).
+	Seed    int64
+	TotalBT int64
+	Cycles  int64
+	Packets int64
 	// ReductionPct is relative to the same platform/geometry's O0 run.
 	ReductionPct float64
 }
@@ -47,52 +55,25 @@ func RunModelOnNoC(name string, cfg Platform, ord Ordering, model *Model, input 
 	}, nil
 }
 
-// sweepOrderings runs O0/O1/O2 on one platform and fills reduction rates.
-func sweepOrderings(name string, cfg Platform, model *Model, input *Tensor) ([]NoCRunResult, error) {
-	var out []NoCRunResult
-	var baseline float64
-	for _, ord := range Orderings() {
-		r, err := RunModelOnNoC(name, cfg, ord, model, input)
-		if err != nil {
-			return nil, fmt.Errorf("%s/%s/%s: %w", name, cfg.Geometry, ord, err)
-		}
-		if ord == O0 {
-			baseline = float64(r.TotalBT)
-		}
-		r.ReductionPct = 100 * stats.ReductionRate(baseline, float64(r.TotalBT))
-		out = append(out, r)
+// fig12Spec is the Fig. 12 grid: LeNet on the paper's three platforms,
+// both formats, all orderings.
+func fig12Spec(seed int64, trained bool) SweepSpec {
+	return SweepSpec{
+		Platforms:  PaperPlatforms(),
+		Geometries: []Geometry{Float32(), Fixed8()},
+		Orderings:  Orderings(),
+		Models:     []SweepModel{LeNetModel},
+		Trained:    trained,
+		Seeds:      []int64{seed},
 	}
-	return out, nil
 }
 
 // Fig12 reproduces the NoC-size sweep: LeNet inference on 4×4/MC2, 8×8/MC4
-// and 8×8/MC8 for both data formats and all three orderings. Trained
-// weights by default (the paper evaluates both; trained is its headline).
+// and 8×8/MC8 for both data formats and all three orderings, executed on
+// the concurrent sweep runner. Trained weights by default (the paper
+// evaluates both; trained is its headline).
 func Fig12(seed int64, trained bool) ([]NoCRunResult, error) {
-	model := LeNet(seed)
-	if trained {
-		model = TrainedLeNet(seed)
-	}
-	input := SampleInput(model, seed+7)
-	platforms := []struct {
-		name string
-		cfg  func(Geometry) Platform
-	}{
-		{"4x4 MC2", Platform4x4MC2},
-		{"8x8 MC4", Platform8x8MC4},
-		{"8x8 MC8", Platform8x8MC8},
-	}
-	var all []NoCRunResult
-	for _, g := range []Geometry{Float32(), Fixed8()} {
-		for _, p := range platforms {
-			rs, err := sweepOrderings(p.name, p.cfg(g), model, input)
-			if err != nil {
-				return nil, err
-			}
-			all = append(all, rs...)
-		}
-	}
-	return all, nil
+	return RunSweep(fig12Spec(seed, trained))
 }
 
 // Fig12Report renders the sweep with the paper's reported reduction ranges.
@@ -115,27 +96,24 @@ func Fig12Report(seed int64, trained bool) (string, error) {
 	return sb.String(), nil
 }
 
-// Fig13 reproduces the model sweep: LeNet and the DarkNet-like model on the
+// fig13Spec is the Fig. 13 grid: LeNet and the DarkNet-like model on the
 // default 4×4/MC2 platform, both formats, all orderings.
+func fig13Spec(seed int64, trained bool) SweepSpec {
+	return SweepSpec{
+		Platforms:  []NamedPlatform{DefaultPlatform()},
+		Geometries: []Geometry{Float32(), Fixed8()},
+		Orderings:  Orderings(),
+		Models:     []SweepModel{LeNetModel, DarkNetModel},
+		Trained:    trained,
+		Seeds:      []int64{seed},
+	}
+}
+
+// Fig13 reproduces the model sweep: LeNet and the DarkNet-like model on the
+// default 4×4/MC2 platform, both formats, all orderings, executed on the
+// concurrent sweep runner.
 func Fig13(seed int64, trained bool) ([]NoCRunResult, error) {
-	models := []*Model{}
-	if trained {
-		models = append(models, TrainedLeNet(seed), TrainedDarkNet(seed))
-	} else {
-		models = append(models, LeNet(seed), DarkNet(seed))
-	}
-	var all []NoCRunResult
-	for _, m := range models {
-		input := SampleInput(m, seed+7)
-		for _, g := range []Geometry{Float32(), Fixed8()} {
-			rs, err := sweepOrderings("4x4 MC2", Platform4x4MC2(g), m, input)
-			if err != nil {
-				return nil, err
-			}
-			all = append(all, rs...)
-		}
-	}
-	return all, nil
+	return RunSweep(fig13Spec(seed, trained))
 }
 
 // Fig13Report renders the model sweep with normalized BT columns.
@@ -168,14 +146,17 @@ func Table2Report() string {
 	paper := hwmodel.PaperValues()
 	freq := paper.FrequencyMHz * 1e6
 	router := hwmodel.PaperRouter()
+	fixed8Unit := hwmodel.OrderingUnitSpec{Lanes: 16, LaneBits: 8, Affiliated: true}
+	float32Unit := hwmodel.OrderingUnitSpec{Lanes: 16, LaneBits: 32, Affiliated: true}
+	sortUnit := hwmodel.OrderingUnitSpec{Lanes: 16, LaneBits: 8}
 
 	t := stats.NewTable("Component", "kGE (model)", "Power mW (model)", "kGE (paper)", "Power mW (paper)")
 	for _, spec := range []struct {
 		name string
 		u    hwmodel.OrderingUnitSpec
 	}{
-		{"ordering unit (fixed-8 lanes)", hwmodel.OrderingUnitSpec{Lanes: 16, LaneBits: 8, Affiliated: true}},
-		{"ordering unit (float-32 lanes)", hwmodel.OrderingUnitSpec{Lanes: 16, LaneBits: 32, Affiliated: true}},
+		{"ordering unit (fixed-8 lanes)", fixed8Unit},
+		{"ordering unit (float-32 lanes)", float32Unit},
 	} {
 		t.AddRowf(spec.name, spec.u.GE()/1000, spec.u.PowerW(freq, 1)*1000,
 			paper.OrderingUnitKGE, paper.OrderingUnitMW)
@@ -188,15 +169,15 @@ func Table2Report() string {
 	sb.WriteString(t.String())
 	fmt.Fprintf(&sb, "\nScaling as in the paper: 4 ordering units = %.3f mW (paper %.3f); "+
 		"64 routers = %.2f mW (paper %.2f), %.2f kGE (paper %.2f)\n",
-		4*hwmodel.OrderingUnitSpec{Lanes: 16, LaneBits: 8, Affiliated: true}.PowerW(freq, 1)*1000,
+		4*fixed8Unit.PowerW(freq, 1)*1000,
 		paper.OrderingUnits4MW,
 		64*router.PowerW(freq, 1)*1000, paper.Routers64MW,
 		64*router.GE()/1000, paper.Routers64KGE)
 	fmt.Fprintf(&sb, "Sort latency (16 values): bubble %d cycles, bitonic %d, merge %d; "+
 		"separated-ordering doubles each.\n",
-		hwmodel.OrderingUnitSpec{Lanes: 16, LaneBits: 8}.SortLatencyCycles(hwmodel.BubbleSort, false),
-		hwmodel.OrderingUnitSpec{Lanes: 16, LaneBits: 8}.SortLatencyCycles(hwmodel.BitonicSort, false),
-		hwmodel.OrderingUnitSpec{Lanes: 16, LaneBits: 8}.SortLatencyCycles(hwmodel.MergeSort, false))
+		sortUnit.SortLatencyCycles(hwmodel.BubbleSort, false),
+		sortUnit.SortLatencyCycles(hwmodel.BitonicSort, false),
+		sortUnit.SortLatencyCycles(hwmodel.MergeSort, false))
 	return sb.String()
 }
 

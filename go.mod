@@ -1,0 +1,3 @@
+module nocbt
+
+go 1.22

@@ -1,0 +1,82 @@
+package dnn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"nocbt/internal/tensor"
+)
+
+func TestCloneForInferenceSharesWeights(t *testing.T) {
+	m := LeNet(rand.New(rand.NewSource(1)))
+	c := m.CloneForInference()
+	if c == m {
+		t.Fatal("clone returned the same model")
+	}
+	if c.Name() != m.Name() || len(c.Layers) != len(m.Layers) {
+		t.Fatalf("clone shape mismatch: %s/%d vs %s/%d",
+			c.Name(), len(c.Layers), m.Name(), len(m.Layers))
+	}
+	mc, ok1 := m.Layers[0].(*Conv2D)
+	cc, ok2 := c.Layers[0].(*Conv2D)
+	if !ok1 || !ok2 {
+		t.Fatal("first LeNet layer is not Conv2D")
+	}
+	if mc.W != cc.W || mc.B != cc.B {
+		t.Error("clone does not share conv parameter tensors")
+	}
+	if mc == cc {
+		t.Error("clone shares the conv layer struct itself")
+	}
+}
+
+func TestCloneForInferenceSameOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := LeNet(rng)
+	x := tensor.New(1, 32, 32)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()
+	}
+	want := m.Forward(x)
+	got := m.CloneForInference().Forward(x)
+	if len(want.Data) != len(got.Data) {
+		t.Fatalf("output sizes differ: %d vs %d", len(want.Data), len(got.Data))
+	}
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("output %d differs: %v vs %v", i, want.Data[i], got.Data[i])
+		}
+	}
+}
+
+// TestCloneForInferenceConcurrent drives concurrent forward passes through
+// independent clones of one model — exactly what the sweep runner does.
+// Run with -race to prove the clones do not share mutable forward state.
+func TestCloneForInferenceConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := DarkNetTiny(rng)
+	x := tensor.New(3, 64, 64)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()
+	}
+	want := m.CloneForInference().Forward(x)
+
+	var wg sync.WaitGroup
+	outs := make([]*tensor.Tensor, 4)
+	for i := range outs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i] = m.CloneForInference().Forward(x)
+		}(i)
+	}
+	wg.Wait()
+	for i, out := range outs {
+		for j := range want.Data {
+			if out.Data[j] != want.Data[j] {
+				t.Fatalf("concurrent clone %d output %d differs", i, j)
+			}
+		}
+	}
+}

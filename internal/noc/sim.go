@@ -179,8 +179,12 @@ func (s *Sim) Busy() bool {
 func (s *Sim) Drain(maxCycles int64) error {
 	for i := int64(0); s.Busy(); i++ {
 		if i >= maxCycles {
-			return fmt.Errorf("noc: network not drained after %d cycles (%d flits in flight)",
-				maxCycles, s.inNetwork)
+			pending := 0
+			for _, ni := range s.nis {
+				pending += ni.Pending()
+			}
+			return fmt.Errorf("noc: network not drained after %d cycles (%d flits in flight, %d packets queued or mid-injection at NIs)",
+				maxCycles, s.inNetwork, pending)
 		}
 		s.Step()
 	}

@@ -2,6 +2,7 @@ package noc
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"nocbt/internal/bitutil"
@@ -197,6 +198,29 @@ func TestDrainTimeout(t *testing.T) {
 	}
 	if err := s.Drain(1); err == nil {
 		t.Error("Drain(1) with pending traffic must fail")
+	}
+}
+
+func TestDrainTimeoutReportsNIPendingPackets(t *testing.T) {
+	// A packet still queued at its NI has zero in-network flits; the drain
+	// error must surface it anyway (stuck-at-injection bugs).
+	s, err := New(testConfig(2, 1, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Inject(mkPacket(1, 0, 1, 8, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Inject(mkPacket(2, 0, 1, 8, 3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	err = s.Drain(0) // no cycles: nothing injected yet, both packets NI-pending
+	if err == nil {
+		t.Fatal("Drain(0) with queued packets must fail")
+	}
+	if !strings.Contains(err.Error(), "0 flits in flight") ||
+		!strings.Contains(err.Error(), "2 packets queued or mid-injection at NIs") {
+		t.Errorf("drain error hides NI-pending packets: %v", err)
 	}
 }
 

@@ -1,0 +1,49 @@
+package sweep
+
+import (
+	"encoding/json"
+	"io"
+
+	"nocbt/internal/flit"
+	"nocbt/internal/stats"
+)
+
+// Result is one measured grid point. The string fields duplicate the typed
+// Geometry/Ordering so the JSON form is self-describing without leaking the
+// internal types into serialized output.
+type Result struct {
+	Platform     string        `json:"platform"`
+	Workload     string        `json:"workload"`
+	Model        string        `json:"model"`
+	Geometry     flit.Geometry `json:"-"`
+	Format       string        `json:"format"`
+	LinkBits     int           `json:"link_bits"`
+	Ordering     flit.Ordering `json:"-"`
+	OrderingName string        `json:"ordering"`
+	Seed         int64         `json:"seed"`
+	TotalBT      int64         `json:"total_bt"`
+	Cycles       int64         `json:"cycles"`
+	Packets      int64         `json:"packets"`
+	// ReductionPct is relative to the group's Baseline run (0 when the
+	// sweep did not include the Baseline ordering).
+	ReductionPct float64 `json:"reduction_pct"`
+}
+
+// WriteJSON emits the results as an indented JSON array.
+func WriteJSON(w io.Writer, results []Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// RenderTable renders the results with the repository's standard table
+// formatter, one row per grid point in sweep order.
+func RenderTable(results []Result) string {
+	t := stats.NewTable("Platform", "Model", "Format", "Ordering", "Seed",
+		"Total BT", "Cycles", "Packets", "Reduction %")
+	for _, r := range results {
+		t.AddRowf(r.Platform, r.Model, r.Format, r.OrderingName, r.Seed,
+			r.TotalBT, r.Cycles, r.Packets, r.ReductionPct)
+	}
+	return t.String()
+}

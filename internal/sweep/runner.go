@@ -1,0 +1,184 @@
+package sweep
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"nocbt/internal/accel"
+	"nocbt/internal/dnn"
+	"nocbt/internal/flit"
+	"nocbt/internal/stats"
+	"nocbt/internal/tensor"
+)
+
+// workloadKey identifies one materialized (workload, seed) pair.
+type workloadKey struct {
+	name string
+	seed int64
+}
+
+// workloadEntry memoizes one Build call. The sync.Once lets every job that
+// needs the pair block on a single materialization instead of serializing
+// the whole sweep behind one lock or training the same model per job.
+type workloadEntry struct {
+	once  sync.Once
+	model *dnn.Model
+	input *tensor.Tensor
+	err   error
+}
+
+// runner carries the per-sweep state: the spec and the materialized
+// workload cache.
+type runner struct {
+	mu        sync.Mutex
+	workloads map[workloadKey]*workloadEntry
+}
+
+// Run executes every job of the spec on a bounded worker pool and returns
+// one Result per job in expansion order. A job error aborts the sweep:
+// already-running jobs finish, still-queued jobs are skipped, and the
+// lowest-index error that was actually recorded is returned.
+func Run(spec Spec) ([]Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	jobs := spec.Jobs()
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	r := &runner{workloads: make(map[workloadKey]*workloadEntry)}
+	results := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	var failed atomic.Bool
+	ch := make(chan Job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range ch {
+				if failed.Load() {
+					continue // drain the queue without running
+				}
+				results[job.Index], errs[job.Index] = r.runJob(job)
+				if errs[job.Index] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for _, job := range jobs {
+		ch <- job
+	}
+	close(ch)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sweep: job %s: %w", jobs[i].Name(), err)
+		}
+	}
+	fillReductions(results)
+	return results, nil
+}
+
+// workload returns the memoized materialization for the job's (workload,
+// seed) pair, building it on first use. The Build rng is created here, one
+// per materialization, seeded from the spec seed — results cannot depend on
+// which worker gets here first.
+func (r *runner) workload(w Workload, seed int64) *workloadEntry {
+	key := workloadKey{name: w.Name, seed: seed}
+	r.mu.Lock()
+	e, ok := r.workloads[key]
+	if !ok {
+		e = &workloadEntry{}
+		r.workloads[key] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() {
+		e.model, e.input, e.err = w.Build(seed, rand.New(rand.NewSource(seed)))
+		if e.err == nil && (e.model == nil || e.input == nil) {
+			e.err = fmt.Errorf("workload %q returned nil model or input", w.Name)
+		}
+	})
+	return e
+}
+
+// runJob measures one grid point: build the platform, clone the shared
+// model for race-free inference, run it through the NoC.
+func (r *runner) runJob(job Job) (Result, error) {
+	entry := r.workload(job.Workload, job.Seed)
+	if entry.err != nil {
+		return Result{}, entry.err
+	}
+	cfg := job.Platform.Build(job.Geometry)
+	cfg.Ordering = job.Ordering
+	model := entry.model.CloneForInference()
+	eng, err := accel.New(cfg, model)
+	if err != nil {
+		return Result{}, err
+	}
+	if _, err := eng.Infer(entry.input); err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Platform:     job.Platform.Name,
+		Workload:     job.Workload.Name,
+		Model:        model.Name(),
+		Geometry:     job.Geometry,
+		Format:       job.Geometry.Format.String(),
+		LinkBits:     job.Geometry.LinkBits,
+		Ordering:     job.Ordering,
+		OrderingName: job.Ordering.String(),
+		Seed:         job.Seed,
+		TotalBT:      eng.TotalBT(),
+		Cycles:       eng.Cycles(),
+		Packets:      eng.TaskPackets() + eng.ResultPackets(),
+	}, nil
+}
+
+// groupKey identifies a reduction group: one job minus its ordering.
+type groupKey struct {
+	platform string
+	workload string
+	linkBits int
+	format   string
+	seed     int64
+}
+
+func (res Result) group() groupKey {
+	return groupKey{
+		platform: res.Platform,
+		workload: res.Workload,
+		linkBits: res.LinkBits,
+		format:   res.Format,
+		seed:     res.Seed,
+	}
+}
+
+// fillReductions computes each result's BT reduction relative to its
+// group's Baseline run, matching the serial experiment arithmetic. Groups
+// swept without a Baseline ordering keep ReductionPct == 0.
+func fillReductions(results []Result) {
+	baselines := make(map[groupKey]float64)
+	for _, res := range results {
+		if res.Ordering == flit.Baseline {
+			baselines[res.group()] = float64(res.TotalBT)
+		}
+	}
+	for i := range results {
+		base, ok := baselines[results[i].group()]
+		if !ok {
+			continue
+		}
+		results[i].ReductionPct = 100 * stats.ReductionRate(base, float64(results[i].TotalBT))
+	}
+}

@@ -1,0 +1,144 @@
+// Package sweep is the concurrent experiment runner behind the repository's
+// figure reproductions. A declarative Spec names the grid to explore —
+// orderings × mesh platforms × flit geometries × DNN workloads × seeds —
+// and Run expands it into jobs and executes them on a bounded worker pool.
+//
+// Determinism is the design constraint: the paper's tables must come out
+// bit-identical whether the sweep runs on one worker or sixteen. Three rules
+// enforce it:
+//
+//   - every job is fully described by spec coordinates (no global state);
+//   - workload materialization owns a private rand.Rand seeded from the
+//     spec's seed, never a Rand shared between goroutines;
+//   - jobs that share a (workload, seed) pair share one materialized model,
+//     built exactly once behind a sync.Once, and each job runs inference on
+//     its own dnn.CloneForInference view so no forward-pass state is shared.
+//
+// Results come back in job-expansion order regardless of completion order,
+// with reduction rates filled in relative to each group's Baseline run.
+package sweep
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nocbt/internal/accel"
+	"nocbt/internal/dnn"
+	"nocbt/internal/flit"
+	"nocbt/internal/tensor"
+)
+
+// Workload names a DNN workload and knows how to materialize it for a seed.
+type Workload struct {
+	// Name labels the workload in results and keys the per-sweep model
+	// cache; it must be unique within a Spec.
+	Name string
+	// Build returns the model and the inference input for the given seed.
+	// The rng is private to this call and seeded from the spec's seed, so
+	// Build may draw from it freely (random weight init, input synthesis)
+	// without breaking cross-worker determinism. Build runs at most once
+	// per (workload, seed) per sweep; the returned model and input are
+	// shared by every job of that pair, so they must not be mutated after
+	// return (the runner clones the model per job before inference).
+	Build func(seed int64, rng *rand.Rand) (*dnn.Model, *tensor.Tensor, error)
+}
+
+// Platform names an accelerator platform and builds its configuration for a
+// flit geometry.
+type Platform struct {
+	Name string
+	// Build returns the platform configuration; the runner sets Ordering
+	// on the returned config, any other field is the platform's business.
+	Build func(flit.Geometry) accel.Config
+}
+
+// Spec declares the experiment grid. Every combination of the five axes
+// becomes one job.
+type Spec struct {
+	Platforms  []Platform
+	Geometries []flit.Geometry
+	Orderings  []flit.Ordering
+	Workloads  []Workload
+	Seeds      []int64
+	// Workers bounds the pool; 0 means runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// Validate reports the first structural problem with the spec.
+func (s Spec) Validate() error {
+	if len(s.Platforms) == 0 || len(s.Geometries) == 0 || len(s.Orderings) == 0 ||
+		len(s.Workloads) == 0 || len(s.Seeds) == 0 {
+		return fmt.Errorf("sweep: empty grid axis (platforms=%d geometries=%d orderings=%d workloads=%d seeds=%d)",
+			len(s.Platforms), len(s.Geometries), len(s.Orderings), len(s.Workloads), len(s.Seeds))
+	}
+	seen := make(map[string]bool, len(s.Workloads))
+	for _, w := range s.Workloads {
+		if w.Name == "" || w.Build == nil {
+			return fmt.Errorf("sweep: workload %q missing name or Build", w.Name)
+		}
+		if seen[w.Name] {
+			return fmt.Errorf("sweep: duplicate workload name %q", w.Name)
+		}
+		seen[w.Name] = true
+	}
+	// Platform names are a reduction-group key, so duplicates would
+	// silently cross-wire baselines.
+	seenPlatform := make(map[string]bool, len(s.Platforms))
+	for _, p := range s.Platforms {
+		if p.Name == "" || p.Build == nil {
+			return fmt.Errorf("sweep: platform %q missing name or Build", p.Name)
+		}
+		if seenPlatform[p.Name] {
+			return fmt.Errorf("sweep: duplicate platform name %q", p.Name)
+		}
+		seenPlatform[p.Name] = true
+	}
+	return nil
+}
+
+// Job is one grid point: a single (platform, geometry, ordering, workload,
+// seed) inference measurement.
+type Job struct {
+	// Index is the job's position in expansion order; results are returned
+	// in this order.
+	Index    int
+	Seed     int64
+	Workload Workload
+	Geometry flit.Geometry
+	Platform Platform
+	Ordering flit.Ordering
+}
+
+// Name renders the job's coordinates for error messages.
+func (j Job) Name() string {
+	return fmt.Sprintf("%s/%s/%s/%s/seed%d",
+		j.Platform.Name, j.Geometry.Format, j.Ordering, j.Workload.Name, j.Seed)
+}
+
+// Jobs expands the grid in deterministic nesting order — seeds, then
+// workloads, then geometries, then platforms, then orderings. Orderings are
+// innermost so each reduction group (a job minus its ordering) is a
+// contiguous run, and the serial reference loops in experiments_noc.go
+// produce rows in exactly this order.
+func (s Spec) Jobs() []Job {
+	jobs := make([]Job, 0, len(s.Seeds)*len(s.Workloads)*len(s.Geometries)*len(s.Platforms)*len(s.Orderings))
+	for _, seed := range s.Seeds {
+		for _, w := range s.Workloads {
+			for _, g := range s.Geometries {
+				for _, p := range s.Platforms {
+					for _, ord := range s.Orderings {
+						jobs = append(jobs, Job{
+							Index:    len(jobs),
+							Seed:     seed,
+							Workload: w,
+							Geometry: g,
+							Platform: p,
+							Ordering: ord,
+						})
+					}
+				}
+			}
+		}
+	}
+	return jobs
+}

@@ -1,0 +1,287 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"nocbt/internal/accel"
+	"nocbt/internal/dnn"
+	"nocbt/internal/flit"
+	"nocbt/internal/noc"
+	"nocbt/internal/tensor"
+)
+
+// tinyWorkload builds a 5-layer model small enough that a full sweep of it
+// finishes in milliseconds.
+func tinyWorkload(name string) Workload {
+	return Workload{
+		Name: name,
+		Build: func(seed int64, rng *rand.Rand) (*dnn.Model, *tensor.Tensor, error) {
+			m := &dnn.Model{
+				ModelName: "Tiny",
+				InShape:   []int{1, 8, 8},
+				Layers: []dnn.Layer{
+					dnn.NewConv2D(1, 2, 3, 1, 0, rng),
+					dnn.NewReLU(),
+					dnn.NewMaxPool2(),
+					dnn.NewFlatten(),
+					dnn.NewLinear(2*3*3, 4, rng),
+				},
+			}
+			in := tensor.New(1, 8, 8)
+			for i := range in.Data {
+				in.Data[i] = rng.Float32()*2 - 1
+			}
+			return m, in, nil
+		},
+	}
+}
+
+func tinyPlatform() Platform {
+	return Platform{
+		Name: "2x2 MC1",
+		Build: func(g flit.Geometry) accel.Config {
+			return accel.Config{
+				Mesh:     noc.Config{Width: 2, Height: 2, VCs: 4, BufDepth: 4, LinkBits: g.LinkBits},
+				Geometry: g,
+				MCs:      []int{0},
+			}
+		},
+	}
+}
+
+func tinySpec() Spec {
+	return Spec{
+		Platforms:  []Platform{tinyPlatform()},
+		Geometries: []flit.Geometry{flit.Fixed8Geometry(), flit.Float32Geometry()},
+		Orderings:  flit.Orderings(),
+		Workloads:  []Workload{tinyWorkload("tiny")},
+		Seeds:      []int64{1, 2},
+	}
+}
+
+func TestJobsExpansionOrder(t *testing.T) {
+	spec := tinySpec()
+	jobs := spec.Jobs()
+	want := len(spec.Seeds) * len(spec.Workloads) * len(spec.Geometries) *
+		len(spec.Platforms) * len(spec.Orderings)
+	if len(jobs) != want {
+		t.Fatalf("expanded %d jobs, want %d", len(jobs), want)
+	}
+	for i, j := range jobs {
+		if j.Index != i {
+			t.Fatalf("job %d carries index %d", i, j.Index)
+		}
+	}
+	// Orderings innermost, then platforms, then geometries, then seeds.
+	if jobs[0].Ordering != flit.Baseline || jobs[1].Ordering != flit.Affiliated ||
+		jobs[2].Ordering != flit.Separated {
+		t.Error("orderings are not the innermost axis")
+	}
+	if jobs[0].Geometry != flit.Fixed8Geometry() || jobs[3].Geometry != flit.Float32Geometry() {
+		t.Error("geometries do not advance after one platform's orderings")
+	}
+	if jobs[0].Seed != 1 || jobs[len(jobs)-1].Seed != 2 {
+		t.Error("seeds are not the outermost axis")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Spec{}).Validate(); err == nil {
+		t.Error("empty spec validated")
+	}
+	spec := tinySpec()
+	spec.Workloads = append(spec.Workloads, tinyWorkload("tiny"))
+	if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate workload name not rejected: %v", err)
+	}
+	spec = tinySpec()
+	spec.Workloads = []Workload{{Name: "nobuild"}}
+	if err := spec.Validate(); err == nil {
+		t.Error("nil Build not rejected")
+	}
+	spec = tinySpec()
+	spec.Platforms = []Platform{{Name: "nobuild"}}
+	if err := spec.Validate(); err == nil {
+		t.Error("nil platform Build not rejected")
+	}
+	spec = tinySpec()
+	spec.Platforms = append(spec.Platforms, tinyPlatform())
+	if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate platform") {
+		t.Errorf("duplicate platform name not rejected: %v", err)
+	}
+}
+
+// TestRunDeterministicAcrossWorkerCounts is the package-level determinism
+// contract: the same spec yields bit-identical results on 1 worker and on
+// many.
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	serial := tinySpec()
+	serial.Workers = 1
+	a, err := Run(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	concurrent := tinySpec()
+	concurrent.Workers = 7
+	b, err := Run(concurrent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("results differ across worker counts:\n1 worker: %+v\n7 workers: %+v", a, b)
+	}
+	for _, r := range a {
+		if r.TotalBT <= 0 || r.Cycles <= 0 || r.Packets <= 0 {
+			t.Errorf("degenerate result %+v", r)
+		}
+	}
+}
+
+func TestWorkloadBuiltOncePerSeed(t *testing.T) {
+	var builds atomic.Int64
+	spec := tinySpec()
+	inner := spec.Workloads[0].Build
+	spec.Workloads = []Workload{{
+		Name: "counted",
+		Build: func(seed int64, rng *rand.Rand) (*dnn.Model, *tensor.Tensor, error) {
+			builds.Add(1)
+			return inner(seed, rng)
+		},
+	}}
+	spec.Workers = 4
+	if _, err := Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	if got := builds.Load(); got != int64(len(spec.Seeds)) {
+		t.Errorf("workload built %d times for %d seeds", got, len(spec.Seeds))
+	}
+}
+
+func TestReductionPct(t *testing.T) {
+	spec := tinySpec()
+	spec.Seeds = []int64{1}
+	results, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Groups are contiguous runs of len(Orderings).
+	for i := 0; i < len(results); i += 3 {
+		base := results[i]
+		if base.Ordering != flit.Baseline || base.ReductionPct != 0 {
+			t.Fatalf("group %d does not start with a zero-reduction baseline: %+v", i, base)
+		}
+		for _, r := range results[i+1 : i+3] {
+			want := 100 * (1 - float64(r.TotalBT)/float64(base.TotalBT))
+			if r.ReductionPct != want {
+				t.Errorf("%s/%s reduction %v, want %v", r.Format, r.OrderingName, r.ReductionPct, want)
+			}
+		}
+	}
+}
+
+func TestReductionPctWithoutBaseline(t *testing.T) {
+	spec := tinySpec()
+	spec.Seeds = []int64{1}
+	spec.Orderings = []flit.Ordering{flit.Separated}
+	results, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.ReductionPct != 0 {
+			t.Errorf("reduction %v without a baseline in the sweep", r.ReductionPct)
+		}
+	}
+}
+
+func TestRunPropagatesBuildError(t *testing.T) {
+	boom := errors.New("boom")
+	spec := tinySpec()
+	spec.Workloads = []Workload{{
+		Name: "broken",
+		Build: func(int64, *rand.Rand) (*dnn.Model, *tensor.Tensor, error) {
+			return nil, nil, boom
+		},
+	}}
+	_, err := Run(spec)
+	if !errors.Is(err, boom) {
+		t.Fatalf("build error not propagated: %v", err)
+	}
+	if !strings.Contains(err.Error(), "broken") {
+		t.Errorf("error %q does not name the failing job", err)
+	}
+}
+
+// TestRunAbortsQueuedJobsAfterError pins the abort contract: once a job
+// fails, still-queued jobs are skipped instead of burning the rest of the
+// grid.
+func TestRunAbortsQueuedJobsAfterError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	spec := tinySpec()
+	spec.Workers = 1 // serial queue: job 0 fails, jobs 1..n must be skipped
+	spec.Workloads = []Workload{{
+		Name: "failfast",
+		Build: func(int64, *rand.Rand) (*dnn.Model, *tensor.Tensor, error) {
+			ran.Add(1)
+			return nil, nil, boom
+		},
+	}}
+	if _, err := Run(spec); !errors.Is(err, boom) {
+		t.Fatalf("build error not propagated: %v", err)
+	}
+	// Build is memoized per seed, so even without the abort it could run at
+	// most len(Seeds) times; the abort must cut it to exactly one.
+	if got := ran.Load(); got != 1 {
+		t.Errorf("workload built %d times after a failing first job, want 1", got)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	spec := tinySpec()
+	spec.Seeds = []int64{1}
+	spec.Geometries = spec.Geometries[:1]
+	results, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != len(results) {
+		t.Fatalf("JSON rows %d, results %d", len(decoded), len(results))
+	}
+	first := decoded[0]
+	if first["platform"] != "2x2 MC1" || first["ordering"] != "O0" ||
+		first["format"] != "fixed-8" || first["total_bt"].(float64) <= 0 {
+		t.Errorf("unexpected JSON row: %v", first)
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	spec := tinySpec()
+	spec.Seeds = []int64{1}
+	spec.Geometries = spec.Geometries[:1]
+	results, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTable(results)
+	for _, want := range []string{"Platform", "Reduction %", "2x2 MC1", "O2", "Tiny"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

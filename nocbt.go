@@ -102,25 +102,33 @@ func DarkNet(seed int64) *Model {
 	return dnn.DarkNetTiny(rand.New(rand.NewSource(seed)))
 }
 
-// modelCache memoizes trained models: training is seconds of work and every
-// experiment reuses the same seeds.
+// modelCache memoizes trained models process-wide: training is seconds of
+// work and every experiment reuses the same seeds. Each entry is guarded by
+// its own sync.Once, so concurrent sweep jobs wanting the same model block
+// on one training run while different model/seed pairs train in parallel.
 type modelCache struct {
 	mu sync.Mutex
-	m  map[string]*Model
+	m  map[string]*modelCacheEntry
+}
+
+type modelCacheEntry struct {
+	once  sync.Once
+	model *Model
 }
 
 func (c *modelCache) get(key string, build func() *Model) *Model {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if m, ok := c.m[key]; ok {
-		return m
-	}
 	if c.m == nil {
-		c.m = make(map[string]*Model)
+		c.m = make(map[string]*modelCacheEntry)
 	}
-	m := build()
-	c.m[key] = m
-	return m
+	e, ok := c.m[key]
+	if !ok {
+		e = &modelCacheEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.model = build() })
+	return e.model
 }
 
 var _trained modelCache

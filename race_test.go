@@ -1,0 +1,9 @@
+//go:build race
+
+package nocbt
+
+// raceEnabled gates the full-figure grid tests, which are an order of
+// magnitude slower under the race detector. The sweep-vs-serial contract
+// still runs race-enabled through the smaller grids
+// (TestRunSweepDeterministicAcrossWorkerCounts and internal/sweep's suite).
+const raceEnabled = true

@@ -1,0 +1,210 @@
+package nocbt
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"nocbt/internal/dnn"
+	"nocbt/internal/sweep"
+	"nocbt/internal/tensor"
+)
+
+// This file is the public face of the concurrent sweep runner
+// (internal/sweep): declare a grid of orderings × platforms × formats ×
+// models × seeds and RunSweep measures every combination on a bounded
+// worker pool, returning rows bit-identical to the serial loops no matter
+// how many workers run.
+
+// SweepModel names a model family the sweep runner can materialize.
+type SweepModel string
+
+const (
+	// LeNetModel is LeNet-5 on 32×32×1 input.
+	LeNetModel SweepModel = "lenet"
+	// DarkNetModel is the DarkNet-like model on 64×64×3 input.
+	DarkNetModel SweepModel = "darknet"
+)
+
+// NamedPlatform pairs a report label with a platform constructor.
+type NamedPlatform struct {
+	Name  string
+	Build func(Geometry) Platform
+}
+
+// PaperPlatforms returns the paper's three evaluated platforms in Fig. 12
+// order: 4×4/MC2, 8×8/MC4, 8×8/MC8.
+func PaperPlatforms() []NamedPlatform {
+	return []NamedPlatform{
+		{Name: "4x4 MC2", Build: Platform4x4MC2},
+		{Name: "8x8 MC4", Build: Platform8x8MC4},
+		{Name: "8x8 MC8", Build: Platform8x8MC8},
+	}
+}
+
+// DefaultPlatform returns the paper's default 4×4/MC2 platform.
+func DefaultPlatform() NamedPlatform {
+	return NamedPlatform{Name: "4x4 MC2", Build: Platform4x4MC2}
+}
+
+// SweepSpec declares a sweep grid. Zero-valued axes fall back to the
+// paper's defaults (see withDefaults), so SweepSpec{} sweeps untrained
+// LeNet over every platform, format and ordering at seed 1.
+type SweepSpec struct {
+	// Platforms to evaluate. Default: PaperPlatforms().
+	Platforms []NamedPlatform
+	// Geometries (flit formats) to evaluate. Default: Float32 and Fixed8.
+	Geometries []Geometry
+	// Orderings to evaluate. Default: O0, O1, O2.
+	Orderings []Ordering
+	// Models to evaluate. Default: LeNet.
+	Models []SweepModel
+	// Trained selects converged weights (trained once per model+seed and
+	// cached process-wide) instead of random initialization.
+	Trained bool
+	// Seeds for weight init / training and input synthesis. Default: {1}.
+	Seeds []int64
+	// Workers bounds the worker pool; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (s SweepSpec) withDefaults() SweepSpec {
+	if len(s.Platforms) == 0 {
+		s.Platforms = PaperPlatforms()
+	}
+	if len(s.Geometries) == 0 {
+		s.Geometries = []Geometry{Float32(), Fixed8()}
+	}
+	if len(s.Orderings) == 0 {
+		s.Orderings = Orderings()
+	}
+	if len(s.Models) == 0 {
+		s.Models = []SweepModel{LeNetModel}
+	}
+	if len(s.Seeds) == 0 {
+		s.Seeds = []int64{1}
+	}
+	return s
+}
+
+// workloadFor maps a model name onto the internal sweep workload. The
+// untrained builders draw weights from the job-private rng (seeded from the
+// spec seed, so identical to LeNet(seed)/DarkNet(seed)); the trained
+// builders go through the process-wide trained-model cache instead.
+func workloadFor(m SweepModel, trained bool) (sweep.Workload, error) {
+	build := func(mk func(seed int64, rng *rand.Rand) *dnn.Model) func(int64, *rand.Rand) (*dnn.Model, *tensor.Tensor, error) {
+		return func(seed int64, rng *rand.Rand) (*dnn.Model, *tensor.Tensor, error) {
+			model := mk(seed, rng)
+			return model, SampleInput(model, seed+7), nil
+		}
+	}
+	switch m {
+	case LeNetModel:
+		if trained {
+			return sweep.Workload{Name: string(m), Build: build(
+				func(seed int64, _ *rand.Rand) *dnn.Model { return TrainedLeNet(seed) })}, nil
+		}
+		return sweep.Workload{Name: string(m), Build: build(
+			func(_ int64, rng *rand.Rand) *dnn.Model { return dnn.LeNet(rng) })}, nil
+	case DarkNetModel:
+		if trained {
+			return sweep.Workload{Name: string(m), Build: build(
+				func(seed int64, _ *rand.Rand) *dnn.Model { return TrainedDarkNet(seed) })}, nil
+		}
+		return sweep.Workload{Name: string(m), Build: build(
+			func(_ int64, rng *rand.Rand) *dnn.Model { return dnn.DarkNetTiny(rng) })}, nil
+	default:
+		return sweep.Workload{}, fmt.Errorf("nocbt: unknown sweep model %q", m)
+	}
+}
+
+// toInternal lowers the public spec onto the internal runner's grid.
+func (s SweepSpec) toInternal() (sweep.Spec, error) {
+	spec := sweep.Spec{
+		Geometries: s.Geometries,
+		Orderings:  s.Orderings,
+		Seeds:      s.Seeds,
+		Workers:    s.Workers,
+	}
+	for _, p := range s.Platforms {
+		p := p
+		spec.Platforms = append(spec.Platforms, sweep.Platform{Name: p.Name, Build: p.Build})
+	}
+	for _, m := range s.Models {
+		w, err := workloadFor(m, s.Trained)
+		if err != nil {
+			return sweep.Spec{}, err
+		}
+		spec.Workloads = append(spec.Workloads, w)
+	}
+	return spec, nil
+}
+
+// RunSweep expands the spec into one job per grid point and measures every
+// job on a bounded worker pool. Results come back in deterministic grid
+// order (seeds → models → geometries → platforms → orderings) with
+// ReductionPct filled in relative to each group's O0 run, and are
+// bit-identical for any worker count: jobs share materialized models
+// (trained at most once per model+seed) but infer on private clones.
+func RunSweep(spec SweepSpec) ([]NoCRunResult, error) {
+	internal, err := spec.withDefaults().toInternal()
+	if err != nil {
+		return nil, err
+	}
+	results, err := sweep.Run(internal)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]NoCRunResult, len(results))
+	for i, r := range results {
+		rows[i] = NoCRunResult{
+			Platform:     r.Platform,
+			Model:        r.Model,
+			Workload:     r.Workload,
+			Geometry:     r.Geometry,
+			Ordering:     r.Ordering,
+			TotalBT:      r.TotalBT,
+			Cycles:       r.Cycles,
+			Packets:      r.Packets,
+			ReductionPct: r.ReductionPct,
+			Seed:         r.Seed,
+		}
+	}
+	return rows, nil
+}
+
+// SweepReport renders sweep rows with the standard table formatter.
+func SweepReport(rows []NoCRunResult) string {
+	return sweep.RenderTable(toInternalResults(rows))
+}
+
+// WriteSweepJSON emits sweep rows as an indented JSON array.
+func WriteSweepJSON(w io.Writer, rows []NoCRunResult) error {
+	return sweep.WriteJSON(w, toInternalResults(rows))
+}
+
+func toInternalResults(rows []NoCRunResult) []sweep.Result {
+	out := make([]sweep.Result, len(rows))
+	for i, r := range rows {
+		workload := r.Workload
+		if workload == "" {
+			workload = r.Model // rows from direct RunModelOnNoC calls
+		}
+		out[i] = sweep.Result{
+			Platform:     r.Platform,
+			Workload:     workload,
+			Model:        r.Model,
+			Geometry:     r.Geometry,
+			Format:       r.Geometry.Format.String(),
+			LinkBits:     r.Geometry.LinkBits,
+			Ordering:     r.Ordering,
+			OrderingName: r.Ordering.String(),
+			Seed:         r.Seed,
+			TotalBT:      r.TotalBT,
+			Cycles:       r.Cycles,
+			Packets:      r.Packets,
+			ReductionPct: r.ReductionPct,
+		}
+	}
+	return out
+}
