@@ -6,16 +6,21 @@ package nocbt_test
 // b.ReportMetric, so `go test -bench .` regenerates the evaluation's rows.
 
 import (
+	"encoding/json"
 	"math/rand"
+	"os"
 	"testing"
 
 	"nocbt"
 	"nocbt/internal/bitutil"
 	"nocbt/internal/businvert"
 	"nocbt/internal/core"
+	"nocbt/internal/dnn"
 	"nocbt/internal/flit"
 	"nocbt/internal/hwmodel"
+	"nocbt/internal/noc"
 	"nocbt/internal/stats"
+	"nocbt/internal/tensor"
 )
 
 // ---- Fig. 1: expectation surface ----------------------------------------
@@ -338,6 +343,193 @@ func BenchmarkAblationVsBusInvert(b *testing.B) {
 	b.ReportMetric(float64(raw), "BT-raw")
 	b.ReportMetric(float64(orderedBT), "BT-ordered")
 	b.ReportMetric(float64(busInvBT), "BT-businvert")
+}
+
+// ---- Batched inference engine ------------------------------------------------
+
+// batchBenchWorkload is the compute-bound regime the batch engine targets:
+// a small, layer-heavy model on the 8×8/MC8 platform with a
+// one-MAC-per-cycle PE, so layer tails dominate and a serial mesh idles.
+func batchBenchWorkload() (nocbt.Platform, *dnn.Model, []*tensor.Tensor) {
+	rng := rand.New(rand.NewSource(1))
+	model := &dnn.Model{
+		ModelName: "micro",
+		InShape:   []int{1, 12, 12},
+		Layers: []dnn.Layer{
+			dnn.NewConv2D(1, 4, 3, 1, 1, rng),
+			dnn.NewReLU(),
+			dnn.NewMaxPool2(),
+			dnn.NewConv2D(4, 8, 3, 1, 1, rng),
+			dnn.NewReLU(),
+			dnn.NewMaxPool2(),
+			dnn.NewFlatten(),
+			dnn.NewLinear(8*3*3, 10, rng),
+		},
+	}
+	inputs := make([]*tensor.Tensor, 8)
+	for i := range inputs {
+		x := tensor.New(model.InShape...)
+		x.Uniform(0, 1, rand.New(rand.NewSource(int64(10+i))))
+		inputs[i] = x
+	}
+	cfg := nocbt.Platform8x8MC8(nocbt.Fixed8())
+	cfg.PEComputeCycles = 64
+	return cfg, model, inputs
+}
+
+// BenchmarkInferSerial is the reference: the batch executed as one Infer
+// call per input. Reports simulated cycles per inference — the hardware
+// figure-of-merit the simulator exists to measure.
+func BenchmarkInferSerial(b *testing.B) {
+	cfg, model, inputs := batchBenchWorkload()
+	b.ReportAllocs()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		eng, err := nocbt.NewEngine(cfg, model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, in := range inputs {
+			if _, err := eng.Infer(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+		cycles = eng.Cycles()
+	}
+	b.ReportMetric(float64(cycles)/float64(len(inputs)), "cycles/inference")
+	b.ReportMetric(float64(len(inputs))*1000/float64(cycles), "inf/kcycle")
+}
+
+// BenchmarkInferBatch runs the same inputs through Engine.InferBatch under
+// PipelinedLayers, all inferences sharing the mesh. The inf/kcycle metric
+// must be ≥1.5× the serial benchmark's (pinned exactly by
+// TestInferBatchThroughput in internal/accel).
+func BenchmarkInferBatch(b *testing.B) {
+	cfg, model, inputs := batchBenchWorkload()
+	cfg.LayerMode = nocbt.PipelinedLayers
+	b.ReportAllocs()
+	var st nocbt.BatchStats
+	for i := 0; i < b.N; i++ {
+		eng, err := nocbt.NewEngine(cfg, model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.InferBatch(inputs); err != nil {
+			b.Fatal(err)
+		}
+		st = eng.LastBatchStats()
+	}
+	b.ReportMetric(float64(st.Cycles)/float64(st.Inferences), "cycles/inference")
+	b.ReportMetric(st.Throughput(), "inf/kcycle")
+	b.ReportMetric(st.AvgLatencyCycles, "avg-latency-cycles")
+}
+
+// ---- BENCH_noc.json baseline --------------------------------------------------
+
+// stepBenchSim replicates internal/noc's Step benchmark workloads through
+// the package API so the baseline emitter can measure them from here.
+func stepBenchSim(b *testing.B, idle bool) {
+	s, err := noc.New(noc.Config{Width: 8, Height: 8, VCs: 4, BufDepth: 4, LinkBits: 128})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var id uint64
+	mkPacket := func(src, dst int) *flit.Packet {
+		id++
+		payloads := make([]bitutil.Vec, 4)
+		for i := range payloads {
+			v := bitutil.NewVec(128)
+			v.SetField(0, 64, rng.Uint64())
+			v.SetField(64, 64, rng.Uint64())
+			payloads[i] = v
+		}
+		hdr := bitutil.NewVec(128)
+		hdr.SetField(0, 32, uint64(id))
+		return flit.NewPacket(id, src, dst, hdr, payloads)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		switch {
+		case idle && i%256 == 0:
+			if err := s.Inject(mkPacket(0, 63)); err != nil {
+				b.Fatal(err)
+			}
+		case !idle && i%16 == 0:
+			for n := 0; n < 64; n++ {
+				if err := s.Inject(mkPacket(n, (n+17)%64)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		s.Step()
+		if i%64 == 63 {
+			for n := 0; n < 64; n++ {
+				s.PopEjected(n)
+			}
+		}
+	}
+}
+
+// TestEmitNoCBenchBaseline regenerates the NoC benchmark baseline when
+// BENCH_NOC_JSON names an output path (CI does; see
+// .github/workflows/ci.yml). The committed BENCH_noc.json at the
+// repository root was produced this way, with the pre-optimization Step
+// numbers recorded alongside for comparison.
+func TestEmitNoCBenchBaseline(t *testing.T) {
+	path := os.Getenv("BENCH_NOC_JSON")
+	if path == "" {
+		t.Skip("set BENCH_NOC_JSON=<path> to emit the benchmark baseline")
+	}
+	idle := testing.Benchmark(func(b *testing.B) { stepBenchSim(b, true) })
+	busy := testing.Benchmark(func(b *testing.B) { stepBenchSim(b, false) })
+
+	cfg, model, inputs := batchBenchWorkload()
+	serialEng, err := nocbt.NewEngine(cfg, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range inputs {
+		if _, err := serialEng.Infer(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg.LayerMode = nocbt.PipelinedLayers
+	batchEng, err := nocbt.NewEngine(cfg, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := batchEng.InferBatch(inputs); err != nil {
+		t.Fatal(err)
+	}
+	st := batchEng.LastBatchStats()
+
+	baseline := map[string]interface{}{
+		"schema": "nocbt-bench-noc/v1",
+		"sim_step_ns_per_cycle": map[string]interface{}{
+			"idle_8x8":      float64(idle.T.Nanoseconds()) / float64(idle.N),
+			"saturated_8x8": float64(busy.T.Nanoseconds()) / float64(busy.N),
+		},
+		"infer": map[string]interface{}{
+			"workload":                  "micro 8-layer net, 8x8 MC8 fixed-8, PEComputeCycles=64, batch=8",
+			"serial_cycles":             serialEng.Cycles(),
+			"batch_cycles":              st.Cycles,
+			"speedup":                   float64(serialEng.Cycles()) / float64(st.Cycles),
+			"throughput_inf_per_kcycle": st.Throughput(),
+			"avg_latency_cycles":        st.AvgLatencyCycles,
+		},
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(baseline); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
 }
 
 // ---- Micro-benchmarks of the hot paths ---------------------------------------

@@ -43,6 +43,7 @@ func run(args []string, stdout io.Writer) error {
 	formats := fs.String("formats", "", "sweep: comma-separated subset of fixed8,float32")
 	models := fs.String("models", "", "sweep: comma-separated subset of lenet,darknet")
 	seeds := fs.String("seeds", "", "sweep: comma-separated seed list (default: -seed)")
+	batches := fs.String("batches", "", "sweep: comma-separated inference batch sizes (default: 1)")
 	asJSON := fs.Bool("json", false, "sweep: emit JSON instead of a table")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -74,7 +75,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	noErr := func(s string) (string, error) { return s, nil }
 	runSweep := func() error {
-		spec, err := sweepSpec(*platforms, *formats, *models, *seeds, *seed, useTrained)
+		spec, err := sweepSpec(*platforms, *formats, *models, *seeds, *batches, *seed, useTrained)
 		if err != nil {
 			return err
 		}
@@ -132,7 +133,7 @@ func run(args []string, stdout io.Writer) error {
 
 // sweepSpec assembles a SweepSpec from the command-line subset flags;
 // empty flags keep the paper's full default axis.
-func sweepSpec(platforms, formats, models, seeds string, seed int64, trained bool) (nocbt.SweepSpec, error) {
+func sweepSpec(platforms, formats, models, seeds, batches string, seed int64, trained bool) (nocbt.SweepSpec, error) {
 	spec := nocbt.SweepSpec{Trained: trained, Seeds: []int64{seed}}
 	if platforms != "" {
 		byName := map[string]nocbt.NamedPlatform{}
@@ -174,6 +175,15 @@ func sweepSpec(platforms, formats, models, seeds string, seed int64, trained boo
 				return spec, fmt.Errorf("bad seed %q: %w", s, err)
 			}
 			spec.Seeds = append(spec.Seeds, v)
+		}
+	}
+	if batches != "" {
+		for _, s := range strings.Split(batches, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v < 1 {
+				return spec, fmt.Errorf("bad batch size %q (want a positive integer)", s)
+			}
+			spec.Batches = append(spec.Batches, v)
 		}
 	}
 	return spec, nil

@@ -25,10 +25,17 @@ type NoCRunResult struct {
 	Ordering Ordering
 	// Seed is the weight/input seed of the run (sweep paths fill it in;
 	// direct RunModelOnNoC calls leave it 0 unless the caller sets it).
-	Seed    int64
+	Seed int64
+	// Batch is the inference batch size (1 = serial Infer).
+	Batch   int
 	TotalBT int64
 	Cycles  int64
 	Packets int64
+	// Throughput is inferences per thousand simulated cycles and
+	// AvgLatencyCycles the mean per-inference latency; for batch 1 both
+	// degenerate to the single inference's cycle count.
+	Throughput       float64
+	AvgLatencyCycles float64
 	// ReductionPct is relative to the same platform/geometry's O0 run.
 	ReductionPct float64
 }
@@ -44,14 +51,55 @@ func RunModelOnNoC(name string, cfg Platform, ord Ordering, model *Model, input 
 	if _, err := eng.Infer(input); err != nil {
 		return NoCRunResult{}, err
 	}
-	return NoCRunResult{
+	res := NoCRunResult{
 		Platform: name,
 		Model:    model.Name(),
 		Geometry: cfg.Geometry,
 		Ordering: ord,
+		Batch:    1,
 		TotalBT:  eng.TotalBT(),
 		Cycles:   eng.Cycles(),
 		Packets:  eng.TaskPackets() + eng.ResultPackets(),
+	}
+	if res.Cycles > 0 {
+		res.Throughput = 1000 / float64(res.Cycles)
+		res.AvgLatencyCycles = float64(res.Cycles)
+	}
+	return res, nil
+}
+
+// RunModelBatchOnNoC executes a batch of identical inferences concurrently
+// on the mesh (Engine.InferRepeated under PipelinedLayers) and returns the
+// measurement with batch throughput and latency filled in — the same
+// arithmetic the sweep runner's batch axis records.
+func RunModelBatchOnNoC(name string, cfg Platform, ord Ordering, model *Model, input *Tensor, batch int) (NoCRunResult, error) {
+	if batch < 1 {
+		return NoCRunResult{}, fmt.Errorf("nocbt: batch size %d < 1", batch)
+	}
+	if batch == 1 {
+		return RunModelOnNoC(name, cfg, ord, model, input)
+	}
+	cfg.Ordering = ord
+	cfg.LayerMode = PipelinedLayers
+	eng, err := NewEngine(cfg, model)
+	if err != nil {
+		return NoCRunResult{}, err
+	}
+	if _, err := eng.InferRepeated(input, batch); err != nil {
+		return NoCRunResult{}, err
+	}
+	st := eng.LastBatchStats()
+	return NoCRunResult{
+		Platform:         name,
+		Model:            model.Name(),
+		Geometry:         cfg.Geometry,
+		Ordering:         ord,
+		Batch:            batch,
+		TotalBT:          eng.TotalBT(),
+		Cycles:           eng.Cycles(),
+		Packets:          eng.TaskPackets() + eng.ResultPackets(),
+		Throughput:       st.Throughput(),
+		AvgLatencyCycles: st.AvgLatencyCycles,
 	}, nil
 }
 

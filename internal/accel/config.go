@@ -39,6 +39,41 @@ type Config struct {
 	// DrainCycleCap bounds the per-layer simulation length as a protocol
 	// failure guard. Default 100 million cycles.
 	DrainCycleCap int64
+	// LayerMode selects how much traffic shares the mesh at once; the zero
+	// value is the paper-faithful SerialLayers.
+	LayerMode LayerMode
+}
+
+// LayerMode selects the engine's mesh-sharing discipline.
+type LayerMode int
+
+const (
+	// SerialLayers is the paper-faithful default: one inference's traffic
+	// occupies the mesh at a time, with a full drain checkpoint between
+	// consecutive layers. Under this mode InferBatch is bit-and-cycle
+	// identical to running its inputs through serial Infer calls.
+	SerialLayers LayerMode = iota
+	// PipelinedLayers admits every inference of a batch into the mesh
+	// concurrently and skips the between-layer drain checkpoints: layers
+	// of different inferences coexist on the links, keeping the mesh busy
+	// through the layer tails and PE latencies that idle it in serial
+	// mode. Outputs remain bit-identical to serial execution; BT, cycles
+	// and throughput reflect the sustained-traffic regime. Each
+	// inference's own layers still execute serially — task dispatch
+	// requires every result of the previous layer.
+	PipelinedLayers
+)
+
+// String implements fmt.Stringer.
+func (m LayerMode) String() string {
+	switch m {
+	case SerialLayers:
+		return "serial"
+	case PipelinedLayers:
+		return "pipelined"
+	default:
+		return fmt.Sprintf("LayerMode(%d)", int(m))
+	}
 }
 
 // Platform presets matching the paper's three evaluated sizes.

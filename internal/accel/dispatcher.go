@@ -1,0 +1,95 @@
+package accel
+
+import (
+	"fmt"
+
+	"nocbt/internal/bitutil"
+	"nocbt/internal/flit"
+)
+
+// dispatch is the memory-controller side of the scheduler: it assigns a
+// layer's tasks to MCs and PEs, flitizes every segment under the configured
+// ordering, records a taskCtx per packet, and injects the packets.
+//
+// Task ti is owned by MC ti mod |MCs| and computed by PE
+// (ti div |MCs|) mod |PEs| — both round-robin, spreading load the way a
+// NocDAS-style scheduler does. Tasks larger than MaxSegmentPairs are split;
+// every segment is an independent packet whose partial sums the MC
+// accumulates in fixed segment order (keeping float32 results deterministic
+// for a given ordering configuration).
+func (s *scheduler) dispatch(f *flow, nl nocLayer) (*layerRun, error) {
+	if len(nl.tasks) == 0 {
+		return nil, fmt.Errorf("layer produced no tasks")
+	}
+	e := s.e
+	g := e.cfg.Geometry
+	mcs := e.cfg.MCs
+	zeroBias := bitutil.Word(0)
+
+	run := &layerRun{
+		flow:       f,
+		name:       nl.name,
+		ntasks:     len(nl.tasks),
+		outShape:   nl.outShape,
+		scaleWX:    nl.enc.scaleWX,
+		scaleB:     nl.enc.scaleB,
+		partials:   make([][]float32, len(nl.tasks)),
+		seen:       make([][]bool, len(nl.tasks)),
+		deadline:   e.sim.Cycle() + e.cfg.DrainCycleCap,
+		startCycle: e.sim.Cycle(),
+		startBT:    e.sim.TotalBT(),
+	}
+
+	for ti, task := range nl.tasks {
+		n := len(task.weights)
+		if n == 0 {
+			return nil, fmt.Errorf("task %d has no pairs", ti)
+		}
+		mc := mcs[ti%len(mcs)]
+		pe := e.pes[(ti/len(mcs))%len(e.pes)]
+		segs := (n + e.cfg.MaxSegmentPairs - 1) / e.cfg.MaxSegmentPairs
+		run.partials[ti] = make([]float32, segs)
+		run.seen[ti] = make([]bool, segs)
+		run.expected += segs
+		for seg := 0; seg < segs; seg++ {
+			lo := seg * e.cfg.MaxSegmentPairs
+			hi := lo + e.cfg.MaxSegmentPairs
+			if hi > n {
+				hi = n
+			}
+			bias := zeroBias
+			if seg == segs-1 {
+				bias = task.bias // only the final segment carries the bias
+			}
+			fz, err := flit.Flitize(g, flit.Task{
+				Inputs:  task.inputs[lo:hi],
+				Weights: task.weights[lo:hi],
+				Bias:    bias,
+			}, flit.Options{Ordering: e.cfg.Ordering, InBandIndex: e.cfg.InBandIndex})
+			if err != nil {
+				return nil, fmt.Errorf("flitize task %d seg %d: %w", ti, seg, err)
+			}
+			pid := e.nextID()
+			hdr := flit.EncodeHeader(g, flit.Header{
+				Dst: uint16(pe), Src: uint16(mc),
+				PacketID: uint32(pid), TaskID: uint32(ti),
+				Kind: flit.KindTask, PairCount: uint16(hi - lo),
+				Ordering: e.cfg.Ordering,
+			})
+			pkt := flit.NewPacket(pid, mc, pe, hdr, fz.Payloads())
+			ctx := &taskCtx{run: run, task: ti, seg: seg, pairs: hi - lo, mc: mc}
+			if e.cfg.Ordering == flit.Separated && !e.cfg.InBandIndex {
+				ctx.partner = fz.PartnerIndex
+			}
+			s.tasks[pid] = ctx
+			if err := e.sim.Inject(pkt); err != nil {
+				return nil, err
+			}
+			e.taskPackets++
+			run.taskPackets++
+			run.flits += int64(pkt.Len())
+		}
+	}
+	s.activeRuns = append(s.activeRuns, run)
+	return run, nil
+}

@@ -6,13 +6,18 @@ import (
 	"nocbt/internal/bitutil"
 	"nocbt/internal/dnn"
 	"nocbt/internal/noc"
-	"nocbt/internal/quant"
 	"nocbt/internal/tensor"
 )
 
 // Engine executes a DNN model on the simulated NOC-DNA platform. Create one
 // per (platform, model, ordering) combination; BT counters accumulate across
-// every Infer call, mirroring the paper's whole-workload measurements.
+// every Infer/InferBatch call, mirroring the paper's whole-workload
+// measurements.
+//
+// The engine holds no per-layer or per-packet execution state: quantization
+// scales, partner tables and packet bookkeeping live in the scheduler
+// context of each call (see scheduler.go), which is what lets InferBatch
+// keep several inferences in flight on the mesh at once.
 type Engine struct {
 	cfg   Config
 	model *dnn.Model
@@ -20,31 +25,73 @@ type Engine struct {
 	pes   []int
 
 	nextPacketID uint64
-	// oobPartner models separated-ordering's out-of-band index channel:
-	// packet ID → partner table. Only used when !cfg.InBandIndex.
-	oobPartner map[uint64][]int
-
-	// Per-layer quantization registers, distributed to PEs out-of-band as
-	// layer configuration (fixed-8 mode only).
-	scaleWX float32
-	scaleB  float32
 
 	layers []LayerStat
 
 	taskPackets   int64
 	resultPackets int64
+
+	lastBatch BatchStats
 }
 
 // LayerStat records one executed layer's traffic.
 type LayerStat struct {
 	Name string
+	// Inference is the batch index of the inference this layer belonged to
+	// (always 0 for single-inference Infer calls).
+	Inference int
 	// NoC traffic exists only for conv/linear layers.
 	OverNoC bool
 	Cycles  int64
+	// BT is the mesh-wide bit-transition delta over the layer's flight.
+	// With concurrent inferences, overlapping layers observe shared links,
+	// so per-layer BT attribution is only exact for serial execution.
 	BT      int64
 	Packets int64
 	Flits   int64
 	Tasks   int
+}
+
+// InferenceStat records one batch inference's timing.
+type InferenceStat struct {
+	// Index is the inference's position in the InferBatch inputs.
+	Index int
+	// StartCycle and EndCycle are engine cycle stamps: dispatch of the
+	// first layer and collection of the last result.
+	StartCycle int64
+	EndCycle   int64
+}
+
+// LatencyCycles returns the inference's start-to-finish latency.
+func (s InferenceStat) LatencyCycles() int64 { return s.EndCycle - s.StartCycle }
+
+// BatchStats aggregates one InferBatch call.
+type BatchStats struct {
+	// Inferences is the batch size.
+	Inferences int
+	// Cycles is the simulated time the whole batch occupied the mesh.
+	Cycles int64
+	// BT is the bit-transition delta the batch caused.
+	BT int64
+	// TaskPackets and ResultPackets count the batch's traffic.
+	TaskPackets   int64
+	ResultPackets int64
+	// PerInference holds one entry per input, in input order.
+	PerInference []InferenceStat
+	// AvgLatencyCycles and MaxLatencyCycles summarize per-inference
+	// latency; with concurrent flows latencies overlap, so the sum of
+	// latencies exceeds Cycles.
+	AvgLatencyCycles float64
+	MaxLatencyCycles int64
+}
+
+// Throughput returns inferences per thousand simulated cycles — the
+// figure-of-merit InferBatch improves over serial Infer calls.
+func (b BatchStats) Throughput() float64 {
+	if b.Cycles == 0 {
+		return 0
+	}
+	return float64(b.Inferences) * 1000 / float64(b.Cycles)
 }
 
 // New validates the configuration and builds the platform.
@@ -61,11 +108,10 @@ func New(cfg Config, model *dnn.Model) (*Engine, error) {
 		return nil, err
 	}
 	return &Engine{
-		cfg:        cfg,
-		model:      model,
-		sim:        sim,
-		pes:        cfg.PEs(),
-		oobPartner: make(map[uint64][]int),
+		cfg:   cfg,
+		model: model,
+		sim:   sim,
+		pes:   cfg.PEs(),
 	}, nil
 }
 
@@ -75,155 +121,104 @@ func (e *Engine) Config() Config { return e.cfg }
 // fixed reports whether the engine runs in fixed-8 mode.
 func (e *Engine) fixed() bool { return e.cfg.Geometry.Format == bitutil.Fixed8 }
 
+// nextID allocates a packet ID.
+func (e *Engine) nextID() uint64 {
+	e.nextPacketID++
+	return e.nextPacketID
+}
+
 // Infer runs one forward pass: conv and linear layers travel through the
 // NoC as task/result packets; other layers execute memory-side.
 func (e *Engine) Infer(input *tensor.Tensor) (*tensor.Tensor, error) {
-	act := input
-	for _, layer := range e.model.Layers {
-		var err error
-		switch l := layer.(type) {
-		case *dnn.Conv2D:
-			act, err = e.runConv(l, act)
-		case *dnn.Linear:
-			act, err = e.runLinear(l, act)
-		default:
-			e.recordHostLayer(layer.Name())
-			act = layer.Forward(act)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("accel: layer %s: %w", layer.Name(), err)
-		}
+	if input == nil {
+		return nil, fmt.Errorf("accel: nil input")
 	}
-	return act, nil
-}
-
-func (e *Engine) recordHostLayer(name string) {
-	e.layers = append(e.layers, LayerStat{Name: name})
-}
-
-// codec encodes layer values into lane words for the configured format.
-type codec struct {
-	fixed   bool
-	wq, xq  []int8 // quantized weights/activations (fixed-8 mode)
-	bq      []int8 // quantized biases
-	weights []float32
-	acts    []float32
-	biases  []float32
-}
-
-func (e *Engine) newCodec(weights, acts, biases []float32) codec {
-	c := codec{fixed: e.fixed(), weights: weights, acts: acts, biases: biases}
-	if c.fixed {
-		wp := quant.Choose(weights)
-		xp := quant.Choose(acts)
-		bp := quant.Choose(biases)
-		c.wq = wp.QuantizeSlice(weights)
-		c.xq = xp.QuantizeSlice(acts)
-		c.bq = bp.QuantizeSlice(biases)
-		// PE configuration registers for this layer.
-		e.scaleWX = wp.Scale * xp.Scale
-		e.scaleB = bp.Scale
-	}
-	return c
-}
-
-func (c codec) weightWord(i int) bitutil.Word {
-	if c.fixed {
-		return bitutil.Fixed8Word(c.wq[i])
-	}
-	return bitutil.Float32Word(c.weights[i])
-}
-
-func (c codec) actWord(i int) bitutil.Word {
-	if c.fixed {
-		return bitutil.Fixed8Word(c.xq[i])
-	}
-	return bitutil.Float32Word(c.acts[i])
-}
-
-func (c codec) biasWord(i int) bitutil.Word {
-	if c.fixed {
-		return bitutil.Fixed8Word(c.bq[i])
-	}
-	return bitutil.Float32Word(c.biases[i])
-}
-
-// taskSpec is one output neuron's work: encoded (input, weight) pairs plus
-// the encoded bias word.
-type taskSpec struct {
-	inputs  []bitutil.Word
-	weights []bitutil.Word
-	bias    bitutil.Word
-}
-
-// runConv executes a convolution layer over the NoC.
-func (e *Engine) runConv(l *dnn.Conv2D, x *tensor.Tensor) (*tensor.Tensor, error) {
-	if x.Rank() != 3 || x.Dim(0) != l.InC {
-		return nil, fmt.Errorf("input shape %v for %s", x.Shape(), l.Name())
-	}
-	h, w := x.Dim(1), x.Dim(2)
-	oh, ow := l.OutSize(h, w)
-	c := e.newCodec(l.W.Data, x.Data, l.B.Data)
-
-	tasks := make([]taskSpec, 0, l.OutC*oh*ow)
-	for oc := 0; oc < l.OutC; oc++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				n := l.InC * l.K * l.K
-				t := taskSpec{
-					inputs:  make([]bitutil.Word, 0, n),
-					weights: make([]bitutil.Word, 0, n),
-					bias:    c.biasWord(oc),
-				}
-				for ic := 0; ic < l.InC; ic++ {
-					for ky := 0; ky < l.K; ky++ {
-						iy := oy*l.Stride - l.Pad + ky
-						if iy < 0 || iy >= h {
-							continue
-						}
-						for kx := 0; kx < l.K; kx++ {
-							ix := ox*l.Stride - l.Pad + kx
-							if ix < 0 || ix >= w {
-								continue
-							}
-							t.weights = append(t.weights, c.weightWord(l.W.Index(oc, ic, ky, kx)))
-							t.inputs = append(t.inputs, c.actWord(x.Index(ic, iy, ix)))
-						}
-					}
-				}
-				tasks = append(tasks, t)
-			}
-		}
-	}
-	results, err := e.runTasks(l.Name(), tasks)
-	if err != nil {
+	flows := []*flow{{idx: 0, act: input}}
+	s := newScheduler(e, flows)
+	if err := s.run(); err != nil {
 		return nil, err
 	}
-	return tensor.FromSlice(results, l.OutC, oh, ow), nil
+	e.layers = append(e.layers, flows[0].layers...)
+	return flows[0].act, nil
 }
 
-// runLinear executes a fully-connected layer over the NoC.
-func (e *Engine) runLinear(l *dnn.Linear, x *tensor.Tensor) (*tensor.Tensor, error) {
-	if x.Size() != l.In {
-		return nil, fmt.Errorf("input size %d for %s", x.Size(), l.Name())
+// InferBatch runs every input through the model. Under the paper-faithful
+// SerialLayers default the batch executes one inference at a time,
+// bit-and-cycle identical to serial Infer calls; under
+// Config.LayerMode == PipelinedLayers all inferences share the mesh
+// concurrently — each inference's layers still execute serially (layer N+1
+// dispatches only after layer N's results are collected), but different
+// inferences overlap freely, so the mesh stays busy through layer tails
+// and compute latencies that leave it idle in serial mode.
+//
+// In both modes outputs are bit-identical to len(inputs) serial Infer
+// calls on a fresh engine: flitize/deflitize and the MAC reduction are
+// deterministic in the packet data alone, and partial sums reduce in fixed
+// segment order, so timing interleave cannot change any result. Per-batch
+// throughput and latency figures are available from LastBatchStats after
+// the call.
+func (e *Engine) InferBatch(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("accel: empty batch")
 	}
-	c := e.newCodec(l.W.Data, x.Data, l.B.Data)
-	tasks := make([]taskSpec, l.Out)
-	for o := 0; o < l.Out; o++ {
-		t := taskSpec{
-			inputs:  make([]bitutil.Word, l.In),
-			weights: make([]bitutil.Word, l.In),
-			bias:    c.biasWord(o),
+	for i, in := range inputs {
+		if in == nil {
+			return nil, fmt.Errorf("accel: nil input %d", i)
 		}
-		for i := 0; i < l.In; i++ {
-			t.weights[i] = c.weightWord(o*l.In + i)
-			t.inputs[i] = c.actWord(i)
-		}
-		tasks[o] = t
 	}
-	results, err := e.runTasks(l.Name(), tasks)
-	if err != nil {
+	startCycle := e.sim.Cycle()
+	startBT := e.sim.TotalBT()
+	startTasks, startResults := e.taskPackets, e.resultPackets
+
+	flows := make([]*flow, len(inputs))
+	for i, in := range inputs {
+		flows[i] = &flow{idx: i, act: in}
+	}
+	s := newScheduler(e, flows)
+	if err := s.run(); err != nil {
 		return nil, err
 	}
-	return tensor.FromSlice(results, l.Out), nil
+
+	outs := make([]*tensor.Tensor, len(flows))
+	stats := BatchStats{
+		Inferences:    len(flows),
+		Cycles:        e.sim.Cycle() - startCycle,
+		BT:            e.sim.TotalBT() - startBT,
+		TaskPackets:   e.taskPackets - startTasks,
+		ResultPackets: e.resultPackets - startResults,
+		PerInference:  make([]InferenceStat, len(flows)),
+	}
+	var latencySum int64
+	for i, f := range flows {
+		outs[i] = f.act
+		e.layers = append(e.layers, f.layers...)
+		st := InferenceStat{Index: i, StartCycle: f.startCycle, EndCycle: f.endCycle}
+		stats.PerInference[i] = st
+		lat := st.LatencyCycles()
+		latencySum += lat
+		if lat > stats.MaxLatencyCycles {
+			stats.MaxLatencyCycles = lat
+		}
+	}
+	stats.AvgLatencyCycles = float64(latencySum) / float64(len(flows))
+	e.lastBatch = stats
+	return outs, nil
+}
+
+// LastBatchStats returns the throughput/latency record of the most recent
+// InferBatch call (zero value before the first one).
+func (e *Engine) LastBatchStats() BatchStats { return e.lastBatch }
+
+// InferRepeated runs n copies of the same input as one batch — the
+// sustained-traffic measurement shape the sweep runner and the batch
+// experiments use.
+func (e *Engine) InferRepeated(input *tensor.Tensor, n int) ([]*tensor.Tensor, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("accel: batch size %d < 1", n)
+	}
+	inputs := make([]*tensor.Tensor, n)
+	for i := range inputs {
+		inputs[i] = input
+	}
+	return e.InferBatch(inputs)
 }

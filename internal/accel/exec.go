@@ -8,236 +8,150 @@ import (
 	"nocbt/internal/noc"
 )
 
-// pendingResult is a result packet waiting out its PE compute latency.
-type pendingResult struct {
-	ready int64
-	pkt   *flit.Packet
-}
+// This file holds the PE model and the MC collector — the two packet
+// consumers of the scheduler. Both treat decoded header fields as untrusted
+// wire data: every field is validated against the scheduler's own dispatch
+// records before it indexes anything, and inconsistencies surface as errors
+// instead of panics or silent corruption.
 
-// runTasks dispatches one layer's tasks through the NoC and returns the
-// per-task real-domain results.
-//
-// Dispatch: task ti is owned by MC ti mod |MCs| and computed by PE
-// (ti div |MCs|) mod |PEs| — both round-robin, spreading load the way a
-// NocDAS-style scheduler does. Tasks larger than MaxSegmentPairs are split;
-// every segment is an independent packet whose partial sums the MC
-// accumulates in fixed segment order (keeping float32 results deterministic
-// for a given ordering configuration).
-func (e *Engine) runTasks(layerName string, tasks []taskSpec) ([]float32, error) {
-	if len(tasks) == 0 {
-		return nil, fmt.Errorf("layer produced no tasks")
-	}
-	startBT := e.sim.TotalBT()
-	startCycles := e.sim.Cycle()
+// pumpPEs is the processing-element model: it consumes task packets ejected
+// at PEs, multiply-accumulates the segment with the owning layer's codec
+// state, and schedules the result packet for injection after the PE compute
+// latency.
+func (s *scheduler) pumpPEs() error {
+	e := s.e
 	g := e.cfg.Geometry
-	mcs := e.cfg.MCs
-	zeroBias := bitutil.Word(0)
-
-	type segKey struct{ task, seg int }
-	// partials[task][seg] filled as results return.
-	partials := make([][]float32, len(tasks))
-	expectedSegs := 0
-	var layerFlits int64
-
-	// taskMeta lets the PE handler know everything it needs about a
-	// received packet without a second lookup table: keyed by packet ID.
-	type taskPacketInfo struct {
-		task, seg int
-		pairCount int
-		mc        int
-	}
-	info := make(map[uint64]taskPacketInfo)
-
-	for ti, task := range tasks {
-		n := len(task.weights)
-		if n == 0 {
-			return nil, fmt.Errorf("task %d has no pairs", ti)
-		}
-		mc := mcs[ti%len(mcs)]
-		pe := e.pes[(ti/len(mcs))%len(e.pes)]
-		segs := (n + e.cfg.MaxSegmentPairs - 1) / e.cfg.MaxSegmentPairs
-		partials[ti] = make([]float32, segs)
-		expectedSegs += segs
-		for s := 0; s < segs; s++ {
-			lo := s * e.cfg.MaxSegmentPairs
-			hi := lo + e.cfg.MaxSegmentPairs
-			if hi > n {
-				hi = n
+	for _, pe := range e.pes {
+		for _, pkt := range e.sim.PopEjected(pe) {
+			hdr := flit.DecodeHeader(g, pkt.Flits[0].Payload)
+			if hdr.Kind != flit.KindTask {
+				return fmt.Errorf("PE %d received non-task packet %d", pe, pkt.ID)
 			}
-			bias := zeroBias
-			if s == segs-1 {
-				bias = task.bias // only the final segment carries the bias
+			ctx, ok := s.tasks[pkt.ID]
+			if !ok {
+				return fmt.Errorf("PE %d received unknown packet %d", pe, pkt.ID)
 			}
-			fz, err := flit.Flitize(g, flit.Task{
-				Inputs:  task.inputs[lo:hi],
-				Weights: task.weights[lo:hi],
-				Bias:    bias,
-			}, flit.Options{Ordering: e.cfg.Ordering, InBandIndex: e.cfg.InBandIndex})
+			delete(s.tasks, pkt.ID)
+			if int(hdr.PairCount) != ctx.pairs || int(hdr.TaskID) != ctx.task {
+				return fmt.Errorf("PE %d packet %d header (task %d, %d pairs) contradicts dispatch record (task %d, %d pairs)",
+					pe, pkt.ID, hdr.TaskID, hdr.PairCount, ctx.task, ctx.pairs)
+			}
+			value, err := s.peCompute(pkt, ctx)
 			if err != nil {
-				return nil, fmt.Errorf("flitize task %d seg %d: %w", ti, s, err)
+				return fmt.Errorf("PE %d packet %d: %w", pe, pkt.ID, err)
 			}
-			e.nextPacketID++
-			pid := e.nextPacketID
-			hdr := flit.EncodeHeader(g, flit.Header{
-				Dst: uint16(pe), Src: uint16(mc),
-				PacketID: uint32(pid), TaskID: uint32(ti),
-				Kind: flit.KindTask, PairCount: uint16(hi - lo),
+			rid := e.nextID()
+			rhdr := flit.EncodeHeader(g, flit.Header{
+				Dst: uint16(ctx.mc), Src: uint16(pe),
+				PacketID: uint32(rid), TaskID: uint32(ctx.task),
+				Kind: flit.KindResult, PairCount: uint16(ctx.seg),
 				Ordering: e.cfg.Ordering,
 			})
-			pkt := flit.NewPacket(pid, mc, pe, hdr, fz.Payloads())
-			if e.cfg.Ordering == flit.Separated && !e.cfg.InBandIndex {
-				e.oobPartner[pid] = fz.PartnerIndex
-			}
-			info[pid] = taskPacketInfo{task: ti, seg: s, pairCount: hi - lo, mc: mc}
-			if err := e.sim.Inject(pkt); err != nil {
-				return nil, err
-			}
-			e.taskPackets++
-			layerFlits += int64(pkt.Len())
+			body := bitutil.NewVec(g.LinkBits)
+			body.SetField(0, 32, uint64(bitutil.Float32Word(value)))
+			rpkt := flit.NewPacket(rid, pe, ctx.mc, rhdr, []bitutil.Vec{body})
+			s.results[rid] = &resultCtx{run: ctx.run, task: ctx.task, seg: ctx.seg}
+			s.pending = append(s.pending, pendingResult{
+				ready: e.sim.Cycle() + int64(e.cfg.PEComputeCycles),
+				pkt:   rpkt,
+				run:   ctx.run,
+			})
 		}
 	}
-
-	// Simulation loop: PEs consume task packets and, after the compute
-	// latency, inject result packets; MCs collect partial sums.
-	var pending []pendingResult
-	received := 0
-	deadline := e.sim.Cycle() + e.cfg.DrainCycleCap
-	for received < expectedSegs {
-		if e.sim.Cycle() >= deadline {
-			return nil, fmt.Errorf("layer %s exceeded cycle cap %d (%d/%d results)",
-				layerName, e.cfg.DrainCycleCap, received, expectedSegs)
-		}
-		e.sim.Step()
-
-		// PE side: handle completed task packets.
-		for _, pe := range e.pes {
-			for _, pkt := range e.sim.PopEjected(pe) {
-				hdr := flit.DecodeHeader(g, pkt.Flits[0].Payload)
-				if hdr.Kind != flit.KindTask {
-					return nil, fmt.Errorf("PE %d received non-task packet %d", pe, pkt.ID)
-				}
-				meta, ok := info[pkt.ID]
-				if !ok {
-					return nil, fmt.Errorf("PE %d received unknown packet %d", pe, pkt.ID)
-				}
-				value, err := e.peCompute(pkt, int(hdr.PairCount))
-				if err != nil {
-					return nil, fmt.Errorf("PE %d packet %d: %w", pe, pkt.ID, err)
-				}
-				e.nextPacketID++
-				rid := e.nextPacketID
-				rhdr := flit.EncodeHeader(g, flit.Header{
-					Dst: uint16(meta.mc), Src: uint16(pe),
-					PacketID: uint32(rid), TaskID: uint32(meta.task),
-					Kind: flit.KindResult, PairCount: uint16(meta.seg),
-					Ordering: e.cfg.Ordering,
-				})
-				body := bitutil.NewVec(g.LinkBits)
-				body.SetField(0, 32, uint64(bitutil.Float32Word(value)))
-				rpkt := flit.NewPacket(rid, pe, meta.mc, rhdr, []bitutil.Vec{body})
-				pending = append(pending, pendingResult{
-					ready: e.sim.Cycle() + int64(e.cfg.PEComputeCycles),
-					pkt:   rpkt,
-				})
-				delete(info, pkt.ID)
-			}
-		}
-
-		// Inject results whose compute latency elapsed.
-		kept := pending[:0]
-		for _, pr := range pending {
-			if pr.ready <= e.sim.Cycle() {
-				if err := e.sim.Inject(pr.pkt); err != nil {
-					return nil, err
-				}
-				e.resultPackets++
-				layerFlits += int64(pr.pkt.Len())
-			} else {
-				kept = append(kept, pr)
-			}
-		}
-		pending = kept
-
-		// MC side: collect partial sums. The header reuses PairCount as
-		// the segment index for result packets.
-		for _, mc := range mcs {
-			for _, pkt := range e.sim.PopEjected(mc) {
-				hdr := flit.DecodeHeader(g, pkt.Flits[0].Payload)
-				if hdr.Kind != flit.KindResult {
-					return nil, fmt.Errorf("MC %d received non-result packet %d", mc, pkt.ID)
-				}
-				value := bitutil.WordFloat32(bitutil.Word(pkt.Flits[1].Payload.Field(0, 32)))
-				partials[hdr.TaskID][hdr.PairCount] = value
-				received++
-			}
-		}
-	}
-	if err := e.sim.Drain(e.cfg.DrainCycleCap); err != nil {
-		return nil, err
-	}
-
-	// Sum partials in fixed segment order.
-	results := make([]float32, len(tasks))
-	for ti, segs := range partials {
-		var sum float32
-		for _, v := range segs {
-			sum += v
-		}
-		results[ti] = sum
-	}
-	e.layers = append(e.layers, LayerStat{
-		Name:    layerName,
-		OverNoC: true,
-		Cycles:  e.sim.Cycle() - startCycles,
-		BT:      e.sim.TotalBT() - startBT,
-		Packets: int64(expectedSegs) * 2, // task + result per segment
-		Flits:   layerFlits,
-		Tasks:   len(tasks),
-	})
-	return results, nil
+	return nil
 }
 
-// peCompute models the PE: deflitize the task segment, multiply-accumulate,
-// and return the real-domain partial sum (including the segment's bias
-// lane, which is zero for non-final segments).
-func (e *Engine) peCompute(pkt *flit.Packet, pairCount int) (float32, error) {
-	g := e.cfg.Geometry
-	dataFlits := g.DataFlitCount(pairCount)
+// peCompute models the PE datapath: deflitize the task segment,
+// multiply-accumulate, and return the real-domain partial sum (including
+// the segment's bias lane, which is zero for non-final segments). The
+// quantization scales come from the packet's layer context, never from
+// engine-global registers.
+func (s *scheduler) peCompute(pkt *flit.Packet, ctx *taskCtx) (float32, error) {
+	g := s.e.cfg.Geometry
+	dataFlits := g.DataFlitCount(ctx.pairs)
 	payloads := pkt.PayloadVecs()
 	if len(payloads) < dataFlits {
 		return 0, fmt.Errorf("packet has %d payload flits, need %d data flits", len(payloads), dataFlits)
 	}
 	var partner []int
-	if e.cfg.Ordering == flit.Separated {
-		if e.cfg.InBandIndex {
+	if s.e.cfg.Ordering == flit.Separated {
+		if s.e.cfg.InBandIndex {
 			var err error
-			partner, err = flit.DecodePartnerIndex(g, payloads[dataFlits:], pairCount)
+			partner, err = flit.DecodePartnerIndex(g, payloads[dataFlits:], ctx.pairs)
 			if err != nil {
 				return 0, err
 			}
 		} else {
-			partner = e.oobPartner[pkt.ID]
-			delete(e.oobPartner, pkt.ID)
+			partner = ctx.partner
 		}
 	}
-	task, err := flit.Deflitize(g, payloads[:dataFlits], pairCount, e.cfg.Ordering, partner)
+	task, err := flit.Deflitize(g, payloads[:dataFlits], ctx.pairs, s.e.cfg.Ordering, partner)
 	if err != nil {
 		return 0, err
 	}
 
-	if e.fixed() {
+	if s.e.fixed() {
 		// Exact integer MAC, then one rescale: identical across orderings.
 		var acc int32
 		for i := range task.Weights {
 			acc += int32(bitutil.WordFixed8(task.Weights[i])) * int32(bitutil.WordFixed8(task.Inputs[i]))
 		}
-		return float32(acc)*e.scaleWX + float32(bitutil.WordFixed8(task.Bias))*e.scaleB, nil
+		return float32(acc)*ctx.run.scaleWX + float32(bitutil.WordFixed8(task.Bias))*ctx.run.scaleB, nil
 	}
 	sum := bitutil.WordFloat32(task.Bias)
 	for i := range task.Weights {
 		sum += bitutil.WordFloat32(task.Weights[i]) * bitutil.WordFloat32(task.Inputs[i])
 	}
 	return sum, nil
+}
+
+// pumpMCs is the memory-controller collector: it consumes result packets
+// ejected at MCs and accumulates partial sums, validating every decoded
+// header field against the dispatch record before indexing. Out-of-range
+// task IDs or segment indices and duplicate results are errors — the old
+// code panicked on the former and silently double-counted the latter.
+// Returns the layer runs this cycle completed.
+func (s *scheduler) pumpMCs() ([]*layerRun, error) {
+	e := s.e
+	g := e.cfg.Geometry
+	var completed []*layerRun
+	for _, mc := range e.cfg.MCs {
+		for _, pkt := range e.sim.PopEjected(mc) {
+			hdr := flit.DecodeHeader(g, pkt.Flits[0].Payload)
+			if hdr.Kind != flit.KindResult {
+				return nil, fmt.Errorf("MC %d received non-result packet %d", mc, pkt.ID)
+			}
+			ctx, ok := s.results[pkt.ID]
+			if !ok {
+				return nil, fmt.Errorf("MC %d received unknown or duplicate result packet %d", mc, pkt.ID)
+			}
+			delete(s.results, pkt.ID)
+			run := ctx.run
+			task, seg := int(hdr.TaskID), int(hdr.PairCount)
+			if task != ctx.task || task < 0 || task >= len(run.partials) {
+				return nil, fmt.Errorf("MC %d result packet %d: task ID %d out of range or contradicting dispatch record (task %d of %d)",
+					mc, pkt.ID, task, ctx.task, len(run.partials))
+			}
+			if seg != ctx.seg || seg < 0 || seg >= len(run.partials[task]) {
+				return nil, fmt.Errorf("MC %d result packet %d: segment %d out of range or contradicting dispatch record (segment %d of %d)",
+					mc, pkt.ID, seg, ctx.seg, len(run.partials[task]))
+			}
+			if run.seen[task][seg] {
+				return nil, fmt.Errorf("MC %d result packet %d: duplicate result for task %d segment %d",
+					mc, pkt.ID, task, seg)
+			}
+			if pkt.Len() < 2 {
+				return nil, fmt.Errorf("MC %d result packet %d has no payload flit", mc, pkt.ID)
+			}
+			run.seen[task][seg] = true
+			run.partials[task][seg] = bitutil.WordFloat32(bitutil.Word(pkt.Flits[1].Payload.Field(0, 32)))
+			run.received++
+			if run.received == run.expected {
+				completed = append(completed, run)
+			}
+		}
+	}
+	return completed, nil
 }
 
 // TotalBT returns the accumulated router-output bit transitions — the
@@ -247,7 +161,9 @@ func (e *Engine) TotalBT() int64 { return e.sim.TotalBT() }
 // Cycles returns the total simulated cycles.
 func (e *Engine) Cycles() int64 { return e.sim.Cycle() }
 
-// LayerStats returns per-layer traffic records in execution order.
+// LayerStats returns per-layer traffic records in execution order. After an
+// InferBatch call the records carry the batch index in Inference and are
+// grouped per inference.
 func (e *Engine) LayerStats() []LayerStat { return e.layers }
 
 // TaskPackets returns the number of task packets sent.

@@ -1,0 +1,175 @@
+package accel
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"nocbt/internal/bitutil"
+	"nocbt/internal/flit"
+)
+
+// The collector/PE validation suite forges wire packets with inconsistent
+// headers and asserts the scheduler rejects them with errors. The old
+// runTasks loop indexed partials with unvalidated header fields — an
+// out-of-range TaskID panicked, and a duplicate result silently overwrote a
+// partial while double-incrementing the received counter.
+
+// mkValidationScheduler builds an engine plus an empty scheduler with one
+// in-flight layer run of `tasks` single-segment tasks.
+func mkValidationScheduler(t *testing.T, tasks int) (*Engine, *scheduler, *layerRun) {
+	t.Helper()
+	m := tinyNet(rand.New(rand.NewSource(51)))
+	eng, err := New(Mesh4x4MC2(flit.Fixed8Geometry()), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newScheduler(eng, []*flow{{idx: 0}})
+	run := &layerRun{
+		flow:     s.flows[0],
+		name:     "forged",
+		ntasks:   tasks,
+		partials: make([][]float32, tasks),
+		seen:     make([][]bool, tasks),
+		expected: tasks,
+		deadline: eng.sim.Cycle() + eng.cfg.DrainCycleCap,
+	}
+	for i := range run.partials {
+		run.partials[i] = make([]float32, 1)
+		run.seen[i] = make([]bool, 1)
+	}
+	s.activeRuns = append(s.activeRuns, run)
+	return eng, s, run
+}
+
+// resultPacket crafts a result packet for the engine's first MC.
+func resultPacket(eng *Engine, id uint64, taskID uint32, seg uint16, value float32) *flit.Packet {
+	g := eng.cfg.Geometry
+	mc := eng.cfg.MCs[0]
+	pe := eng.pes[0]
+	hdr := flit.EncodeHeader(g, flit.Header{
+		Dst: uint16(mc), Src: uint16(pe),
+		PacketID: uint32(id), TaskID: taskID,
+		Kind: flit.KindResult, PairCount: seg,
+	})
+	body := bitutil.NewVec(g.LinkBits)
+	body.SetField(0, 32, uint64(bitutil.Float32Word(value)))
+	return flit.NewPacket(id, pe, mc, hdr, []bitutil.Vec{body})
+}
+
+// deliverToMC injects the packet and pumps the scheduler until the MC
+// collector consumes it, returning pumpMCs's verdict.
+func deliverToMC(t *testing.T, eng *Engine, s *scheduler, pkt *flit.Packet) error {
+	t.Helper()
+	if err := eng.sim.Inject(pkt); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		eng.sim.Step()
+		if _, err := s.pumpMCs(); err != nil {
+			return err
+		}
+		if !eng.sim.Busy() {
+			return nil // packet ejected and consumed by the collector
+		}
+	}
+	t.Fatal("packet never reached the MC")
+	return nil
+}
+
+func TestCollectorRejectsUnknownResultPacket(t *testing.T) {
+	eng, s, _ := mkValidationScheduler(t, 1)
+	// No resultCtx registered for this ID: must error, not index partials.
+	err := deliverToMC(t, eng, s, resultPacket(eng, 999, 0, 0, 1))
+	if err == nil || !strings.Contains(err.Error(), "unknown or duplicate") {
+		t.Fatalf("unknown result packet not rejected: %v", err)
+	}
+}
+
+func TestCollectorRejectsOutOfRangeTaskID(t *testing.T) {
+	eng, s, run := mkValidationScheduler(t, 1)
+	// Context says task 0, header claims task 7 — the old code would have
+	// panicked at partials[7].
+	s.results[1000] = &resultCtx{run: run, task: 0, seg: 0}
+	err := deliverToMC(t, eng, s, resultPacket(eng, 1000, 7, 0, 1))
+	if err == nil || !strings.Contains(err.Error(), "task ID") {
+		t.Fatalf("out-of-range task ID not rejected: %v", err)
+	}
+}
+
+func TestCollectorRejectsOutOfRangeSegment(t *testing.T) {
+	eng, s, run := mkValidationScheduler(t, 1)
+	// Header claims segment 3 of a single-segment task — the old code would
+	// have panicked at partials[0][3].
+	s.results[1001] = &resultCtx{run: run, task: 0, seg: 0}
+	err := deliverToMC(t, eng, s, resultPacket(eng, 1001, 0, 3, 1))
+	if err == nil || !strings.Contains(err.Error(), "segment") {
+		t.Fatalf("out-of-range segment not rejected: %v", err)
+	}
+}
+
+func TestCollectorRejectsDuplicateResult(t *testing.T) {
+	eng, s, run := mkValidationScheduler(t, 2)
+	// Two distinct result packets claiming the same (task, segment): the
+	// old code overwrote the partial and counted received twice, silently
+	// finishing the layer with a missing contribution.
+	s.results[1002] = &resultCtx{run: run, task: 0, seg: 0}
+	s.results[1003] = &resultCtx{run: run, task: 0, seg: 0}
+	if err := deliverToMC(t, eng, s, resultPacket(eng, 1002, 0, 0, 1)); err != nil {
+		t.Fatalf("first result rejected: %v", err)
+	}
+	if run.received != 1 || !run.seen[0][0] {
+		t.Fatalf("first result not recorded: received=%d", run.received)
+	}
+	err := deliverToMC(t, eng, s, resultPacket(eng, 1003, 0, 0, 2))
+	if err == nil || !strings.Contains(err.Error(), "duplicate result") {
+		t.Fatalf("duplicate result not rejected: %v", err)
+	}
+	if run.received != 1 {
+		t.Errorf("duplicate still incremented received: %d", run.received)
+	}
+	if got := bitutil.WordFloat32(bitutil.Word(bitutil.Float32Word(run.partials[0][0]))); got != 1 {
+		t.Errorf("duplicate overwrote partial: %v", run.partials[0][0])
+	}
+}
+
+func TestCollectorRejectsTaskPacketAtMC(t *testing.T) {
+	eng, s, _ := mkValidationScheduler(t, 1)
+	g := eng.cfg.Geometry
+	mc := eng.cfg.MCs[0]
+	pe := eng.pes[0]
+	hdr := flit.EncodeHeader(g, flit.Header{
+		Dst: uint16(mc), Src: uint16(pe),
+		PacketID: 77, TaskID: 0, Kind: flit.KindTask, PairCount: 1,
+	})
+	body := bitutil.NewVec(g.LinkBits)
+	pkt := flit.NewPacket(77, pe, mc, hdr, []bitutil.Vec{body})
+	err := deliverToMC(t, eng, s, pkt)
+	if err == nil || !strings.Contains(err.Error(), "non-result") {
+		t.Fatalf("task packet at MC not rejected: %v", err)
+	}
+}
+
+func TestPERejectsUnknownTaskPacket(t *testing.T) {
+	eng, s, _ := mkValidationScheduler(t, 1)
+	g := eng.cfg.Geometry
+	mc := eng.cfg.MCs[0]
+	pe := eng.pes[0]
+	hdr := flit.EncodeHeader(g, flit.Header{
+		Dst: uint16(pe), Src: uint16(mc),
+		PacketID: 88, TaskID: 0, Kind: flit.KindTask, PairCount: 1,
+	})
+	body := bitutil.NewVec(g.LinkBits)
+	pkt := flit.NewPacket(88, mc, pe, hdr, []bitutil.Vec{body})
+	if err := eng.sim.Inject(pkt); err != nil {
+		t.Fatal(err)
+	}
+	var err error
+	for i := 0; i < 1000 && err == nil && eng.sim.Busy(); i++ {
+		eng.sim.Step()
+		err = s.pumpPEs()
+	}
+	if err == nil || !strings.Contains(err.Error(), "unknown packet") {
+		t.Fatalf("unknown task packet not rejected: %v", err)
+	}
+}

@@ -1,0 +1,311 @@
+package accel
+
+// The scheduler is the engine's execution core. It replaces the old
+// monolithic runTasks loop with three cooperating components driven by one
+// cycle loop:
+//
+//   - the dispatcher (dispatcher.go) flitizes a layer's tasks at its memory
+//     controllers and injects the task packets;
+//   - the PE model (exec.go, pumpPEs) consumes task packets at processing
+//     elements, multiply-accumulates, and schedules result packets after
+//     the configured compute latency;
+//   - the MC collector (exec.go, pumpMCs) validates returning result
+//     packets and accumulates partial sums until a layer completes.
+//
+// All per-packet knowledge — which flow and layer a packet belongs to, its
+// task/segment coordinates, the layer's quantization scales and the
+// separated-ordering out-of-band partner table — lives in packet contexts
+// owned by the scheduler and scoped to one Infer/InferBatch call. Nothing
+// is engine-global, so any number of inferences (flows) can be in flight on
+// the mesh at once, and every exit path (success or error) discards the
+// whole context in one place.
+
+import (
+	"fmt"
+
+	"nocbt/internal/dnn"
+	"nocbt/internal/flit"
+	"nocbt/internal/tensor"
+)
+
+// flow is one inference travelling through the engine: its current
+// activation tensor, its position in the model, and the NoC layer currently
+// in flight (nil while executing host layers or finished).
+type flow struct {
+	idx       int // position in the batch
+	act       *tensor.Tensor
+	nextLayer int
+	cur       *layerRun
+	done      bool
+
+	startCycle int64
+	endCycle   int64
+	layers     []LayerStat
+}
+
+// layerRun is one conv/linear layer of one flow in flight on the mesh,
+// carrying the per-layer codec state (quantization scales) every packet of
+// the layer computes with.
+type layerRun struct {
+	flow     *flow
+	name     string
+	ntasks   int
+	outShape []int
+
+	// scaleWX and scaleB are the layer's PE configuration registers
+	// (fixed-8 mode), copied from the layer codec at dispatch.
+	scaleWX float32
+	scaleB  float32
+
+	// partials[task][seg] fills as results return; seen guards against a
+	// duplicate result overwriting a partial.
+	partials [][]float32
+	seen     [][]bool
+	received int
+	expected int
+
+	deadline    int64
+	startCycle  int64
+	startBT     int64
+	flits       int64
+	taskPackets int64
+}
+
+// taskCtx is the dispatch record of one task packet: everything the PE
+// model needs when the packet arrives, keyed by packet ID.
+type taskCtx struct {
+	run   *layerRun
+	task  int
+	seg   int
+	pairs int
+	mc    int
+	// partner is the separated-ordering out-of-band re-pairing table for
+	// exactly this packet (nil for O0/O1 or in-band indexing). It lives and
+	// dies with the packet context — the leak the old engine-global table
+	// suffered on error paths cannot happen here.
+	partner []int
+}
+
+// resultCtx is the dispatch record of one result packet, keyed by packet ID.
+type resultCtx struct {
+	run  *layerRun
+	task int
+	seg  int
+}
+
+// pendingResult is a result packet waiting out its PE compute latency.
+type pendingResult struct {
+	ready int64
+	pkt   *flit.Packet
+	run   *layerRun
+}
+
+// scheduler executes a set of flows over the engine's mesh.
+type scheduler struct {
+	e     *Engine
+	flows []*flow
+
+	tasks   map[uint64]*taskCtx
+	results map[uint64]*resultCtx
+	pending []pendingResult
+
+	// activeRuns holds the layer runs currently in flight, in dispatch
+	// order, for deadline checking.
+	activeRuns []*layerRun
+	running    int // flows not yet done
+}
+
+func newScheduler(e *Engine, flows []*flow) *scheduler {
+	return &scheduler{
+		e:       e,
+		flows:   flows,
+		tasks:   make(map[uint64]*taskCtx),
+		results: make(map[uint64]*resultCtx),
+		running: len(flows),
+	}
+}
+
+// reset drops the per-call context tables on every exit path, so a
+// retained scheduler cannot pin packet contexts, partner tables or pending
+// results after run returns.
+func (s *scheduler) reset() {
+	s.tasks = nil
+	s.results = nil
+	s.pending = nil
+	s.activeRuns = nil
+}
+
+// run executes every flow to completion and returns the first error. The
+// engine's LayerMode picks the discipline: SerialLayers (paper-faithful)
+// admits one inference's traffic into the mesh at a time, making InferBatch
+// bit-and-cycle identical to N serial Infer calls; PipelinedLayers admits
+// every flow at once so inferences — and therefore consecutive layers of
+// different inferences — share the mesh concurrently.
+func (s *scheduler) run() error {
+	defer s.reset()
+	if s.e.cfg.LayerMode == SerialLayers {
+		for i := range s.flows {
+			if err := s.execute(s.flows[i : i+1]); err != nil {
+				return err
+			}
+		}
+	} else if err := s.execute(s.flows); err != nil {
+		return err
+	}
+	// The mesh must be empty once every flow has delivered its results;
+	// anything left is a protocol bug.
+	return s.e.sim.Drain(s.e.cfg.DrainCycleCap)
+}
+
+// execute drives one working set of flows through the cycle loop.
+func (s *scheduler) execute(flows []*flow) error {
+	s.running = len(flows)
+	for _, f := range flows {
+		f.startCycle = s.e.sim.Cycle()
+		if err := s.advance(f); err != nil {
+			return err
+		}
+	}
+	for s.running > 0 {
+		if err := s.checkDeadlines(); err != nil {
+			return err
+		}
+		s.e.sim.Step()
+		if err := s.pumpPEs(); err != nil {
+			return err
+		}
+		if err := s.injectReady(); err != nil {
+			return err
+		}
+		completed, err := s.pumpMCs()
+		if err != nil {
+			return err
+		}
+		for _, run := range completed {
+			if err := s.finishLayer(run); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// advance pushes a flow forward: host layers execute immediately, the next
+// conv/linear layer is decomposed and handed to the dispatcher, completion
+// marks the flow done.
+func (s *scheduler) advance(f *flow) error {
+	for f.nextLayer < len(s.e.model.Layers) {
+		layer := s.e.model.Layers[f.nextLayer]
+		var nl nocLayer
+		var err error
+		switch l := layer.(type) {
+		case *dnn.Conv2D:
+			nl, err = buildConvTasks(s.e.fixed(), l, f.act)
+		case *dnn.Linear:
+			nl, err = buildLinearTasks(s.e.fixed(), l, f.act)
+		default:
+			f.layers = append(f.layers, LayerStat{Name: layer.Name(), Inference: f.idx})
+			f.act = layer.Forward(f.act)
+			f.nextLayer++
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("accel: layer %s: %w", layer.Name(), err)
+		}
+		run, err := s.dispatch(f, nl)
+		if err != nil {
+			return fmt.Errorf("accel: layer %s: %w", layer.Name(), err)
+		}
+		f.cur = run
+		f.nextLayer++
+		return nil
+	}
+	f.done = true
+	f.cur = nil
+	f.endCycle = s.e.sim.Cycle()
+	s.running--
+	return nil
+}
+
+// finishLayer runs when the MC collector has every partial sum of a layer:
+// it reduces the partials in fixed segment order, records the layer stats,
+// and advances the owning flow to its next layer.
+func (s *scheduler) finishLayer(run *layerRun) error {
+	results := make([]float32, run.ntasks)
+	for ti, segs := range run.partials {
+		var sum float32
+		for _, v := range segs {
+			sum += v
+		}
+		results[ti] = sum
+	}
+	f := run.flow
+	f.act = tensor.FromSlice(results, run.outShape...)
+	f.cur = nil
+	f.layers = append(f.layers, LayerStat{
+		Name:      run.name,
+		Inference: f.idx,
+		OverNoC:   true,
+		Cycles:    s.e.sim.Cycle() - run.startCycle,
+		BT:        s.e.sim.TotalBT() - run.startBT,
+		Packets:   int64(run.expected) * 2, // task + result per segment
+		Flits:     run.flits,
+		Tasks:     run.ntasks,
+	})
+	s.removeRun(run)
+
+	// Paper-faithful serial mode: between consecutive layers the mesh must
+	// be fully drained. SerialLayers runs exactly one flow at a time, so
+	// the whole-mesh checkpoint is well-defined; under PipelinedLayers
+	// other flows legitimately keep traffic in flight and only the
+	// per-flow completion barrier (dispatch waits for every result of the
+	// previous layer) applies.
+	if s.e.cfg.LayerMode == SerialLayers {
+		if err := s.e.sim.Drain(s.e.cfg.DrainCycleCap); err != nil {
+			return err
+		}
+	}
+	return s.advance(f)
+}
+
+// removeRun drops a completed run from the deadline list.
+func (s *scheduler) removeRun(run *layerRun) {
+	for i, r := range s.activeRuns {
+		if r == run {
+			s.activeRuns = append(s.activeRuns[:i], s.activeRuns[i+1:]...)
+			return
+		}
+	}
+}
+
+// checkDeadlines fails the run if any in-flight layer exceeded the per-layer
+// cycle cap — the protocol-failure guard the old per-layer loop had.
+func (s *scheduler) checkDeadlines() error {
+	now := s.e.sim.Cycle()
+	for _, run := range s.activeRuns {
+		if now >= run.deadline {
+			return fmt.Errorf("accel: layer %s (inference %d) exceeded cycle cap %d (%d/%d results)",
+				run.name, run.flow.idx, s.e.cfg.DrainCycleCap, run.received, run.expected)
+		}
+	}
+	return nil
+}
+
+// injectReady injects result packets whose PE compute latency has elapsed.
+func (s *scheduler) injectReady() error {
+	now := s.e.sim.Cycle()
+	kept := s.pending[:0]
+	for _, pr := range s.pending {
+		if pr.ready <= now {
+			if err := s.e.sim.Inject(pr.pkt); err != nil {
+				return err
+			}
+			s.e.resultPackets++
+			pr.run.flits += int64(pr.pkt.Len())
+		} else {
+			kept = append(kept, pr)
+		}
+	}
+	s.pending = kept
+	return nil
+}

@@ -51,11 +51,24 @@ type Link struct {
 	// inFlight is the flit traversing this cycle; it is delivered to the
 	// sink at the start of the next cycle.
 	inFlight *flit.Flit
+
+	// Delivery wiring, set once by Sim.New so Step can visit only the links
+	// that actually carry a flit instead of scanning every port: sim owns
+	// the busy list transmit registers on; exactly one of (dstIn,dstRouter)
+	// or dstNI is set, naming the sink the in-flight flit lands in.
+	sim       *Sim
+	dstIn     *inPort
+	dstRouter *router
+	dstNI     *NI
+	// order is the link's position in the pre-optimization Step delivery
+	// scan; busy links are sorted by it when a trace hook is installed so
+	// recorded event sequences stay identical to the original simulator.
+	order int
 }
 
 // newLink builds a link with an all-zero initial wire state.
-func newLink(name string, class LinkClass, width int) *Link {
-	return &Link{Name: name, Class: class, wire: bitutil.NewVec(width)}
+func newLink(sim *Sim, name string, class LinkClass, width int) *Link {
+	return &Link{Name: name, Class: class, wire: bitutil.NewVec(width), sim: sim}
 }
 
 // transmit places f on the link, recording the bit transitions between the
@@ -72,6 +85,7 @@ func (l *Link) transmit(f *flit.Flit) {
 	l.wire.CopyFrom(f.Payload)
 	l.sent++
 	l.inFlight = f
+	l.sim.busy = append(l.sim.busy, l)
 }
 
 // takeDelivery removes and returns the in-flight flit (nil if idle).

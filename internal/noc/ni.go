@@ -14,14 +14,23 @@ type NI struct {
 	// out feeds the router's local input port through the injection link.
 	out *outPort
 
+	// queue is the injection backlog, consumed from qhead so steady-state
+	// pops are allocation-free; the backing array is recycled once drained.
 	queue  []*flit.Packet
+	qhead  int
 	cur    *flit.Packet
 	curIdx int
 	curVC  int
 	rrVC   int
+	// active mirrors membership in the simulator's active-NI list.
+	active bool
 
 	partial map[uint64][]*flit.Flit
-	ejected []*flit.Packet
+	// ejected and ejectedPrev are swapped on every popEjected call so the
+	// common pop-each-cycle pattern reuses one backing array instead of
+	// allocating per delivery burst.
+	ejected     []*flit.Packet
+	ejectedPrev []*flit.Packet
 }
 
 func newNI(node int, out *outPort) *NI {
@@ -33,7 +42,7 @@ func (n *NI) enqueue(p *flit.Packet) { n.queue = append(n.queue, p) }
 
 // Pending returns how many packets are queued or mid-injection.
 func (n *NI) Pending() int {
-	c := len(n.queue)
+	c := len(n.queue) - n.qhead
 	if n.cur != nil {
 		c++
 	}
@@ -44,11 +53,16 @@ func (n *NI) Pending() int {
 // whether it was the head flit (for latency bookkeeping), or nil.
 func (n *NI) tick() (injected *flit.Flit) {
 	if n.cur == nil {
-		if len(n.queue) == 0 {
+		if n.qhead == len(n.queue) {
 			return nil
 		}
-		n.cur = n.queue[0]
-		n.queue = n.queue[1:]
+		n.cur = n.queue[n.qhead]
+		n.queue[n.qhead] = nil
+		n.qhead++
+		if n.qhead == len(n.queue) {
+			n.queue = n.queue[:0]
+			n.qhead = 0
+		}
 		n.curIdx = 0
 		n.curVC = -1
 	}
@@ -108,9 +122,15 @@ func (n *NI) receive(f *flit.Flit) {
 	})
 }
 
-// popEjected returns and clears the reassembled packets.
+// popEjected returns and clears the reassembled packets. The returned slice
+// is only valid until the next popEjected call on this NI: the two internal
+// buffers are swapped so per-cycle polling does not allocate.
 func (n *NI) popEjected() []*flit.Packet {
+	if len(n.ejected) == 0 {
+		return nil
+	}
 	out := n.ejected
-	n.ejected = nil
+	n.ejected = n.ejectedPrev[:0]
+	n.ejectedPrev = out
 	return out
 }

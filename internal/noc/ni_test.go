@@ -1,0 +1,190 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+
+	"nocbt/internal/bitutil"
+	"nocbt/internal/flit"
+)
+
+// The NI backpressure suite exercises ni.tick's three refusal paths —
+// virtual-channel exhaustion, credit exhaustion and a busy injection link —
+// and checks each one resolves without losing or reordering flits.
+
+func backpressureSim(t *testing.T, vcs, depth int) *Sim {
+	t.Helper()
+	s, err := New(Config{Width: 2, Height: 2, VCs: vcs, BufDepth: depth, LinkBits: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func bpPacket(id uint64, src, dst, nflits int, rng *rand.Rand) *flit.Packet {
+	payloads := make([]bitutil.Vec, nflits-1)
+	for i := range payloads {
+		v := bitutil.NewVec(64)
+		v.SetField(0, 64, rng.Uint64())
+		payloads[i] = v
+	}
+	hdr := bitutil.NewVec(64)
+	hdr.SetField(0, 32, uint64(id))
+	return flit.NewPacket(id, src, dst, hdr, payloads)
+}
+
+// TestNITickNilOnEmptyQueue: an idle NI injects nothing.
+func TestNITickNilOnEmptyQueue(t *testing.T) {
+	s := backpressureSim(t, 2, 2)
+	if f := s.nis[0].tick(); f != nil {
+		t.Fatalf("empty NI injected %v", f)
+	}
+}
+
+// TestNIVCExhaustion: with a single VC, a second packet cannot allocate an
+// injection VC until the first packet's tail frees it; tick must return nil
+// (not interleave) while the VC is owned, and both packets must still be
+// delivered intact.
+func TestNIVCExhaustion(t *testing.T) {
+	s := backpressureSim(t, 1, 4)
+	rng := rand.New(rand.NewSource(1))
+	ni := s.nis[0]
+	long := bpPacket(1, 0, 3, 6, rng)
+	short := bpPacket(2, 0, 3, 2, rng)
+	if err := s.Inject(long); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Inject(short); err != nil {
+		t.Fatal(err)
+	}
+
+	// Head flit of the long packet claims VC 0.
+	if f := ni.tick(); f == nil || f.PacketID != 1 || !f.IsHead() {
+		t.Fatalf("first tick did not inject packet 1's head: %v", f)
+	}
+	if !ni.out.vcBusy[0] {
+		t.Fatal("injection VC not claimed by in-flight packet")
+	}
+	s.busy = s.busy[:0] // manual ticks bypass Step; reset the delivery list
+	ni.out.link.takeDelivery()
+
+	// While packet 1 owns the only VC, packet 2 stays queued: every tick
+	// continues packet 1, never starts packet 2.
+	for i := 0; i < 4; i++ {
+		f := ni.tick()
+		if f == nil {
+			t.Fatalf("tick %d refused although credit and link are free", i)
+		}
+		if f.PacketID != 1 {
+			t.Fatalf("tick %d interleaved packet %d into packet 1's wormhole", i, f.PacketID)
+		}
+		s.busy = s.busy[:0]
+		ni.out.link.takeDelivery()
+		ni.out.credits[0]++ // simulate downstream consumption returning credits
+	}
+	// Tail frees the VC; packet 2 may start.
+	f := ni.tick()
+	if f == nil || f.PacketID != 1 || !f.IsTail() {
+		t.Fatalf("expected packet 1's tail, got %v", f)
+	}
+	s.busy = s.busy[:0]
+	ni.out.link.takeDelivery()
+	ni.out.credits[0]++
+	if f := ni.tick(); f == nil || f.PacketID != 2 || !f.IsHead() {
+		t.Fatalf("packet 2 did not start after VC freed: %v", f)
+	}
+}
+
+// TestNICreditExhaustion: with a depth-1 downstream buffer, the NI may have
+// at most one unconsumed flit downstream; tick returns nil until the router
+// drains it and the credit returns.
+func TestNICreditExhaustion(t *testing.T) {
+	s := backpressureSim(t, 1, 1)
+	rng := rand.New(rand.NewSource(2))
+	if err := s.Inject(bpPacket(3, 0, 3, 4, rng)); err != nil {
+		t.Fatal(err)
+	}
+	ni := s.nis[0]
+
+	s.Step() // injects the head (1 credit spent), router buffers nothing yet
+	if ni.out.credits[0] != 0 {
+		t.Fatalf("credit not consumed: %d", ni.out.credits[0])
+	}
+	// The credit only returns after the router forwards the buffered flit;
+	// until then every tick refuses. Pending must not drop below 1 packet.
+	if f := ni.tick(); f != nil {
+		t.Fatalf("tick injected %v with zero credits", f)
+	}
+	if ni.Pending() != 1 {
+		t.Fatalf("mid-injection packet fell off Pending: %d", ni.Pending())
+	}
+	// Let the simulator run: credits flow back as the router forwards, and
+	// the whole packet must arrive at node 3 despite depth-1 buffers.
+	if err := s.Drain(1000); err != nil {
+		t.Fatal(err)
+	}
+	got := s.PopEjected(3)
+	if len(got) != 1 || got[0].Len() != 4 {
+		t.Fatalf("packet not delivered intact under credit backpressure: %v", got)
+	}
+}
+
+// TestNILinkBusyBackpressure: the injection link carries one flit per
+// cycle; a second tick in the same cycle must refuse even with credits and
+// a free VC.
+func TestNILinkBusyBackpressure(t *testing.T) {
+	s := backpressureSim(t, 2, 4)
+	rng := rand.New(rand.NewSource(3))
+	if err := s.Inject(bpPacket(4, 0, 3, 3, rng)); err != nil {
+		t.Fatal(err)
+	}
+	ni := s.nis[0]
+	if f := ni.tick(); f == nil {
+		t.Fatal("first tick refused")
+	}
+	// Flit still on the link (no Step to deliver it): the NI must stall.
+	if f := ni.tick(); f != nil {
+		t.Fatalf("second tick injected %v onto a busy link", f)
+	}
+}
+
+// TestNIBackpressureEndToEnd floods a single destination from all other
+// nodes through minimal buffers, so every refusal path triggers repeatedly,
+// and checks nothing is lost or duplicated.
+func TestNIBackpressureEndToEnd(t *testing.T) {
+	s, err := New(Config{Width: 4, Height: 4, VCs: 1, BufDepth: 1, LinkBits: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	var id uint64
+	const perSource = 5
+	for src := 0; src < 16; src++ {
+		if src == 5 {
+			continue
+		}
+		for k := 0; k < perSource; k++ {
+			id++
+			if err := s.Inject(bpPacket(id, src, 5, 3, rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Drain(100000); err != nil {
+		t.Fatal(err)
+	}
+	got := s.PopEjected(5)
+	if len(got) != 15*perSource {
+		t.Fatalf("hotspot received %d packets, want %d", len(got), 15*perSource)
+	}
+	seen := map[uint64]bool{}
+	for _, p := range got {
+		if seen[p.ID] {
+			t.Fatalf("packet %d delivered twice", p.ID)
+		}
+		seen[p.ID] = true
+		if p.Len() != 3 {
+			t.Fatalf("packet %d arrived with %d flits", p.ID, p.Len())
+		}
+	}
+}

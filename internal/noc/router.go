@@ -7,15 +7,31 @@ import (
 )
 
 // inVC is one virtual-channel buffer of an input port, with the per-packet
-// wormhole state of the packet currently at its head.
+// wormhole state of the packet currently at its head. The buffer is a fixed
+// ring of BufDepth slots, so steady-state traffic performs no allocation.
 type inVC struct {
-	q []*flit.Flit
+	buf  []*flit.Flit
+	head int
+	n    int
 	// route is the output port of the packet at the queue head (-1 until
 	// route computation runs on its head flit).
 	route int
 	// outVC is the downstream VC granted to that packet (-1 until VC
 	// allocation succeeds).
 	outVC int
+}
+
+// front returns the flit at the ring head; the caller must check n > 0.
+func (vc *inVC) front() *flit.Flit { return vc.buf[vc.head] }
+
+// pop removes the head flit.
+func (vc *inVC) pop() {
+	vc.buf[vc.head] = nil
+	vc.head++
+	if vc.head == len(vc.buf) {
+		vc.head = 0
+	}
+	vc.n--
 }
 
 // inPort is a router input port: one buffer per VC plus the upstream output
@@ -29,6 +45,7 @@ type inPort struct {
 func newInPort(vcs, depth int, feeder *outPort) *inPort {
 	p := &inPort{vcs: make([]inVC, vcs), feeder: feeder, depth: depth}
 	for i := range p.vcs {
+		p.vcs[i].buf = make([]*flit.Flit, depth)
 		p.vcs[i].route = -1
 		p.vcs[i].outVC = -1
 	}
@@ -39,10 +56,15 @@ func newInPort(vcs, depth int, feeder *outPort) *inPort {
 // contract: arrivals must never overflow the buffer.
 func (p *inPort) push(f *flit.Flit) {
 	vc := &p.vcs[f.VC]
-	if len(vc.q) >= p.depth {
+	if vc.n >= p.depth {
 		panic(fmt.Sprintf("noc: VC %d overflow (depth %d); credit protocol violated", f.VC, p.depth))
 	}
-	vc.q = append(vc.q, f)
+	slot := vc.head + vc.n
+	if slot >= len(vc.buf) {
+		slot -= len(vc.buf)
+	}
+	vc.buf[slot] = f
+	vc.n++
 }
 
 // outPort is a router (or NI) output port: the outgoing link, downstream
@@ -94,6 +116,8 @@ type router struct {
 	// buffered counts flits resident in input buffers, letting the
 	// simulator skip idle routers.
 	buffered int
+	// active mirrors membership in the simulator's active-router list.
+	active bool
 }
 
 // rc runs route computation: every head flit at a VC front with no route
@@ -106,13 +130,13 @@ func (r *router) rc(cfg *Config) {
 		}
 		for v := range in.vcs {
 			vc := &in.vcs[v]
-			if vc.route != -1 || len(vc.q) == 0 {
+			if vc.route != -1 || vc.n == 0 {
 				continue
 			}
-			if !vc.q[0].IsHead() {
+			if !vc.front().IsHead() {
 				continue
 			}
-			vc.route = cfg.route(r.id, vc.q[0].Dst)
+			vc.route = cfg.route(r.id, vc.front().Dst)
 		}
 	}
 }
@@ -136,7 +160,7 @@ func (r *router) va() {
 				continue
 			}
 			vc := &in.vcs[v]
-			if vc.route != po || vc.outVC != -1 || len(vc.q) == 0 || !vc.q[0].IsHead() {
+			if vc.route != po || vc.outVC != -1 || vc.n == 0 || !vc.front().IsHead() {
 				continue
 			}
 			free := out.freeVC()
@@ -177,14 +201,14 @@ func (r *router) sa() int {
 				continue
 			}
 			vc := &in.vcs[v]
-			if vc.route != po || vc.outVC == -1 || len(vc.q) == 0 {
+			if vc.route != po || vc.outVC == -1 || vc.n == 0 {
 				continue
 			}
 			if out.credits[vc.outVC] <= 0 {
 				continue
 			}
-			f := vc.q[0]
-			vc.q = vc.q[1:]
+			f := vc.front()
+			vc.pop()
 			r.buffered--
 			usedIn[pi] = true
 			moved++

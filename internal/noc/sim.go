@@ -2,17 +2,33 @@ package noc
 
 import (
 	"fmt"
+	"sort"
 
 	"nocbt/internal/flit"
 )
 
 // Sim is one mesh NoC instance. Create with New, feed packets with Inject,
 // advance with Step or Drain, then read Stats.
+//
+// Step is event-scheduled rather than scan-everything: links register on a
+// busy list when a flit is transmitted, NIs with queued packets and routers
+// with buffered flits sit on active lists, and each cycle visits only those.
+// An idle mesh cycle therefore costs O(1) instead of O(routers × ports).
 type Sim struct {
 	cfg     Config
 	routers []*router
 	nis     []*NI
 	links   []*Link
+
+	// busy holds the links carrying a flit this cycle, appended by
+	// Link.transmit and drained by the next Step's delivery phase.
+	busy []*Link
+	// activeNIs holds NIs with packets queued or mid-injection.
+	activeNIs []*NI
+	// activeRouters holds routers with buffered flits, kept in id order so
+	// same-cycle credit returns behave exactly like the full id-order scan.
+	activeRouters []*router
+	routersSorted bool
 
 	cycle     int64
 	inNetwork int64 // flits transmitted by NIs and not yet ejected
@@ -31,7 +47,9 @@ type Sim struct {
 // the paper's Fig. 7).
 type TraceFunc func(cycle int64, linkName string, class LinkClass, f *flit.Flit)
 
-// SetTrace installs a delivery observer; nil disables tracing.
+// SetTrace installs a delivery observer; nil disables tracing. With a trace
+// installed, same-cycle deliveries are reported in the deterministic
+// router/port scan order (the pre-optimization Step order).
 func (s *Sim) SetTrace(fn TraceFunc) { s.trace = fn }
 
 // New builds the mesh, its links and NIs.
@@ -53,25 +71,47 @@ func New(cfg Config) (*Sim, error) {
 			if nb == -1 {
 				continue
 			}
-			link := newLink(fmt.Sprintf("r%d.%s->r%d", id, portName(port), nb), RouterLink, cfg.LinkBits)
+			link := newLink(s, fmt.Sprintf("r%d.%s->r%d", id, portName(port), nb), RouterLink, cfg.LinkBits)
 			s.links = append(s.links, link)
 			r.out[port] = newOutPort(link, cfg.VCs, cfg.BufDepth, false)
-			s.routers[nb].in[opposite(port)] = newInPort(cfg.VCs, cfg.BufDepth, r.out[port])
+			in := newInPort(cfg.VCs, cfg.BufDepth, r.out[port])
+			s.routers[nb].in[opposite(port)] = in
+			link.dstRouter = s.routers[nb]
+			link.dstIn = in
 		}
 	}
 	// Local ports: ejection link to the NI, injection link from the NI.
 	s.nis = make([]*NI, nodes)
 	for id := 0; id < nodes; id++ {
 		r := s.routers[id]
-		ej := newLink(fmt.Sprintf("r%d.local->ni%d", id, id), EjectionLink, cfg.LinkBits)
+		ej := newLink(s, fmt.Sprintf("r%d.local->ni%d", id, id), EjectionLink, cfg.LinkBits)
 		s.links = append(s.links, ej)
 		r.out[Local] = newOutPort(ej, cfg.VCs, cfg.BufDepth, true)
 
-		inj := newLink(fmt.Sprintf("ni%d->r%d.local", id, id), InjectionLink, cfg.LinkBits)
+		inj := newLink(s, fmt.Sprintf("ni%d->r%d.local", id, id), InjectionLink, cfg.LinkBits)
 		s.links = append(s.links, inj)
 		niOut := newOutPort(inj, cfg.VCs, cfg.BufDepth, false)
-		r.in[Local] = newInPort(cfg.VCs, cfg.BufDepth, niOut)
+		in := newInPort(cfg.VCs, cfg.BufDepth, niOut)
+		r.in[Local] = in
+		inj.dstRouter = r
+		inj.dstIn = in
 		s.nis[id] = newNI(id, niOut)
+		ej.dstNI = s.nis[id]
+	}
+	// Delivery order of the pre-optimization Step scan (router id → input
+	// ports Local..West → ejection), so traced runs report same-cycle
+	// events in the identical sequence.
+	order := 0
+	for id := 0; id < nodes; id++ {
+		r := s.routers[id]
+		for port := 0; port < numPorts; port++ {
+			if r.in[port] != nil {
+				r.in[port].feeder.link.order = order
+				order++
+			}
+		}
+		r.out[Local].link.order = order
+		order++
 	}
 	return s, nil
 }
@@ -94,35 +134,45 @@ func (s *Sim) Inject(p *flit.Packet) error {
 				p.ID, f.Payload.Width(), s.cfg.LinkBits)
 		}
 	}
-	s.nis[p.Src].enqueue(p)
+	ni := s.nis[p.Src]
+	ni.enqueue(p)
+	if !ni.active {
+		ni.active = true
+		s.activeNIs = append(s.activeNIs, ni)
+	}
 	return nil
+}
+
+// activateRouter puts r on the active list when its first flit arrives.
+func (s *Sim) activateRouter(r *router) {
+	if !r.active {
+		r.active = true
+		s.activeRouters = append(s.activeRouters, r)
+		s.routersSorted = false
+	}
 }
 
 // Step advances the simulation one cycle.
 func (s *Sim) Step() {
 	s.cycle++
 
-	// Phase 1 — deliver last cycle's in-flight flits.
-	for _, r := range s.routers {
-		for port := 0; port < numPorts; port++ {
-			in := r.in[port]
-			if in == nil {
-				continue
-			}
-			if f := in.feeder.link.takeDelivery(); f != nil {
-				in.push(f)
-				r.buffered++
-				if s.trace != nil {
-					s.trace(s.cycle, in.feeder.link.Name, in.feeder.link.Class, f)
-				}
-			}
+	// Phase 1 — deliver last cycle's in-flight flits. Only links that
+	// transmitted last cycle are on the busy list; delivery order is
+	// irrelevant to the protocol state (every link feeds a distinct sink)
+	// but is pinned to the scan order for trace consumers.
+	if s.trace != nil && len(s.busy) > 1 {
+		sort.Slice(s.busy, func(i, j int) bool { return s.busy[i].order < s.busy[j].order })
+	}
+	for _, l := range s.busy {
+		f := l.takeDelivery()
+		if f == nil {
+			continue
 		}
-		// Ejection link delivers to the NI.
-		if f := r.out[Local].link.takeDelivery(); f != nil {
+		if ni := l.dstNI; ni != nil {
+			// Ejection link delivers to the NI.
 			if s.trace != nil {
-				s.trace(s.cycle, r.out[Local].link.Name, EjectionLink, f)
+				s.trace(s.cycle, l.Name, EjectionLink, f)
 			}
-			ni := s.nis[r.id]
 			ni.receive(f)
 			s.inNetwork--
 			if f.IsTail() {
@@ -136,28 +186,60 @@ func (s *Sim) Step() {
 					delete(s.packetStart, f.PacketID)
 				}
 			}
+			continue
+		}
+		l.dstIn.push(f)
+		l.dstRouter.buffered++
+		s.activateRouter(l.dstRouter)
+		if s.trace != nil {
+			s.trace(s.cycle, l.Name, l.Class, f)
 		}
 	}
+	s.busy = s.busy[:0]
 
-	// Phase 2 — NI injection.
-	for _, ni := range s.nis {
-		if f := ni.tick(); f != nil {
-			s.inNetwork++
-			if f.IsHead() {
-				s.packetStart[f.PacketID] = s.cycle
+	// Phase 2 — NI injection. Per-NI order does not matter (each NI owns
+	// its injection link); exhausted NIs drop off the active list.
+	if len(s.activeNIs) > 0 {
+		keep := s.activeNIs[:0]
+		for _, ni := range s.activeNIs {
+			if f := ni.tick(); f != nil {
+				s.inNetwork++
+				if f.IsHead() {
+					s.packetStart[f.PacketID] = s.cycle
+				}
+			}
+			if ni.Pending() > 0 {
+				keep = append(keep, ni)
+			} else {
+				ni.active = false
 			}
 		}
+		s.activeNIs = keep
 	}
 
 	// Phase 3 — routers: route computation, VC allocation, switch
-	// allocation + traversal.
-	for _, r := range s.routers {
-		if r.buffered == 0 {
-			continue
+	// allocation + traversal. Same-cycle credit returns flow from lower to
+	// higher router ids exactly as in a full scan, so the active list must
+	// be walked in id order.
+	if len(s.activeRouters) > 0 {
+		if !s.routersSorted {
+			sort.Slice(s.activeRouters, func(i, j int) bool {
+				return s.activeRouters[i].id < s.activeRouters[j].id
+			})
+			s.routersSorted = true
 		}
-		r.rc(&s.cfg)
-		r.va()
-		r.sa()
+		keep := s.activeRouters[:0]
+		for _, r := range s.activeRouters {
+			r.rc(&s.cfg)
+			r.va()
+			r.sa()
+			if r.buffered > 0 {
+				keep = append(keep, r)
+			} else {
+				r.active = false
+			}
+		}
+		s.activeRouters = keep // compaction preserves id order
 	}
 }
 
@@ -166,7 +248,7 @@ func (s *Sim) Busy() bool {
 	if s.inNetwork > 0 {
 		return true
 	}
-	for _, ni := range s.nis {
+	for _, ni := range s.activeNIs {
 		if ni.Pending() > 0 {
 			return true
 		}
@@ -194,7 +276,9 @@ func (s *Sim) Drain(maxCycles int64) error {
 // Cycle returns the current simulation time.
 func (s *Sim) Cycle() int64 { return s.cycle }
 
-// PopEjected returns and clears packets delivered to the node's NI.
+// PopEjected returns and clears packets delivered to the node's NI. The
+// returned slice is valid until the next PopEjected call for the same node
+// (the NI recycles its buffers); consume or copy it before polling again.
 func (s *Sim) PopEjected(node int) []*flit.Packet {
 	return s.nis[node].popEjected()
 }

@@ -1,0 +1,143 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+
+	"nocbt/internal/bitutil"
+	"nocbt/internal/flit"
+)
+
+// The Sim.Step benchmarks cover the regimes the accelerator engine drives
+// the mesh through: near-idle cycles (layer tails, PE compute latency),
+// the light 2-MC injection pattern of the 4×4 platform, and a saturated
+// mesh where every NI always has traffic queued. One benchmark op is one
+// simulated cycle, so ns/op is the per-cycle stepping cost; the paired
+// before/after numbers live in BENCH_noc.json at the repository root.
+
+// benchPacket builds an nflits-flit packet with pseudorandom payloads.
+func benchPacket(id uint64, src, dst, nflits, linkBits int, rng *rand.Rand) *flit.Packet {
+	payloads := make([]bitutil.Vec, nflits-1)
+	for i := range payloads {
+		v := bitutil.NewVec(linkBits)
+		for off := 0; off < linkBits; off += 64 {
+			w := 64
+			if linkBits-off < 64 {
+				w = linkBits - off
+			}
+			v.SetField(off, w, rng.Uint64())
+		}
+		payloads[i] = v
+	}
+	hdr := bitutil.NewVec(linkBits)
+	hdr.SetField(0, 32, uint64(id))
+	hdr.SetField(32, 16, uint64(dst))
+	return flit.NewPacket(id, src, dst, hdr, payloads)
+}
+
+// benchSim steps a w×h mesh for b.N cycles; inject is called every cycle
+// and may queue new packets, pop drains ejected packets periodically so NI
+// reassembly queues stay bounded.
+func benchSim(b *testing.B, w, h, linkBits int, inject func(s *Sim, cycle int64)) {
+	b.Helper()
+	s, err := New(Config{Width: w, Height: h, VCs: 4, BufDepth: 4, LinkBits: linkBits})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := s.Config().Nodes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inject(s, int64(i))
+		s.Step()
+		if i%64 == 63 {
+			for n := 0; n < nodes; n++ {
+				s.PopEjected(n)
+			}
+		}
+	}
+}
+
+// BenchmarkStepIdle8x8 measures the fixed per-cycle cost of a mesh that is
+// almost always empty: one 5-flit packet crosses the full diagonal every
+// 256 cycles. This is the regime the active-router/active-NI lists target.
+func BenchmarkStepIdle8x8(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var id uint64
+	benchSim(b, 8, 8, 128, func(s *Sim, cycle int64) {
+		if cycle%256 == 0 {
+			id++
+			if err := s.Inject(benchPacket(id, 0, 63, 5, 128, rng)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStepAccelLike8x8 mimics the accelerator's traffic shape: two
+// perimeter MCs each inject a 5-flit task packet every 8 cycles toward
+// rotating PE destinations.
+func BenchmarkStepAccelLike8x8(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	var id uint64
+	mcs := []int{0, 63}
+	benchSim(b, 8, 8, 128, func(s *Sim, cycle int64) {
+		if cycle%8 != 0 {
+			return
+		}
+		for _, mc := range mcs {
+			id++
+			dst := 1 + int(id)%62
+			if err := s.Inject(benchPacket(id, mc, dst, 5, 128, rng)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStepSaturated8x8 keeps every NI's injection queue topped up with
+// 5-flit packets to uniform-random destinations: the heavy-traffic regime
+// where per-flit cost, not idle skipping, dominates.
+func BenchmarkStepSaturated8x8(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	var id uint64
+	benchSim(b, 8, 8, 128, func(s *Sim, cycle int64) {
+		if cycle%16 != 0 {
+			return
+		}
+		for n := 0; n < 64; n++ {
+			for s.nis[n].Pending() < 2 {
+				id++
+				dst := rng.Intn(64)
+				if dst == n {
+					dst = (n + 1) % 64
+				}
+				if err := s.Inject(benchPacket(id, n, dst, 5, 128, rng)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkStepSaturated4x4Wide is the float-32 flavour: a 4×4 mesh with
+// 512-bit links under sustained traffic from its two MC corners.
+func BenchmarkStepSaturated4x4Wide(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	var id uint64
+	mcs := []int{0, 15}
+	benchSim(b, 4, 4, 512, func(s *Sim, cycle int64) {
+		if cycle%16 != 0 {
+			return
+		}
+		for _, mc := range mcs {
+			for s.nis[mc].Pending() < 4 {
+				id++
+				dst := 1 + int(id)%14
+				if err := s.Inject(benchPacket(id, mc, dst, 5, 512, rng)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

@@ -21,9 +21,16 @@ type Result struct {
 	Ordering     flit.Ordering `json:"-"`
 	OrderingName string        `json:"ordering"`
 	Seed         int64         `json:"seed"`
-	TotalBT      int64         `json:"total_bt"`
-	Cycles       int64         `json:"cycles"`
-	Packets      int64         `json:"packets"`
+	// Batch is the inference batch size of the run (1 = serial Infer).
+	Batch   int   `json:"batch"`
+	TotalBT int64 `json:"total_bt"`
+	Cycles  int64 `json:"cycles"`
+	Packets int64 `json:"packets"`
+	// Throughput is inferences per thousand simulated cycles;
+	// AvgLatencyCycles is the mean per-inference latency. For batch 1 both
+	// degenerate to the single inference's cycle count.
+	Throughput       float64 `json:"throughput_inf_per_kcycle"`
+	AvgLatencyCycles float64 `json:"avg_latency_cycles"`
 	// ReductionPct is relative to the group's Baseline run (0 when the
 	// sweep did not include the Baseline ordering).
 	ReductionPct float64 `json:"reduction_pct"`
@@ -39,11 +46,11 @@ func WriteJSON(w io.Writer, results []Result) error {
 // RenderTable renders the results with the repository's standard table
 // formatter, one row per grid point in sweep order.
 func RenderTable(results []Result) string {
-	t := stats.NewTable("Platform", "Model", "Format", "Ordering", "Seed",
-		"Total BT", "Cycles", "Packets", "Reduction %")
+	t := stats.NewTable("Platform", "Model", "Format", "Ordering", "Seed", "Batch",
+		"Total BT", "Cycles", "Packets", "Inf/kcycle", "Reduction %")
 	for _, r := range results {
-		t.AddRowf(r.Platform, r.Model, r.Format, r.OrderingName, r.Seed,
-			r.TotalBT, r.Cycles, r.Packets, r.ReductionPct)
+		t.AddRowf(r.Platform, r.Model, r.Format, r.OrderingName, r.Seed, r.Batch,
+			r.TotalBT, r.Cycles, r.Packets, r.Throughput, r.ReductionPct)
 	}
 	return t.String()
 }

@@ -113,7 +113,9 @@ func (r *runner) workload(w Workload, seed int64) *workloadEntry {
 }
 
 // runJob measures one grid point: build the platform, clone the shared
-// model for race-free inference, run it through the NoC.
+// model for race-free inference, run it through the NoC. Batch sizes above
+// one share the mesh between all inferences via Engine.InferBatch; size one
+// keeps the classic serial Infer path.
 func (r *runner) runJob(job Job) (Result, error) {
 	entry := r.workload(job.Workload, job.Seed)
 	if entry.err != nil {
@@ -121,15 +123,22 @@ func (r *runner) runJob(job Job) (Result, error) {
 	}
 	cfg := job.Platform.Build(job.Geometry)
 	cfg.Ordering = job.Ordering
+	batch := job.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	if batch > 1 {
+		// The batch axis measures sustained concurrent traffic; the
+		// paper-faithful SerialLayers default would reduce it to N scaled
+		// serial rows.
+		cfg.LayerMode = accel.PipelinedLayers
+	}
 	model := entry.model.CloneForInference()
 	eng, err := accel.New(cfg, model)
 	if err != nil {
 		return Result{}, err
 	}
-	if _, err := eng.Infer(entry.input); err != nil {
-		return Result{}, err
-	}
-	return Result{
+	res := Result{
 		Platform:     job.Platform.Name,
 		Workload:     job.Workload.Name,
 		Model:        model.Name(),
@@ -139,10 +148,28 @@ func (r *runner) runJob(job Job) (Result, error) {
 		Ordering:     job.Ordering,
 		OrderingName: job.Ordering.String(),
 		Seed:         job.Seed,
-		TotalBT:      eng.TotalBT(),
-		Cycles:       eng.Cycles(),
-		Packets:      eng.TaskPackets() + eng.ResultPackets(),
-	}, nil
+		Batch:        batch,
+	}
+	if batch == 1 {
+		if _, err := eng.Infer(entry.input); err != nil {
+			return Result{}, err
+		}
+		if c := eng.Cycles(); c > 0 {
+			res.Throughput = 1000 / float64(c)
+			res.AvgLatencyCycles = float64(c)
+		}
+	} else {
+		if _, err := eng.InferRepeated(entry.input, batch); err != nil {
+			return Result{}, err
+		}
+		st := eng.LastBatchStats()
+		res.Throughput = st.Throughput()
+		res.AvgLatencyCycles = st.AvgLatencyCycles
+	}
+	res.TotalBT = eng.TotalBT()
+	res.Cycles = eng.Cycles()
+	res.Packets = eng.TaskPackets() + eng.ResultPackets()
+	return res, nil
 }
 
 // groupKey identifies a reduction group: one job minus its ordering.
@@ -152,6 +179,7 @@ type groupKey struct {
 	linkBits int
 	format   string
 	seed     int64
+	batch    int
 }
 
 func (res Result) group() groupKey {
@@ -161,6 +189,7 @@ func (res Result) group() groupKey {
 		linkBits: res.LinkBits,
 		format:   res.Format,
 		seed:     res.Seed,
+		batch:    res.Batch,
 	}
 }
 

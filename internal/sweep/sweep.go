@@ -52,7 +52,7 @@ type Platform struct {
 	Build func(flit.Geometry) accel.Config
 }
 
-// Spec declares the experiment grid. Every combination of the five axes
+// Spec declares the experiment grid. Every combination of the six axes
 // becomes one job.
 type Spec struct {
 	Platforms  []Platform
@@ -60,6 +60,11 @@ type Spec struct {
 	Orderings  []flit.Ordering
 	Workloads  []Workload
 	Seeds      []int64
+	// Batches lists the inference batch sizes to measure. Size 1 runs the
+	// classic single Infer; larger sizes run Engine.InferRepeated under
+	// PipelinedLayers, measuring BT and throughput under sustained
+	// multi-inference traffic. Empty means {1}.
+	Batches []int
 	// Workers bounds the pool; 0 means runtime.GOMAXPROCS(0).
 	Workers int
 }
@@ -70,6 +75,11 @@ func (s Spec) Validate() error {
 		len(s.Workloads) == 0 || len(s.Seeds) == 0 {
 		return fmt.Errorf("sweep: empty grid axis (platforms=%d geometries=%d orderings=%d workloads=%d seeds=%d)",
 			len(s.Platforms), len(s.Geometries), len(s.Orderings), len(s.Workloads), len(s.Seeds))
+	}
+	for _, b := range s.Batches {
+		if b < 1 {
+			return fmt.Errorf("sweep: batch size %d < 1", b)
+		}
 	}
 	seen := make(map[string]bool, len(s.Workloads))
 	for _, w := range s.Workloads {
@@ -97,12 +107,13 @@ func (s Spec) Validate() error {
 }
 
 // Job is one grid point: a single (platform, geometry, ordering, workload,
-// seed) inference measurement.
+// seed, batch) inference measurement.
 type Job struct {
 	// Index is the job's position in expansion order; results are returned
 	// in this order.
 	Index    int
 	Seed     int64
+	Batch    int
 	Workload Workload
 	Geometry flit.Geometry
 	Platform Platform
@@ -111,30 +122,37 @@ type Job struct {
 
 // Name renders the job's coordinates for error messages.
 func (j Job) Name() string {
-	return fmt.Sprintf("%s/%s/%s/%s/seed%d",
-		j.Platform.Name, j.Geometry.Format, j.Ordering, j.Workload.Name, j.Seed)
+	return fmt.Sprintf("%s/%s/%s/%s/seed%d/batch%d",
+		j.Platform.Name, j.Geometry.Format, j.Ordering, j.Workload.Name, j.Seed, j.Batch)
 }
 
 // Jobs expands the grid in deterministic nesting order — seeds, then
-// workloads, then geometries, then platforms, then orderings. Orderings are
-// innermost so each reduction group (a job minus its ordering) is a
-// contiguous run, and the serial reference loops in experiments_noc.go
-// produce rows in exactly this order.
+// batches, then workloads, then geometries, then platforms, then orderings.
+// Orderings are innermost so each reduction group (a job minus its
+// ordering) is a contiguous run, and the serial reference loops in
+// experiments_noc.go produce rows in exactly this order.
 func (s Spec) Jobs() []Job {
-	jobs := make([]Job, 0, len(s.Seeds)*len(s.Workloads)*len(s.Geometries)*len(s.Platforms)*len(s.Orderings))
+	batches := s.Batches
+	if len(batches) == 0 {
+		batches = []int{1}
+	}
+	jobs := make([]Job, 0, len(s.Seeds)*len(batches)*len(s.Workloads)*len(s.Geometries)*len(s.Platforms)*len(s.Orderings))
 	for _, seed := range s.Seeds {
-		for _, w := range s.Workloads {
-			for _, g := range s.Geometries {
-				for _, p := range s.Platforms {
-					for _, ord := range s.Orderings {
-						jobs = append(jobs, Job{
-							Index:    len(jobs),
-							Seed:     seed,
-							Workload: w,
-							Geometry: g,
-							Platform: p,
-							Ordering: ord,
-						})
+		for _, batch := range batches {
+			for _, w := range s.Workloads {
+				for _, g := range s.Geometries {
+					for _, p := range s.Platforms {
+						for _, ord := range s.Orderings {
+							jobs = append(jobs, Job{
+								Index:    len(jobs),
+								Seed:     seed,
+								Batch:    batch,
+								Workload: w,
+								Geometry: g,
+								Platform: p,
+								Ordering: ord,
+							})
+						}
 					}
 				}
 			}

@@ -285,3 +285,75 @@ func TestRenderTable(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchAxis runs the same grid point at batch sizes 1, 2 and 4 and
+// checks the batch rows' invariants: batch recorded, traffic scaling with
+// batch size, throughput above the serial run's, and reduction groups split
+// per batch size (an O2 batch-4 row reduces against the O0 batch-4 row, not
+// the serial baseline).
+func TestBatchAxis(t *testing.T) {
+	spec := Spec{
+		Platforms:  []Platform{tinyPlatform()},
+		Geometries: []flit.Geometry{flit.Fixed8Geometry()},
+		Orderings:  flit.Orderings(),
+		Workloads:  []Workload{tinyWorkload("tiny")},
+		Seeds:      []int64{1},
+		Batches:    []int{1, 2, 4},
+	}
+	results, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3*len(flit.Orderings()) {
+		t.Fatalf("got %d rows, want %d", len(results), 3*len(flit.Orderings()))
+	}
+	byBatch := map[int][]Result{}
+	for _, r := range results {
+		byBatch[r.Batch] = append(byBatch[r.Batch], r)
+	}
+	for _, b := range []int{1, 2, 4} {
+		rows := byBatch[b]
+		if len(rows) != len(flit.Orderings()) {
+			t.Fatalf("batch %d has %d rows", b, len(rows))
+		}
+		base := rows[0]
+		if base.Ordering != flit.Baseline || base.ReductionPct != 0 {
+			t.Errorf("batch %d baseline row malformed: %+v", b, base)
+		}
+		for _, r := range rows {
+			if r.Throughput <= 0 || r.AvgLatencyCycles <= 0 {
+				t.Errorf("batch %d row missing throughput/latency: %+v", b, r)
+			}
+			// Packet counts scale exactly linearly with batch size.
+			if r.Packets != byBatch[1][0].Packets*int64(b) {
+				t.Errorf("batch %d packets %d, want %d", b, r.Packets, byBatch[1][0].Packets*int64(b))
+			}
+		}
+		if b > 1 {
+			// Sharing the mesh must not be slower than serial execution.
+			if rows[0].Cycles >= byBatch[1][0].Cycles*int64(b) {
+				t.Errorf("batch %d cycles %d not below %d serial cycles",
+					b, rows[0].Cycles, byBatch[1][0].Cycles*int64(b))
+			}
+		}
+	}
+	// Ordering still reduces BT under batched traffic.
+	for _, b := range []int{2, 4} {
+		rows := byBatch[b]
+		if !(rows[2].TotalBT < rows[0].TotalBT) {
+			t.Errorf("batch %d: O2 BT %d not below O0 BT %d", b, rows[2].TotalBT, rows[0].TotalBT)
+		}
+		if rows[2].ReductionPct <= 0 {
+			t.Errorf("batch %d: O2 reduction %.2f%% not positive", b, rows[2].ReductionPct)
+		}
+	}
+}
+
+// TestBatchValidation rejects non-positive batch sizes.
+func TestBatchValidation(t *testing.T) {
+	spec := tinySpec()
+	spec.Batches = []int{0}
+	if _, err := Run(spec); err == nil || !strings.Contains(err.Error(), "batch size") {
+		t.Errorf("batch size 0 not rejected: %v", err)
+	}
+}

@@ -76,8 +76,31 @@ func Platform8x8MC4(g Geometry) Platform { return accel.Mesh8x8MC4(g) }
 // Platform8x8MC8 returns the paper's 8×8 mesh with 8 MCs.
 func Platform8x8MC8(g Geometry) Platform { return accel.Mesh8x8MC8(g) }
 
-// Engine executes DNN inference over the simulated NoC.
+// Engine executes DNN inference over the simulated NoC. Engine.Infer runs
+// one inference at a time; Engine.InferBatch keeps a whole batch of
+// inferences in flight on the mesh concurrently and records throughput and
+// per-inference latency (Engine.LastBatchStats).
 type Engine = accel.Engine
+
+// BatchStats is the throughput/latency record of an Engine.InferBatch call.
+type BatchStats = accel.BatchStats
+
+// InferenceStat is one batch inference's timing record.
+type InferenceStat = accel.InferenceStat
+
+// LayerMode selects the engine's mesh-sharing discipline.
+type LayerMode = accel.LayerMode
+
+const (
+	// SerialLayers is the paper-faithful default: one inference's traffic
+	// occupies the mesh at a time, fully drained between layers; InferBatch
+	// degenerates to bit-and-cycle-identical serial execution.
+	SerialLayers = accel.SerialLayers
+	// PipelinedLayers lets every inference of a batch share the mesh
+	// concurrently (outputs stay bit-identical; BT, cycles and throughput
+	// reflect sustained traffic).
+	PipelinedLayers = accel.PipelinedLayers
+)
 
 // NewEngine builds an accelerator engine for the platform and model.
 func NewEngine(cfg Platform, model *Model) (*Engine, error) {
@@ -158,9 +181,13 @@ func key(name string, seed int64) string {
 }
 
 // SampleInput renders one synthetic digit image matching the model's input
-// shape — the inference stimulus used by the with-NoC experiments.
+// shape — the inference stimulus used by the with-NoC experiments. Any
+// seed is valid: the sample count derives from the seed's residue
+// normalized into [1, 10], so negative seeds (whose Go remainder is
+// negative) cannot request a negative-capacity dataset.
 func SampleInput(m *Model, seed int64) *Tensor {
 	rng := rand.New(rand.NewSource(seed))
-	ds := train.SyntheticDigits(1+int(seed%10), m.InShape, rng)
+	n := 1 + int((seed%10+10)%10)
+	ds := train.SyntheticDigits(n, m.InShape, rng)
 	return ds.Samples[len(ds.Samples)-1].Image
 }

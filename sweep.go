@@ -64,6 +64,12 @@ type SweepSpec struct {
 	Trained bool
 	// Seeds for weight init / training and input synthesis. Default: {1}.
 	Seeds []int64
+	// Batches lists inference batch sizes to measure. Size 1 is the
+	// classic serial Infer; larger sizes run Engine.InferBatch under
+	// PipelinedLayers so all inferences of the batch share the mesh
+	// concurrently, measuring BT and throughput under sustained traffic.
+	// Default: {1}.
+	Batches []int
 	// Workers bounds the worker pool; 0 means GOMAXPROCS.
 	Workers int
 }
@@ -83,6 +89,9 @@ func (s SweepSpec) withDefaults() SweepSpec {
 	}
 	if len(s.Seeds) == 0 {
 		s.Seeds = []int64{1}
+	}
+	if len(s.Batches) == 0 {
+		s.Batches = []int{1}
 	}
 	return s
 }
@@ -124,6 +133,7 @@ func (s SweepSpec) toInternal() (sweep.Spec, error) {
 		Geometries: s.Geometries,
 		Orderings:  s.Orderings,
 		Seeds:      s.Seeds,
+		Batches:    s.Batches,
 		Workers:    s.Workers,
 	}
 	for _, p := range s.Platforms {
@@ -158,16 +168,19 @@ func RunSweep(spec SweepSpec) ([]NoCRunResult, error) {
 	rows := make([]NoCRunResult, len(results))
 	for i, r := range results {
 		rows[i] = NoCRunResult{
-			Platform:     r.Platform,
-			Model:        r.Model,
-			Workload:     r.Workload,
-			Geometry:     r.Geometry,
-			Ordering:     r.Ordering,
-			TotalBT:      r.TotalBT,
-			Cycles:       r.Cycles,
-			Packets:      r.Packets,
-			ReductionPct: r.ReductionPct,
-			Seed:         r.Seed,
+			Platform:         r.Platform,
+			Model:            r.Model,
+			Workload:         r.Workload,
+			Geometry:         r.Geometry,
+			Ordering:         r.Ordering,
+			Batch:            r.Batch,
+			TotalBT:          r.TotalBT,
+			Cycles:           r.Cycles,
+			Packets:          r.Packets,
+			Throughput:       r.Throughput,
+			AvgLatencyCycles: r.AvgLatencyCycles,
+			ReductionPct:     r.ReductionPct,
+			Seed:             r.Seed,
 		}
 	}
 	return rows, nil
@@ -190,20 +203,27 @@ func toInternalResults(rows []NoCRunResult) []sweep.Result {
 		if workload == "" {
 			workload = r.Model // rows from direct RunModelOnNoC calls
 		}
+		batch := r.Batch
+		if batch == 0 {
+			batch = 1 // rows predating the batch axis
+		}
 		out[i] = sweep.Result{
-			Platform:     r.Platform,
-			Workload:     workload,
-			Model:        r.Model,
-			Geometry:     r.Geometry,
-			Format:       r.Geometry.Format.String(),
-			LinkBits:     r.Geometry.LinkBits,
-			Ordering:     r.Ordering,
-			OrderingName: r.Ordering.String(),
-			Seed:         r.Seed,
-			TotalBT:      r.TotalBT,
-			Cycles:       r.Cycles,
-			Packets:      r.Packets,
-			ReductionPct: r.ReductionPct,
+			Platform:         r.Platform,
+			Workload:         workload,
+			Model:            r.Model,
+			Geometry:         r.Geometry,
+			Format:           r.Geometry.Format.String(),
+			LinkBits:         r.Geometry.LinkBits,
+			Ordering:         r.Ordering,
+			OrderingName:     r.Ordering.String(),
+			Seed:             r.Seed,
+			Batch:            batch,
+			TotalBT:          r.TotalBT,
+			Cycles:           r.Cycles,
+			Packets:          r.Packets,
+			Throughput:       r.Throughput,
+			AvgLatencyCycles: r.AvgLatencyCycles,
+			ReductionPct:     r.ReductionPct,
 		}
 	}
 	return out
