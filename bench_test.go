@@ -6,6 +6,7 @@ package nocbt_test
 // b.ReportMetric, so `go test -bench .` regenerates the evaluation's rows.
 
 import (
+	"context"
 	"encoding/json"
 	"math/rand"
 	"os"
@@ -89,14 +90,14 @@ func BenchmarkFig11BitDistribution(b *testing.B) {
 func benchNoCRun(b *testing.B, platform string, cfg nocbt.Platform, ord nocbt.Ordering) {
 	model := nocbt.TrainedLeNet(1)
 	input := nocbt.SampleInput(model, 7)
-	base, err := nocbt.RunModelOnNoC(platform, cfg, nocbt.O0, model, input)
+	base, err := nocbt.RunModelOnNoC(context.Background(), platform, cfg, nocbt.O0, model, input)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	var r nocbt.NoCRunResult
 	for i := 0; i < b.N; i++ {
-		r, err = nocbt.RunModelOnNoC(platform, cfg, ord, model, input)
+		r, err = nocbt.RunModelOnNoC(context.Background(), platform, cfg, ord, model, input)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -135,14 +136,14 @@ func BenchmarkFig13DarkNetFixed8O2(b *testing.B) {
 	// DarkNet with random weights: one inference is ~10× LeNet's traffic.
 	model := nocbt.DarkNet(1)
 	input := nocbt.SampleInput(model, 7)
-	base, err := nocbt.RunModelOnNoC("4x4 MC2", nocbt.Platform4x4MC2(nocbt.Fixed8()), nocbt.O0, model, input)
+	base, err := nocbt.RunModelOnNoC(context.Background(), "4x4 MC2", nocbt.Platform4x4MC2(nocbt.Fixed8()), nocbt.O0, model, input)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	var r nocbt.NoCRunResult
 	for i := 0; i < b.N; i++ {
-		r, err = nocbt.RunModelOnNoC("4x4 MC2", nocbt.Platform4x4MC2(nocbt.Fixed8()), nocbt.O2, model, input)
+		r, err = nocbt.RunModelOnNoC(context.Background(), "4x4 MC2", nocbt.Platform4x4MC2(nocbt.Fixed8()), nocbt.O2, model, input)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -260,7 +261,7 @@ func BenchmarkAblationInBandIndex(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := eng.Infer(input); err != nil {
+		if _, err := eng.Infer(context.Background(), input); err != nil {
 			b.Fatal(err)
 		}
 		return eng.TotalBT()
@@ -287,7 +288,7 @@ func BenchmarkAblationVC(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := eng.Infer(input); err != nil {
+		if _, err := eng.Infer(context.Background(), input); err != nil {
 			b.Fatal(err)
 		}
 		return eng.TotalBT()
@@ -390,7 +391,7 @@ func BenchmarkInferSerial(b *testing.B) {
 			b.Fatal(err)
 		}
 		for _, in := range inputs {
-			if _, err := eng.Infer(in); err != nil {
+			if _, err := eng.Infer(context.Background(), in); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -414,7 +415,7 @@ func BenchmarkInferBatch(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := eng.InferBatch(inputs); err != nil {
+		if _, err := eng.InferBatch(context.Background(), inputs); err != nil {
 			b.Fatal(err)
 		}
 		st = eng.LastBatchStats()
@@ -490,7 +491,7 @@ func TestEmitNoCBenchBaseline(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, in := range inputs {
-		if _, err := serialEng.Infer(in); err != nil {
+		if _, err := serialEng.Infer(context.Background(), in); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -499,7 +500,7 @@ func TestEmitNoCBenchBaseline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := batchEng.InferBatch(inputs); err != nil {
+	if _, err := batchEng.InferBatch(context.Background(), inputs); err != nil {
 		t.Fatal(err)
 	}
 	st := batchEng.LastBatchStats()

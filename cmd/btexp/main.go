@@ -1,19 +1,23 @@
-// Command btexp regenerates every table and figure of the paper, plus
-// arbitrary grids through the concurrent sweep runner.
+// Command btexp runs the paper's experiments through the nocbt experiment
+// registry: every table and figure, plus arbitrary grids on the concurrent
+// sweep runner.
 //
 // Usage:
 //
-//	btexp [-seed N] [-quick] [-trained=false] [-o file] <experiment>
+//	btexp -list
+//	btexp [-seed N] [-quick] [-trained=false] [-format table|json|csv] [-o file] -run <name>
+//	btexp [flags] <experiment>           (positional form of -run)
+//	btexp [flags] all                    (every paper experiment, table format)
 //
-// Experiments: fig1, table1, fig9, fig10, fig11, fig12, fig13, table2,
-// power, sweep, all.
-//
-// The sweep experiment runs the full ordering × platform × format × model
-// grid on a bounded worker pool; restrict it with -platforms/-formats/
-// -models/-seeds and emit machine-readable output with -json.
+// Run `btexp -list` for the registered experiment names. The sweep
+// experiment runs the full ordering × platform × format × model grid on a
+// bounded worker pool; restrict it with -platforms/-formats/-models/
+// -seeds/-batches. The deprecated -json flag emits the sweep's legacy
+// row-array JSON; -format json emits the structured experiment Result.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -23,8 +27,10 @@ import (
 	"strings"
 
 	"nocbt"
-	"nocbt/internal/bitutil"
 )
+
+// allOrder is the paper's presentation order for `btexp all`.
+var allOrder = []string{"fig1", "table1", "fig9", "fig10", "fig11", "fig12", "fig13", "table2", "power"}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -39,96 +45,122 @@ func run(args []string, stdout io.Writer) error {
 	quick := fs.Bool("quick", false, "smaller streams / random weights for a fast pass")
 	trained := fs.Bool("trained", true, "use trained weights for the with-NoC experiments")
 	out := fs.String("o", "", "write output to file instead of stdout")
+	list := fs.Bool("list", false, "list the registered experiments and exit")
+	runName := fs.String("run", "", "run the named registered experiment (see -list)")
+	format := fs.String("format", "table", "output format: table, json or csv")
 	platforms := fs.String("platforms", "", "sweep: comma-separated subset of 4x4,8x8mc4,8x8mc8")
 	formats := fs.String("formats", "", "sweep: comma-separated subset of fixed8,float32")
 	models := fs.String("models", "", "sweep: comma-separated subset of lenet,darknet")
 	seeds := fs.String("seeds", "", "sweep: comma-separated seed list (default: -seed)")
 	batches := fs.String("batches", "", "sweep: comma-separated inference batch sizes (default: 1)")
-	asJSON := fs.Bool("json", false, "sweep: emit JSON instead of a table")
+	asJSON := fs.Bool("json", false, "sweep: emit the legacy row-array JSON instead of a table")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // usage already printed; a help request is not a failure
 		}
 		return err
 	}
-	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: btexp [flags] <fig1|table1|fig9|fig10|fig11|fig12|fig13|table2|power|sweep|all>")
-	}
-	exp := strings.ToLower(fs.Arg(0))
 
-	t1cfg := nocbt.DefaultTable1Config()
-	t1cfg.Seed = *seed
-	useTrained := *trained
+	emit := func(s string) error {
+		if *out != "" {
+			return os.WriteFile(*out, []byte(s), 0o644)
+		}
+		_, err := io.WriteString(stdout, s)
+		return err
+	}
+
+	if *list {
+		var sb strings.Builder
+		for _, e := range nocbt.Experiments() {
+			fmt.Fprintf(&sb, "%-8s %s\n", e.Name(), e.Describe())
+		}
+		return emit(sb.String())
+	}
+
+	exp := strings.ToLower(strings.TrimSpace(*runName))
+	switch {
+	case exp != "" && fs.NArg() > 0:
+		return fmt.Errorf("pass either -run <name> or one positional experiment, not both")
+	case exp == "" && fs.NArg() != 1:
+		return fmt.Errorf("usage: btexp [flags] <experiment|all>, btexp -run <name>, or btexp -list")
+	case exp == "":
+		exp = strings.ToLower(fs.Arg(0))
+	}
+
+	renderAs, err := nocbt.ParseFormat(*format)
+	if err != nil {
+		return err
+	}
+	if *asJSON && renderAs != nocbt.Text {
+		return fmt.Errorf("pass either the legacy -json flag or -format %s, not both", *format)
+	}
+	if *asJSON && exp != "sweep" {
+		return fmt.Errorf("-json applies only to the sweep experiment; use -format json for %q", exp)
+	}
+
+	params := nocbt.Params{Seed: *seed, Trained: *trained, Quick: *quick}
 	if *quick {
-		t1cfg.Packets = 500
-		useTrained = false
+		params.Trained = false // fast pass: skip model training
 	}
-
-	var sb strings.Builder
-	section := func(s string, err error) error {
+	if exp == "sweep" {
+		spec, err := sweepSpec(*platforms, *formats, *models, *seeds, *batches, *seed, params.Trained)
 		if err != nil {
 			return err
 		}
-		sb.WriteString(s)
-		sb.WriteString("\n")
-		return nil
+		params.Sweep = &spec
 	}
-	noErr := func(s string) (string, error) { return s, nil }
-	runSweep := func() error {
-		spec, err := sweepSpec(*platforms, *formats, *models, *seeds, *batches, *seed, useTrained)
-		if err != nil {
-			return err
-		}
-		rows, err := nocbt.RunSweep(spec)
-		if err != nil {
-			return err
-		}
-		if *asJSON {
-			var jb strings.Builder
-			if err := nocbt.WriteSweepJSON(&jb, rows); err != nil {
-				return err
-			}
-			return section(noErr(strings.TrimRight(jb.String(), "\n")))
-		}
-		return section(noErr("Sweep — ordering × platform × format × model grid\n" +
-			nocbt.SweepReport(rows)))
-	}
-
-	runExp := map[string]func() error{
-		"fig1":   func() error { return section(noErr(nocbt.Fig1Report(4))) },
-		"table1": func() error { return section(noErr(nocbt.Table1Report(t1cfg))) },
-		"fig9":   func() error { return section(noErr(nocbt.Fig9Report(20))) },
-		"fig10":  func() error { return section(noErr(nocbt.BitLevelReport(bitutil.Float32))) },
-		"fig11":  func() error { return section(noErr(nocbt.BitLevelReport(bitutil.Fixed8))) },
-		"fig12":  func() error { s, err := nocbt.Fig12Report(*seed, useTrained); return section(s, err) },
-		"fig13":  func() error { s, err := nocbt.Fig13Report(*seed, useTrained); return section(s, err) },
-		"table2": func() error { return section(noErr(nocbt.Table2Report())) },
-		"power":  func() error { return section(noErr(nocbt.LinkPowerReport(40.85))) },
-		"sweep":  runSweep,
-	}
+	ctx := context.Background()
 
 	if exp == "all" {
-		for _, name := range []string{"fig1", "table1", "fig9", "fig10", "fig11", "fig12", "fig13", "table2", "power"} {
+		if renderAs != nocbt.Text {
+			return fmt.Errorf("`all` renders every experiment as text; use -run <name> with -format %s", *format)
+		}
+		var sb strings.Builder
+		for _, name := range allOrder {
 			fmt.Fprintf(os.Stderr, "btexp: running %s...\n", name)
-			if err := runExp[name](); err != nil {
+			res, err := nocbt.RunExperiment(ctx, name, params)
+			if err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
+			text, err := nocbt.Render(res, nocbt.Text)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			sb.WriteString(text)
+			sb.WriteString("\n")
 		}
-	} else {
-		f, ok := runExp[exp]
-		if !ok {
-			return fmt.Errorf("unknown experiment %q", exp)
-		}
-		if err := f(); err != nil {
-			return err
-		}
+		return emit(sb.String())
 	}
 
-	if *out != "" {
-		return os.WriteFile(*out, []byte(sb.String()), 0o644)
+	// The deprecated -json flag keeps the sweep's legacy output shape: a
+	// bare array of rows rather than the structured Result.
+	if exp == "sweep" && *asJSON {
+		rows, err := nocbt.RunSweep(ctx, *params.Sweep)
+		if err != nil {
+			return err
+		}
+		var jb strings.Builder
+		if err := nocbt.WriteSweepJSON(&jb, rows); err != nil {
+			return err
+		}
+		return emit(strings.TrimRight(jb.String(), "\n") + "\n")
 	}
-	_, err := io.WriteString(stdout, sb.String())
-	return err
+
+	res, err := nocbt.RunExperiment(ctx, exp, params)
+	if err != nil {
+		return err
+	}
+	rendered, err := nocbt.Render(res, renderAs)
+	if err != nil {
+		return err
+	}
+	if !strings.HasSuffix(rendered, "\n") {
+		rendered += "\n"
+	}
+	if renderAs == nocbt.Text {
+		rendered += "\n" // keep the legacy trailing blank line per report
+	}
+	return emit(rendered)
 }
 
 // sweepSpec assembles a SweepSpec from the command-line subset flags;

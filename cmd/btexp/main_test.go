@@ -2,9 +2,124 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"nocbt"
 )
+
+// TestRunListEnumeratesRegistry pins `-list`: every registered experiment
+// appears with its description.
+func TestRunListEnumeratesRegistry(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	names := nocbt.ExperimentNames()
+	if len(names) == 0 {
+		t.Fatal("registry is empty")
+	}
+	for _, name := range names {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %q:\n%s", name, out)
+		}
+	}
+	if len(strings.Split(strings.TrimRight(out, "\n"), "\n")) != len(names) {
+		t.Errorf("-list did not print one line per experiment:\n%s", out)
+	}
+}
+
+// TestRunUnknownRunName pins the -run failure mode: the error names the
+// unknown experiment and lists the available ones.
+func TestRunUnknownRunName(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-run", "fig99"}, &sb)
+	if err == nil {
+		t.Fatal("unknown -run name did not fail")
+	}
+	for _, want := range append([]string{"fig99"}, nocbt.ExperimentNames()...) {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestRunFormatJSONRoundTrips pins `-run <name> -format json`: the output
+// must decode through encoding/json into the structured Result shape.
+func TestRunFormatJSONRoundTrips(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "power", "-format", "json"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded nocbt.Result
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("-format json emitted invalid JSON: %v\n%s", err, sb.String())
+	}
+	if decoded.Experiment != "power" || len(decoded.Tables) == 0 {
+		t.Errorf("unexpected decoded result: %+v", decoded)
+	}
+}
+
+// TestRunFormatCSV pins `-format csv`: a header row and data rows.
+func TestRunFormatCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "fig1", "-format", "csv"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "x,y=0,") {
+		t.Errorf("unexpected CSV output:\n%s", sb.String())
+	}
+}
+
+// TestRunFormatErrors rejects unknown formats and -format with `all`.
+func TestRunFormatErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "fig1", "-format", "yaml"}, &sb); err == nil ||
+		!strings.Contains(err.Error(), "unknown format") {
+		t.Errorf("unknown format not rejected: %v", err)
+	}
+	if err := run([]string{"-format", "json", "all"}, &sb); err == nil {
+		t.Error("all with -format json not rejected")
+	}
+	if err := run([]string{"-run", "fig1", "fig1"}, &sb); err == nil {
+		t.Error("-run plus positional experiment not rejected")
+	}
+	if err := run([]string{"-json", "-format", "csv", "-run", "sweep"}, &sb); err == nil ||
+		!strings.Contains(err.Error(), "not both") {
+		t.Errorf("-json with explicit -format not rejected: %v", err)
+	}
+	if err := run([]string{"-json", "-run", "fig1"}, &sb); err == nil ||
+		!strings.Contains(err.Error(), "applies only to the sweep") {
+		t.Errorf("-json on a non-sweep experiment not rejected: %v", err)
+	}
+}
+
+// TestRunOutputFile pins -o: the rendering lands in the file, not stdout.
+func TestRunOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig1.json")
+	var sb strings.Builder
+	if err := run([]string{"-run", "fig1", "-format", "json", "-o", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("-o still wrote to stdout: %q", sb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded nocbt.Result
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("-o file is not valid JSON: %v", err)
+	}
+	if decoded.Experiment != "fig1" {
+		t.Errorf("decoded experiment = %q", decoded.Experiment)
+	}
+}
 
 func TestRunFig1(t *testing.T) {
 	var sb strings.Builder

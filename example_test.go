@@ -1,0 +1,75 @@
+package nocbt_test
+
+// Runnable godoc examples for the v2 API: composing a platform with
+// NewPlatform, enumerating and looking up registered experiments, and
+// rendering a typed Result as JSON.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"nocbt"
+)
+
+// ExampleNewPlatform composes a platform the v1 presets could not express:
+// a 6×6 mesh with three memory controllers stacked down column 0.
+func ExampleNewPlatform() {
+	platform, err := nocbt.NewPlatform(
+		nocbt.WithMesh(6, 6),
+		nocbt.WithMCCount(3),
+		nocbt.WithMCColumn(0),
+		nocbt.WithGeometry(nocbt.Fixed8()),
+		nocbt.WithOrdering(nocbt.O2),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(platform.Mesh.Width, "x", platform.Mesh.Height, "MCs at", platform.MCs)
+	// Output: 6 x 6 MCs at [0 12 24]
+}
+
+// ExampleNewPlatform_validation shows the descriptive errors invalid
+// configurations produce instead of panicking.
+func ExampleNewPlatform_validation() {
+	_, err := nocbt.NewPlatform(nocbt.WithMesh(1, 4))
+	fmt.Println(err)
+	// Output: nocbt: mesh 1x4 is smaller than the minimum 2x2
+}
+
+// ExampleLookupExperiment finds a registered experiment by name.
+func ExampleLookupExperiment() {
+	exp, ok := nocbt.LookupExperiment("power")
+	fmt.Println(ok, exp.Name())
+	// Output: true power
+}
+
+// ExampleExperimentNames enumerates the registry — every paper table and
+// figure plus the open sweep grid.
+func ExampleExperimentNames() {
+	fmt.Println(nocbt.ExperimentNames())
+	// Output: [fig1 fig10 fig11 fig12 fig13 fig9 power sweep table1 table2]
+}
+
+// ExampleRender_json runs the §V-C link-power experiment and renders its
+// typed Result as JSON.
+func ExampleRender_json() {
+	result, err := nocbt.RunExperiment(context.Background(), "power", nocbt.Params{BTReductionPct: 40.85})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	out, err := nocbt.Render(result, nocbt.JSON)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	var decoded nocbt.Result
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(decoded.Experiment, decoded.Tables[0].Name, decoded.Tables[0].Columns[0])
+	// Output: power link_power Link model
+}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -41,6 +42,7 @@ func platform() nocbt.Platform {
 }
 
 func main() {
+	ctx := context.Background()
 	const batch = 8
 	model := microNet(1)
 	inputs := make([]*tensor.Tensor, batch)
@@ -57,7 +59,7 @@ func main() {
 	}
 	serialOut := make([]*tensor.Tensor, batch)
 	for i, in := range inputs {
-		if serialOut[i], err = serial.Infer(in); err != nil {
+		if serialOut[i], err = serial.Infer(ctx, in); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -71,7 +73,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	batchOut, err := batched.InferBatch(inputs)
+	batchOut, err := batched.InferBatch(ctx, inputs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,7 +96,7 @@ func main() {
 	fmt.Println("outputs bit-identical to serial inference: yes")
 
 	// The same axis is available on the sweep grid.
-	rows, err := nocbt.RunSweep(nocbt.SweepSpec{
+	rows, err := nocbt.RunSweep(ctx, nocbt.SweepSpec{
 		Platforms:  []nocbt.NamedPlatform{{Name: "8x8 MC8", Build: nocbt.Platform8x8MC8}},
 		Geometries: []nocbt.Geometry{nocbt.Fixed8()},
 		Seeds:      []int64{1},

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -19,7 +20,7 @@ func main() {
 	if *trained {
 		fmt.Println("training DarkNet on the synthetic digit dataset...")
 	}
-	rows, err := nocbt.RunSweep(nocbt.SweepSpec{
+	rows, err := nocbt.RunSweep(context.Background(), nocbt.SweepSpec{
 		Platforms: []nocbt.NamedPlatform{nocbt.DefaultPlatform()},
 		Models:    []nocbt.SweepModel{nocbt.DarkNetModel},
 		Trained:   *trained,

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +13,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	fmt.Println("training LeNet on the synthetic digit dataset (one-time, ~30s)...")
 	model := nocbt.TrainedLeNet(1)
 	input := nocbt.SampleInput(model, 7)
@@ -27,7 +29,7 @@ func main() {
 	for _, p := range platforms {
 		var baseline int64
 		for _, ord := range nocbt.Orderings() {
-			r, err := nocbt.RunModelOnNoC(p.name, p.cfg, ord, model, input)
+			r, err := nocbt.RunModelOnNoC(ctx, p.name, p.cfg, ord, model, input)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -47,7 +49,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := eng.Infer(input); err != nil {
+	if _, err := eng.Infer(ctx, input); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nper-layer traffic (4x4 MC2, O2):")

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,7 +20,7 @@ func main() {
 	var btO0, btO2 int64
 	var cycles int64
 	for _, ord := range []nocbt.Ordering{nocbt.O0, nocbt.O2} {
-		r, err := nocbt.RunModelOnNoC("4x4 MC2", nocbt.Platform4x4MC2(nocbt.Fixed8()), ord, model, input)
+		r, err := nocbt.RunModelOnNoC(context.Background(), "4x4 MC2", nocbt.Platform4x4MC2(nocbt.Fixed8()), ord, model, input)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,22 +11,32 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// LeNet with random weights; the input is a synthetic digit image.
 	model := nocbt.LeNet(1)
 	input := nocbt.SampleInput(model, 7)
 
 	var baseline int64
 	for _, ord := range nocbt.Orderings() {
-		// The paper's default platform: 4×4 mesh, 2 memory controllers,
-		// 128-bit links carrying 16 fixed-8 values per flit.
-		cfg := nocbt.Platform4x4MC2(nocbt.Fixed8())
-		cfg.Ordering = ord
+		// The paper's default platform, composed from options: 4×4 mesh,
+		// 2 perimeter memory controllers, 128-bit links carrying 16
+		// fixed-8 values per flit.
+		cfg, err := nocbt.NewPlatform(
+			nocbt.WithMesh(4, 4),
+			nocbt.WithMCCount(2),
+			nocbt.WithGeometry(nocbt.Fixed8()),
+			nocbt.WithOrdering(ord),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
 
 		eng, err := nocbt.NewEngine(cfg, model)
 		if err != nil {
 			log.Fatal(err)
 		}
-		out, err := eng.Infer(input)
+		out, err := eng.Infer(ctx, input)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,242 @@
+package nocbt
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRegistryListsEveryPaperExperiment pins the registered set: every
+// table and figure of the paper plus the open sweep grid.
+func TestRegistryListsEveryPaperExperiment(t *testing.T) {
+	want := []string{"fig1", "fig10", "fig11", "fig12", "fig13", "fig9", "power", "sweep", "table1", "table2"}
+	if got := ExperimentNames(); !reflect.DeepEqual(got, want) {
+		t.Errorf("registered experiments = %v, want %v", got, want)
+	}
+	for _, e := range Experiments() {
+		if e.Describe() == "" {
+			t.Errorf("experiment %q has no description", e.Name())
+		}
+	}
+}
+
+func TestLookupExperiment(t *testing.T) {
+	e, ok := LookupExperiment("table1")
+	if !ok || e.Name() != "table1" {
+		t.Fatalf("LookupExperiment(table1) = %v, %v", e, ok)
+	}
+	if _, ok := LookupExperiment("nosuch"); ok {
+		t.Error("unknown name resolved")
+	}
+}
+
+func TestRunExperimentUnknownNameListsAvailable(t *testing.T) {
+	_, err := RunExperiment(context.Background(), "nosuch", Params{})
+	if err == nil {
+		t.Fatal("unknown experiment did not fail")
+	}
+	for _, want := range []string{"nosuch", "fig12", "table1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndEmptyNames(t *testing.T) {
+	if err := Register(NewExperiment("", "nameless", nil)); err == nil {
+		t.Error("empty name registered")
+	}
+	if err := Register(NewExperiment("fig1", "imposter", nil)); err == nil ||
+		!strings.Contains(err.Error(), "already registered") {
+		t.Errorf("duplicate registration not rejected: %v", err)
+	}
+}
+
+// TestExperimentTextMatchesPreRedesignGoldens is the satellite's
+// equivalence suite: for every ported experiment, the v2 Result's text
+// rendering must be byte-identical to the pre-redesign *Report output
+// captured in testdata/ on the same seeds.
+func TestExperimentTextMatchesPreRedesignGoldens(t *testing.T) {
+	cases := []struct {
+		name   string
+		golden string
+		params Params
+		// trained experiments need the memoized LeNet training pass.
+		needsTrained bool
+		// heavy grids run dozens of NoC inferences.
+		heavy bool
+	}{
+		{name: "fig1", golden: "fig1_report", params: Params{Step: 4}},
+		{name: "table2", golden: "table2_report"},
+		{name: "power", golden: "power_report", params: Params{BTReductionPct: 40.85}},
+		{name: "table1", golden: "table1_report",
+			params:       Params{Table1: Table1Config{Packets: 300, KernelSize: 25, LanesPerFlit: 8, Seed: 1}},
+			needsTrained: true},
+		{name: "fig9", golden: "fig9_report", params: Params{Flits: 6}, needsTrained: true},
+		{name: "fig10", golden: "fig10_report", needsTrained: true},
+		{name: "fig11", golden: "fig11_report", needsTrained: true},
+		{name: "fig12", golden: "fig12_report", params: Params{Seed: 1}, heavy: true},
+		{name: "fig13", golden: "fig13_report", params: Params{Seed: 1}, heavy: true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if testing.Short() && (tc.needsTrained || tc.heavy) {
+				t.Skip("uses trained LeNet or a full NoC grid; skipped in -short mode")
+			}
+			if raceEnabled && tc.heavy {
+				t.Skip("full figure grid is too slow under the race detector")
+			}
+			res, err := RunExperiment(context.Background(), tc.name, tc.params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Experiment != tc.name {
+				t.Errorf("result experiment = %q, want %q", res.Experiment, tc.name)
+			}
+			text, err := Render(res, Text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, tc.golden, text)
+		})
+	}
+}
+
+// TestExperimentResultsAreTyped checks each cheap experiment carries typed
+// tables alongside the text script — the structured half of the contract.
+func TestExperimentResultsAreTyped(t *testing.T) {
+	for _, name := range []string{"fig1", "table2", "power"} {
+		res, err := RunExperiment(context.Background(), name, Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Tables) == 0 {
+			t.Errorf("%s: no typed tables", name)
+			continue
+		}
+		for _, tbl := range res.Tables {
+			if len(tbl.Columns) == 0 || len(tbl.Rows) == 0 {
+				t.Errorf("%s: degenerate table %q", name, tbl.Name)
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Columns) {
+					t.Errorf("%s/%s: row width %d != %d columns", name, tbl.Name, len(row), len(tbl.Columns))
+				}
+			}
+		}
+	}
+}
+
+// TestExperimentJSONRoundTrips renders a cheap experiment as JSON and
+// decodes it back through encoding/json.
+func TestExperimentJSONRoundTrips(t *testing.T) {
+	res, err := RunExperiment(context.Background(), "power", Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Render(res, JSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Result
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("experiment JSON does not round-trip: %v\n%s", err, out)
+	}
+	if decoded.Experiment != "power" || len(decoded.Tables) != 1 {
+		t.Errorf("decoded result = %+v", decoded)
+	}
+	if decoded.Meta["bt_reduction_pct"].(float64) != 40.85 {
+		t.Errorf("meta lost in round-trip: %v", decoded.Meta)
+	}
+}
+
+// TestSweepCancelledMidRunReturnsCtxErr is the satellite's cancellation
+// proof: a context cancelled mid-sweep aborts promptly with ctx.Err()
+// instead of simulating the rest of the grid.
+func TestSweepCancelledMidRunReturnsCtxErr(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs NoC inferences; skipped in -short mode")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	timer := time.AfterFunc(30*time.Millisecond, cancel)
+	defer timer.Stop()
+	start := time.Now()
+	// The DarkNet grid runs for many seconds uncancelled; 30ms lands the
+	// cancel mid-inference.
+	_, err := RunSweep(ctx, SweepSpec{
+		Platforms:  []NamedPlatform{DefaultPlatform()},
+		Geometries: []Geometry{Fixed8()},
+		Models:     []SweepModel{DarkNetModel},
+		Seeds:      []int64{1},
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Errorf("cancelled sweep took %v to return; not prompt", elapsed)
+	}
+}
+
+// TestExperimentRunHonorsCancelledContext proves cancellation propagates
+// through Experiment.Run for the sweep-backed experiments.
+func TestExperimentRunHonorsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range []string{"fig12", "fig13", "sweep"} {
+		if _, err := RunExperiment(ctx, name, Params{}); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s under cancelled context = %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+// TestNonPaperPlatformThroughRegistry is the acceptance scenario end to
+// end: a 6×6 mesh with column-placed MCs — inexpressible in the v1 API —
+// flows NewPlatform → Experiment.Run → JSON rendering.
+func TestNonPaperPlatformThroughRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 3 NoC inferences; skipped in -short mode")
+	}
+	p, err := NewPlatform(WithMesh(6, 6), WithMCCount(3), WithMCColumn(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := SweepSpec{
+		Platforms:  []NamedPlatform{FixedPlatform("6x6 col-MC3", p)},
+		Geometries: []Geometry{Fixed8()},
+		Models:     []SweepModel{LeNetModel},
+		Seeds:      []int64{1},
+	}
+	res, err := RunExperiment(context.Background(), "sweep", Params{Sweep: &spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Render(res, JSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Result
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("sweep JSON invalid: %v", err)
+	}
+	tbl := decoded.Tables[0]
+	if len(tbl.Rows) != 3 { // one row per ordering
+		t.Fatalf("got %d rows, want 3:\n%s", len(tbl.Rows), out)
+	}
+	for _, row := range tbl.Rows {
+		if row[0] != "6x6 col-MC3" {
+			t.Errorf("row platform = %v, want the composed 6x6 platform", row[0])
+		}
+	}
+	// O2 must still reduce BT on the non-paper topology.
+	last := tbl.Rows[2]
+	if red, ok := last[len(last)-1].(float64); !ok || red <= 0 {
+		t.Errorf("O2 reduction on 6x6 column platform = %v, want > 0", last[len(last)-1])
+	}
+}

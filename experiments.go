@@ -1,6 +1,7 @@
 package nocbt
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -14,16 +15,43 @@ import (
 // This file implements the paper's *without-NoC* experiments: Fig. 1
 // (expectation surface), Tab. I (BT reduction on flit streams), Fig. 9
 // (popcount grid before/after ordering) and Figs. 10/11 (bit-level
-// distributions). The with-NoC experiments live in experiments_noc.go.
+// distributions). Each is a registered Experiment producing a typed
+// *Result; the *Report functions are deprecated shims over the text
+// renderer. The with-NoC experiments live in experiments_noc.go.
 
-// Fig1Report tabulates the Eq. (2) expectation surface E(x, y) for 32-bit
-// values — the data behind Fig. 1 — as a textual grid sampled every `step`
-// counts.
-func Fig1Report(step int) string {
-	if step <= 0 {
-		step = 4
-	}
+func init() {
+	MustRegister(NewExperiment("fig1",
+		"Fig. 1 — E(x, y) bit-transition expectation surface for 32-bit values",
+		func(_ context.Context, p Params) (*Result, error) { return fig1Result(p), nil }))
+	MustRegister(NewExperiment("table1",
+		"Tab. I — BT/flit reduction on linkless weight streams, baseline vs ordered",
+		func(_ context.Context, p Params) (*Result, error) { return table1Result(p), nil }))
+	MustRegister(NewExperiment("fig9",
+		"Fig. 9 — per-lane '1'-bit counts of a weight stream before/after ordering",
+		func(_ context.Context, p Params) (*Result, error) { return fig9Result(p), nil }))
+	MustRegister(NewExperiment("fig10",
+		"Fig. 10 — float-32 per-bit '1' and transition probabilities",
+		func(_ context.Context, p Params) (*Result, error) {
+			return bitLevelResult("fig10", bitutil.Float32, p), nil
+		}))
+	MustRegister(NewExperiment("fig11",
+		"Fig. 11 — fixed-8 per-bit '1' and transition probabilities",
+		func(_ context.Context, p Params) (*Result, error) {
+			return bitLevelResult("fig11", bitutil.Fixed8, p), nil
+		}))
+}
+
+// fig1Result tabulates the Eq. (2) expectation surface E(x, y) for 32-bit
+// values — the data behind Fig. 1 — sampled every Params.Step counts.
+func fig1Result(p Params) *Result {
+	p = p.withDefaults()
+	step := p.Step
 	grid := core.ExpectationGrid(32)
+
+	table := ResultTable{Name: "expectation", Columns: []string{"x"}}
+	for y := 0; y <= 32; y += step {
+		table.Columns = append(table.Columns, fmt.Sprintf("y=%d", y))
+	}
 	var sb strings.Builder
 	sb.WriteString("Expectation of BT between two 32-bit numbers, E = x + y - xy/16 (Fig. 1)\n")
 	sb.WriteString("rows: x ones in first value; cols: y ones in second value\n\n")
@@ -33,13 +61,41 @@ func Fig1Report(step int) string {
 	}
 	sb.WriteString("\n")
 	for x := 0; x <= 32; x += step {
+		row := []any{x}
 		fmt.Fprintf(&sb, "%3d ", x)
 		for y := 0; y <= 32; y += step {
 			fmt.Fprintf(&sb, "%6.1f", grid[x][y])
+			row = append(row, grid[x][y])
 		}
 		sb.WriteString("\n")
+		table.AddRow(row...)
 	}
-	return sb.String()
+	return &Result{
+		Experiment: "fig1",
+		Title:      "Fig. 1 — expectation of BT between two 32-bit numbers",
+		Meta:       map[string]any{"step": step, "bits": 32},
+		Tables:     []ResultTable{table},
+		Sections:   []Section{TextSection(sb.String())},
+	}
+}
+
+// Fig1Report tabulates the Eq. (2) expectation surface E(x, y) for 32-bit
+// values — the data behind Fig. 1 — as a textual grid sampled every `step`
+// counts.
+//
+// Deprecated: run the registered "fig1" experiment and Render the Result.
+func Fig1Report(step int) string {
+	return mustText(fig1Result(Params{Step: step}))
+}
+
+// mustText renders a result's text form; the section scripts built by this
+// package are statically correct, so a render error is a bug.
+func mustText(r *Result) string {
+	s, err := Render(r, Text)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // WeightSource names the four Tab. I weight populations.
@@ -168,30 +224,75 @@ func Table1(cfg Table1Config) []Table1Row {
 	return rows
 }
 
-// Table1Report renders the measured Tab. I next to the paper's numbers.
-func Table1Report(cfg Table1Config) string {
+// table1Params resolves the effective Tab. I stream configuration from the
+// experiment parameters.
+func table1Params(p Params) Table1Config {
+	p = p.withDefaults()
+	cfg := p.Table1
+	if cfg == (Table1Config{}) {
+		cfg = DefaultTable1Config()
+		cfg.Seed = p.Seed
+		if p.Quick {
+			cfg.Packets = 500
+		}
+	}
+	return cfg
+}
+
+// table1Result measures Tab. I with the registry's parameter defaulting
+// (zero config → the paper's setup at Params.Seed).
+func table1Result(p Params) *Result {
+	return table1ResultFor(table1Params(p))
+}
+
+// table1ResultFor measures Tab. I for the configuration exactly as given —
+// the deprecated Table1Report shim routes here, so its v1 semantics
+// (including Table1's panic on an invalid config) are preserved.
+func table1ResultFor(cfg Table1Config) *Result {
 	paper := map[string][3]float64{
 		"Float-32 random":  {113.27, 90.18, 20.38},
 		"Fixed-8 random":   {31.01, 22.42, 27.70},
 		"Float-32 trained": {112.80, 91.46, 18.92},
 		"Fixed-8 trained":  {30.55, 13.73, 55.71},
 	}
-	t := stats.NewTable("Weights", "Flit bits", "BT/flit base", "BT/flit ordered",
-		"Reduction %", "paper base", "paper ordered", "paper %")
-	for _, r := range Table1(cfg) {
-		p := paper[r.Source.Name]
-		t.AddRowf(r.Source.Name, r.FlitBits, r.BaselineBT, r.OrderedBT, r.ReductionPct,
-			p[0], p[1], p[2])
+	table := ResultTable{
+		Name: "table1",
+		Columns: []string{"Weights", "Flit bits", "BT/flit base", "BT/flit ordered",
+			"Reduction %", "paper base", "paper ordered", "paper %"},
 	}
-	return "Tab. I — BT reduction without NoC\n" + t.String()
+	for _, r := range Table1(cfg) {
+		pv := paper[r.Source.Name]
+		table.AddRow(r.Source.Name, r.FlitBits, r.BaselineBT, r.OrderedBT, r.ReductionPct,
+			pv[0], pv[1], pv[2])
+	}
+	return &Result{
+		Experiment: "table1",
+		Title:      "Tab. I — BT reduction without NoC",
+		Meta: map[string]any{
+			"packets": cfg.Packets, "kernel_size": cfg.KernelSize,
+			"lanes_per_flit": cfg.LanesPerFlit, "seed": cfg.Seed,
+		},
+		Tables: []ResultTable{table},
+		Sections: []Section{
+			TextSection("Tab. I — BT reduction without NoC\n"),
+			TableSection(0),
+		},
+	}
 }
 
-// Fig9Report renders the per-flit popcount grid of a small weight stream
-// before and after ordering — the paper's Fig. 9 visualization.
-func Fig9Report(flitsToShow int) string {
-	if flitsToShow <= 0 {
-		flitsToShow = 20
-	}
+// Table1Report renders the measured Tab. I next to the paper's numbers.
+//
+// Deprecated: run the registered "table1" experiment and Render the Result.
+func Table1Report(cfg Table1Config) string {
+	return mustText(table1ResultFor(cfg))
+}
+
+// fig9Result renders the per-flit popcount grid of a small weight stream
+// before and after ordering — the paper's Fig. 9 visualization — and
+// records the counts as typed tables.
+func fig9Result(p Params) *Result {
+	p = p.withDefaults()
+	flitsToShow := p.Flits
 	cfg := DefaultTable1Config()
 	src := WeightSource{Name: "Fixed-8 trained", Format: bitutil.Fixed8, Trained: true}
 	words := weightWords(src, flitsToShow*cfg.LanesPerFlit, cfg.Seed)
@@ -206,13 +307,46 @@ func Fig9Report(flitsToShow int) string {
 	sb.WriteString(stats.RenderPopcountGrid(baseline, 8, flitsToShow))
 	sb.WriteString("\nAfter '1'-bit count descending ordering:\n")
 	sb.WriteString(stats.RenderPopcountGrid(orderedFlits, 8, flitsToShow))
-	return sb.String()
+
+	popcounts := func(name string, flits [][]bitutil.Word) ResultTable {
+		t := ResultTable{Name: name, Columns: []string{"flit"}}
+		for lane := 0; lane < cfg.LanesPerFlit; lane++ {
+			t.Columns = append(t.Columns, fmt.Sprintf("lane%d", lane))
+		}
+		for i, f := range flits {
+			if i >= flitsToShow {
+				break
+			}
+			row := []any{i}
+			for _, w := range f {
+				row = append(row, w.OnesCount(8))
+			}
+			t.AddRow(row...)
+		}
+		return t
+	}
+	return &Result{
+		Experiment: "fig9",
+		Title:      "Fig. 9 — '1'-bit counts per lane before/after ordering",
+		Meta:       map[string]any{"flits": flitsToShow, "seed": cfg.Seed, "source": src.Name},
+		Tables:     []ResultTable{popcounts("before", baseline), popcounts("after", orderedFlits)},
+		Sections:   []Section{TextSection(sb.String())},
+	}
 }
 
-// BitLevelReport reproduces Fig. 10 (float-32) or Fig. 11 (fixed-8): the
+// Fig9Report renders the per-flit popcount grid of a small weight stream
+// before and after ordering — the paper's Fig. 9 visualization.
+//
+// Deprecated: run the registered "fig9" experiment and Render the Result.
+func Fig9Report(flitsToShow int) string {
+	return mustText(fig9Result(Params{Flits: flitsToShow}))
+}
+
+// bitLevelResult reproduces Fig. 10 (float-32) or Fig. 11 (fixed-8): the
 // per-bit-position '1' probability for random and trained weights, and the
 // per-position transition probability for baseline versus ordered streams.
-func BitLevelReport(format bitutil.Format) string {
+func bitLevelResult(name string, format bitutil.Format, p Params) *Result {
+	p = p.withDefaults()
 	cfg := DefaultTable1Config()
 	width := format.Bits()
 	fig := "Fig. 10 (float-32)"
@@ -220,12 +354,18 @@ func BitLevelReport(format bitutil.Format) string {
 		fig = "Fig. 11 (fixed-8)"
 	}
 
+	table := ResultTable{
+		Name:    "bit_stats",
+		Columns: []string{"weights", "bit", "p_one", "p_transition_base", "p_transition_ordered"},
+	}
+	meta := map[string]any{"format": format.String(), "seed": cfg.Seed}
+
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s — bit distribution and transition probability\n\n", fig)
 	for _, trained := range []bool{false, true} {
-		name := "random"
+		wname := "random"
 		if trained {
-			name = "trained"
+			wname = "trained"
 		}
 		src := WeightSource{Format: format, Trained: trained}
 		words := weightWords(src, 2000*cfg.LanesPerFlit, cfg.Seed)
@@ -235,7 +375,7 @@ func BitLevelReport(format bitutil.Format) string {
 		for i := range labels {
 			labels[i] = fmt.Sprintf("bit %2d", width-1-i)
 		}
-		fmt.Fprintf(&sb, "P('1') per bit position, %s weights (MSB first):\n", name)
+		fmt.Fprintf(&sb, "P('1') per bit position, %s weights (MSB first):\n", wname)
 		sb.WriteString(stats.RenderBars(labels, dist.MSBFirst(), 1, 40))
 
 		baseline := core.PackSequential(words, cfg.LanesPerFlit, 0)
@@ -243,12 +383,35 @@ func BitLevelReport(format bitutil.Format) string {
 		orderedFlits := core.PackSequential(ordered, cfg.LanesPerFlit, 0)
 		bd := stats.TransitionDist(baseline, width)
 		od := stats.TransitionDist(orderedFlits, width)
-		fmt.Fprintf(&sb, "\nP(transition) per bit position, %s weights (MSB first; baseline vs ordered):\n", name)
+		fmt.Fprintf(&sb, "\nP(transition) per bit position, %s weights (MSB first; baseline vs ordered):\n", wname)
 		for i := 0; i < width; i++ {
 			fmt.Fprintf(&sb, "bit %2d  base %.4f  ordered %.4f\n",
 				width-1-i, bd.MSBFirst()[i], od.MSBFirst()[i])
+			table.AddRow(wname, width-1-i, dist.MSBFirst()[i], bd.MSBFirst()[i], od.MSBFirst()[i])
 		}
 		fmt.Fprintf(&sb, "mean toggle rate: baseline %.4f, ordered %.4f\n\n", bd.Mean(), od.Mean())
+		meta["mean_toggle_base_"+wname] = bd.Mean()
+		meta["mean_toggle_ordered_"+wname] = od.Mean()
 	}
-	return sb.String()
+	return &Result{
+		Experiment: name,
+		Title:      fig + " — bit distribution and transition probability",
+		Meta:       meta,
+		Tables:     []ResultTable{table},
+		Sections:   []Section{TextSection(sb.String())},
+	}
+}
+
+// BitLevelReport reproduces Fig. 10 (float-32) or Fig. 11 (fixed-8): the
+// per-bit-position '1' probability for random and trained weights, and the
+// per-position transition probability for baseline versus ordered streams.
+//
+// Deprecated: run the registered "fig10"/"fig11" experiment and Render the
+// Result.
+func BitLevelReport(format bitutil.Format) string {
+	name := "fig10"
+	if format == bitutil.Fixed8 {
+		name = "fig11"
+	}
+	return mustText(bitLevelResult(name, format, Params{}))
 }

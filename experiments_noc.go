@@ -1,15 +1,32 @@
 package nocbt
 
 import (
+	"context"
 	"fmt"
-	"strings"
 
 	"nocbt/internal/hwmodel"
-	"nocbt/internal/stats"
 )
 
 // This file implements the paper's *with-NoC* experiments (Figs. 12/13),
-// the Tab. II hardware comparison and the §V-C link power estimate.
+// the Tab. II hardware comparison and the §V-C link power estimate, each
+// registered as an Experiment producing a typed *Result.
+
+func init() {
+	MustRegister(NewExperiment("fig12",
+		"Fig. 12 — LeNet BT across NoC sizes (4x4/MC2, 8x8/MC4, 8x8/MC8), all formats and orderings",
+		fig12Result))
+	MustRegister(NewExperiment("fig13",
+		"Fig. 13 — normalized BT for LeNet and DarkNet on the default 4x4/MC2 platform",
+		fig13Result))
+	MustRegister(NewExperiment("table2",
+		"Tab. II — ordering-unit vs router hardware cost (kGE, mW) against the paper's synthesis",
+		func(_ context.Context, p Params) (*Result, error) { return table2Result(), nil }))
+	MustRegister(NewExperiment("power",
+		"§V-C — link power before/after BT reduction for both link energy models",
+		func(_ context.Context, p Params) (*Result, error) {
+			return linkPowerResult(p.withDefaults().BTReductionPct), nil
+		}))
+}
 
 // NoCRunResult is one (platform, geometry, ordering) measurement of a full
 // DNN inference through the NoC.
@@ -41,14 +58,15 @@ type NoCRunResult struct {
 }
 
 // RunModelOnNoC executes one inference of the model on the platform with
-// the given ordering and returns the measurement.
-func RunModelOnNoC(name string, cfg Platform, ord Ordering, model *Model, input *Tensor) (NoCRunResult, error) {
+// the given ordering and returns the measurement. The context cancels the
+// simulation between cycles.
+func RunModelOnNoC(ctx context.Context, name string, cfg Platform, ord Ordering, model *Model, input *Tensor) (NoCRunResult, error) {
 	cfg.Ordering = ord
 	eng, err := NewEngine(cfg, model)
 	if err != nil {
 		return NoCRunResult{}, err
 	}
-	if _, err := eng.Infer(input); err != nil {
+	if _, err := eng.Infer(ctx, input); err != nil {
 		return NoCRunResult{}, err
 	}
 	res := NoCRunResult{
@@ -72,12 +90,12 @@ func RunModelOnNoC(name string, cfg Platform, ord Ordering, model *Model, input 
 // on the mesh (Engine.InferRepeated under PipelinedLayers) and returns the
 // measurement with batch throughput and latency filled in — the same
 // arithmetic the sweep runner's batch axis records.
-func RunModelBatchOnNoC(name string, cfg Platform, ord Ordering, model *Model, input *Tensor, batch int) (NoCRunResult, error) {
+func RunModelBatchOnNoC(ctx context.Context, name string, cfg Platform, ord Ordering, model *Model, input *Tensor, batch int) (NoCRunResult, error) {
 	if batch < 1 {
 		return NoCRunResult{}, fmt.Errorf("nocbt: batch size %d < 1", batch)
 	}
 	if batch == 1 {
-		return RunModelOnNoC(name, cfg, ord, model, input)
+		return RunModelOnNoC(ctx, name, cfg, ord, model, input)
 	}
 	cfg.Ordering = ord
 	cfg.LayerMode = PipelinedLayers
@@ -85,7 +103,7 @@ func RunModelBatchOnNoC(name string, cfg Platform, ord Ordering, model *Model, i
 	if err != nil {
 		return NoCRunResult{}, err
 	}
-	if _, err := eng.InferRepeated(input, batch); err != nil {
+	if _, err := eng.InferRepeated(ctx, input, batch); err != nil {
 		return NoCRunResult{}, err
 	}
 	st := eng.LastBatchStats()
@@ -120,28 +138,55 @@ func fig12Spec(seed int64, trained bool) SweepSpec {
 // and 8×8/MC8 for both data formats and all three orderings, executed on
 // the concurrent sweep runner. Trained weights by default (the paper
 // evaluates both; trained is its headline).
-func Fig12(seed int64, trained bool) ([]NoCRunResult, error) {
-	return RunSweep(fig12Spec(seed, trained))
+func Fig12(ctx context.Context, seed int64, trained bool) ([]NoCRunResult, error) {
+	return RunSweep(ctx, fig12Spec(seed, trained))
+}
+
+// fig12Result adapts the registered experiment's Params onto the grid.
+func fig12Result(ctx context.Context, p Params) (*Result, error) {
+	return fig12ResultAt(ctx, p.Seed, p.Trained)
+}
+
+// fig12ResultAt measures the Fig. 12 grid for the seed exactly as given
+// (0 included) — both the registry path and the deprecated Fig12Report
+// shim land here with v1 seed semantics.
+func fig12ResultAt(ctx context.Context, seed int64, trained bool) (*Result, error) {
+	rows, err := Fig12(ctx, seed, trained)
+	if err != nil {
+		return nil, err
+	}
+	table := ResultTable{
+		Name:    "fig12",
+		Columns: []string{"Platform", "Format", "Ordering", "Total BT", "Cycles", "Reduction %"},
+	}
+	for _, r := range rows {
+		table.AddRow(r.Platform, r.Geometry.Format.String(), r.Ordering.String(),
+			r.TotalBT, r.Cycles, r.ReductionPct)
+	}
+	return &Result{
+		Experiment: "fig12",
+		Title:      "Fig. 12 — BTs across NoC sizes (LeNet)",
+		Meta:       map[string]any{"seed": seed, "trained": trained},
+		Tables:     []ResultTable{table},
+		Sections: []Section{
+			TextSection("Fig. 12 — BTs across NoC sizes (LeNet)\n"),
+			TableSection(0),
+			TextSection("\nPaper: O1 12.09-18.58% (float-32), 7.88-17.75% (fixed-8); " +
+				"O2 23.30-32.01% (float-32), 16.95-35.93% (fixed-8);\n" +
+				"8x8/MC4 shows the highest absolute BT (most hops per MC).\n"),
+		},
+	}, nil
 }
 
 // Fig12Report renders the sweep with the paper's reported reduction ranges.
+//
+// Deprecated: run the registered "fig12" experiment and Render the Result.
 func Fig12Report(seed int64, trained bool) (string, error) {
-	rows, err := Fig12(seed, trained)
+	r, err := fig12ResultAt(context.Background(), seed, trained)
 	if err != nil {
 		return "", err
 	}
-	t := stats.NewTable("Platform", "Format", "Ordering", "Total BT", "Cycles", "Reduction %")
-	for _, r := range rows {
-		t.AddRowf(r.Platform, r.Geometry.Format.String(), r.Ordering.String(),
-			r.TotalBT, r.Cycles, r.ReductionPct)
-	}
-	var sb strings.Builder
-	sb.WriteString("Fig. 12 — BTs across NoC sizes (LeNet)\n")
-	sb.WriteString(t.String())
-	sb.WriteString("\nPaper: O1 12.09-18.58% (float-32), 7.88-17.75% (fixed-8); " +
-		"O2 23.30-32.01% (float-32), 16.95-35.93% (fixed-8);\n" +
-		"8x8/MC4 shows the highest absolute BT (most hops per MC).\n")
-	return sb.String(), nil
+	return Render(r, Text)
 }
 
 // fig13Spec is the Fig. 13 grid: LeNet and the DarkNet-like model on the
@@ -160,37 +205,63 @@ func fig13Spec(seed int64, trained bool) SweepSpec {
 // Fig13 reproduces the model sweep: LeNet and the DarkNet-like model on the
 // default 4×4/MC2 platform, both formats, all orderings, executed on the
 // concurrent sweep runner.
-func Fig13(seed int64, trained bool) ([]NoCRunResult, error) {
-	return RunSweep(fig13Spec(seed, trained))
+func Fig13(ctx context.Context, seed int64, trained bool) ([]NoCRunResult, error) {
+	return RunSweep(ctx, fig13Spec(seed, trained))
 }
 
-// Fig13Report renders the model sweep with normalized BT columns.
-func Fig13Report(seed int64, trained bool) (string, error) {
-	rows, err := Fig13(seed, trained)
+// fig13Result adapts the registered experiment's Params onto the grid.
+func fig13Result(ctx context.Context, p Params) (*Result, error) {
+	return fig13ResultAt(ctx, p.Seed, p.Trained)
+}
+
+// fig13ResultAt measures the Fig. 13 grid for the seed exactly as given
+// (see fig12ResultAt).
+func fig13ResultAt(ctx context.Context, seed int64, trained bool) (*Result, error) {
+	rows, err := Fig13(ctx, seed, trained)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	t := stats.NewTable("Model", "Format", "Ordering", "Total BT", "Normalized", "Reduction %")
+	table := ResultTable{
+		Name:    "fig13",
+		Columns: []string{"Model", "Format", "Ordering", "Total BT", "Normalized", "Reduction %"},
+	}
 	var baseline float64
 	for _, r := range rows {
 		if r.Ordering == O0 {
 			baseline = float64(r.TotalBT)
 		}
-		t.AddRowf(r.Model, r.Geometry.Format.String(), r.Ordering.String(),
+		table.AddRow(r.Model, r.Geometry.Format.String(), r.Ordering.String(),
 			r.TotalBT, float64(r.TotalBT)/baseline, r.ReductionPct)
 	}
-	var sb strings.Builder
-	sb.WriteString("Fig. 13 — normalized BTs for different NN models (4x4 MC2)\n")
-	sb.WriteString(t.String())
-	sb.WriteString("\nPaper: up to 35.93% reduction for LeNet, up to 40.85% for DarkNet; " +
-		"separated-ordering is always best.\n")
-	return sb.String(), nil
+	return &Result{
+		Experiment: "fig13",
+		Title:      "Fig. 13 — normalized BTs for different NN models (4x4 MC2)",
+		Meta:       map[string]any{"seed": seed, "trained": trained},
+		Tables:     []ResultTable{table},
+		Sections: []Section{
+			TextSection("Fig. 13 — normalized BTs for different NN models (4x4 MC2)\n"),
+			TableSection(0),
+			TextSection("\nPaper: up to 35.93% reduction for LeNet, up to 40.85% for DarkNet; " +
+				"separated-ordering is always best.\n"),
+		},
+	}, nil
 }
 
-// Table2Report renders the hardware cost comparison: our structural
+// Fig13Report renders the model sweep with normalized BT columns.
+//
+// Deprecated: run the registered "fig13" experiment and Render the Result.
+func Fig13Report(seed int64, trained bool) (string, error) {
+	r, err := fig13ResultAt(context.Background(), seed, trained)
+	if err != nil {
+		return "", err
+	}
+	return Render(r, Text)
+}
+
+// table2Result builds the hardware cost comparison: our structural
 // gate-equivalent model for both flit formats next to the paper's Synopsys
 // DC synthesis results.
-func Table2Report() string {
+func table2Result() *Result {
 	paper := hwmodel.PaperValues()
 	freq := paper.FrequencyMHz * 1e6
 	router := hwmodel.PaperRouter()
@@ -198,7 +269,10 @@ func Table2Report() string {
 	float32Unit := hwmodel.OrderingUnitSpec{Lanes: 16, LaneBits: 32, Affiliated: true}
 	sortUnit := hwmodel.OrderingUnitSpec{Lanes: 16, LaneBits: 8}
 
-	t := stats.NewTable("Component", "kGE (model)", "Power mW (model)", "kGE (paper)", "Power mW (paper)")
+	table := ResultTable{
+		Name:    "table2",
+		Columns: []string{"Component", "kGE (model)", "Power mW (model)", "kGE (paper)", "Power mW (paper)"},
+	}
 	for _, spec := range []struct {
 		name string
 		u    hwmodel.OrderingUnitSpec
@@ -206,34 +280,62 @@ func Table2Report() string {
 		{"ordering unit (fixed-8 lanes)", fixed8Unit},
 		{"ordering unit (float-32 lanes)", float32Unit},
 	} {
-		t.AddRowf(spec.name, spec.u.GE()/1000, spec.u.PowerW(freq, 1)*1000,
+		table.AddRow(spec.name, spec.u.GE()/1000, spec.u.PowerW(freq, 1)*1000,
 			paper.OrderingUnitKGE, paper.OrderingUnitMW)
 	}
-	t.AddRowf("router (5p, 4VC, 4-flit, 128b)", router.GE()/1000, router.PowerW(freq, 1)*1000,
+	table.AddRow("router (5p, 4VC, 4-flit, 128b)", router.GE()/1000, router.PowerW(freq, 1)*1000,
 		paper.RouterKGE, paper.RouterMW)
 
-	var sb strings.Builder
-	sb.WriteString("Tab. II — ordering unit vs router, TSMC 90nm @ 125 MHz\n")
-	sb.WriteString(t.String())
-	fmt.Fprintf(&sb, "\nScaling as in the paper: 4 ordering units = %.3f mW (paper %.3f); "+
+	tail := fmt.Sprintf("\nScaling as in the paper: 4 ordering units = %.3f mW (paper %.3f); "+
 		"64 routers = %.2f mW (paper %.2f), %.2f kGE (paper %.2f)\n",
 		4*fixed8Unit.PowerW(freq, 1)*1000,
 		paper.OrderingUnits4MW,
 		64*router.PowerW(freq, 1)*1000, paper.Routers64MW,
 		64*router.GE()/1000, paper.Routers64KGE)
-	fmt.Fprintf(&sb, "Sort latency (16 values): bubble %d cycles, bitonic %d, merge %d; "+
+	tail += fmt.Sprintf("Sort latency (16 values): bubble %d cycles, bitonic %d, merge %d; "+
 		"separated-ordering doubles each.\n",
 		sortUnit.SortLatencyCycles(hwmodel.BubbleSort, false),
 		sortUnit.SortLatencyCycles(hwmodel.BitonicSort, false),
 		sortUnit.SortLatencyCycles(hwmodel.MergeSort, false))
-	return sb.String()
+
+	return &Result{
+		Experiment: "table2",
+		Title:      "Tab. II — ordering unit vs router, TSMC 90nm @ 125 MHz",
+		Meta: map[string]any{
+			"frequency_mhz": paper.FrequencyMHz,
+			"sort_latency_cycles": map[string]any{
+				"bubble":  sortUnit.SortLatencyCycles(hwmodel.BubbleSort, false),
+				"bitonic": sortUnit.SortLatencyCycles(hwmodel.BitonicSort, false),
+				"merge":   sortUnit.SortLatencyCycles(hwmodel.MergeSort, false),
+			},
+		},
+		Tables: []ResultTable{table},
+		Sections: []Section{
+			TextSection("Tab. II — ordering unit vs router, TSMC 90nm @ 125 MHz\n"),
+			TableSection(0),
+			TextSection(tail),
+		},
+	}
 }
 
-// LinkPowerReport reproduces the §V-C arithmetic: link power for the
+// Table2Report renders the hardware cost comparison: our structural
+// gate-equivalent model for both flit formats next to the paper's Synopsys
+// DC synthesis results.
+//
+// Deprecated: run the registered "table2" experiment and Render the Result.
+func Table2Report() string {
+	return mustText(table2Result())
+}
+
+// linkPowerResult reproduces the §V-C arithmetic: link power for the
 // paper's link energy and Banerjee's model, before and after applying a BT
 // reduction rate (the paper uses its best with-NoC figure, 40.85%).
-func LinkPowerReport(btReductionPct float64) string {
-	t := stats.NewTable("Link model", "pJ/transition", "Power mW", fmt.Sprintf("Power mW (-%.2f%%)", btReductionPct))
+func linkPowerResult(btReductionPct float64) *Result {
+	table := ResultTable{
+		Name: "link_power",
+		Columns: []string{"Link model", "pJ/transition", "Power mW",
+			fmt.Sprintf("Power mW (-%.2f%%)", btReductionPct)},
+	}
 	for _, m := range []struct {
 		name   string
 		energy float64
@@ -242,11 +344,26 @@ func LinkPowerReport(btReductionPct float64) string {
 		{"Banerjee et al. [6]", hwmodel.EnergyPerTransitionBanerjee},
 	} {
 		lm := hwmodel.PaperLinkModel(m.energy)
-		t.AddRowf(m.name, m.energy*1e12, lm.PowerW()*1000, lm.ReducedPowerW(btReductionPct/100)*1000)
+		table.AddRow(m.name, m.energy*1e12, lm.PowerW()*1000, lm.ReducedPowerW(btReductionPct/100)*1000)
 	}
-	var sb strings.Builder
-	sb.WriteString("§V-C — link power, 8x8 mesh (112 links), 128-bit links, 125 MHz, half the wires toggling\n")
-	sb.WriteString(t.String())
-	sb.WriteString("\nPaper: 155.008 → 91.688 mW (ours), 476.672 → 281.951 mW (Banerjee) at 40.85% reduction.\n")
-	return sb.String()
+	return &Result{
+		Experiment: "power",
+		Title:      "§V-C — link power, 8x8 mesh (112 links), 128-bit links, 125 MHz",
+		Meta:       map[string]any{"bt_reduction_pct": btReductionPct},
+		Tables:     []ResultTable{table},
+		Sections: []Section{
+			TextSection("§V-C — link power, 8x8 mesh (112 links), 128-bit links, 125 MHz, half the wires toggling\n"),
+			TableSection(0),
+			TextSection("\nPaper: 155.008 → 91.688 mW (ours), 476.672 → 281.951 mW (Banerjee) at 40.85% reduction.\n"),
+		},
+	}
+}
+
+// LinkPowerReport reproduces the §V-C arithmetic: link power for the
+// paper's link energy and Banerjee's model, before and after applying a BT
+// reduction rate (the paper uses its best with-NoC figure, 40.85%).
+//
+// Deprecated: run the registered "power" experiment and Render the Result.
+func LinkPowerReport(btReductionPct float64) string {
+	return mustText(linkPowerResult(btReductionPct))
 }

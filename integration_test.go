@@ -2,6 +2,7 @@ package nocbt
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,7 +29,7 @@ func sweepOrderings(name string, cfg Platform, model *Model, input *Tensor) ([]N
 	var out []NoCRunResult
 	var baseline float64
 	for _, ord := range Orderings() {
-		r, err := RunModelOnNoC(name, cfg, ord, model, input)
+		r, err := RunModelOnNoC(context.Background(), name, cfg, ord, model, input)
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s/%s: %w", name, cfg.Geometry, ord, err)
 		}
@@ -91,7 +92,7 @@ func assertSweepMatchesSerial(t *testing.T, spec SweepSpec) {
 		t.Fatalf("serial path: %v", err)
 	}
 	spec.Workers = 8 // force a real pool even on small machines
-	concurrent, err := RunSweep(spec)
+	concurrent, err := RunSweep(context.Background(), spec)
 	if err != nil {
 		t.Fatalf("sweep runner: %v", err)
 	}
@@ -145,13 +146,13 @@ func TestRunSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 	one := spec
 	one.Workers = 1
-	a, err := RunSweep(one)
+	a, err := RunSweep(context.Background(), one)
 	if err != nil {
 		t.Fatal(err)
 	}
 	many := spec
 	many.Workers = 6
-	b, err := RunSweep(many)
+	b, err := RunSweep(context.Background(), many)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestRunSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 }
 
 func TestRunSweepRejectsUnknownModel(t *testing.T) {
-	_, err := RunSweep(SweepSpec{Models: []SweepModel{"resnet"}})
+	_, err := RunSweep(context.Background(), SweepSpec{Models: []SweepModel{"resnet"}})
 	if err == nil || !strings.Contains(err.Error(), "resnet") {
 		t.Errorf("unknown model not rejected: %v", err)
 	}
@@ -174,7 +175,7 @@ func TestSweepReportAndJSON(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs 3 NoC inferences; skipped in -short mode")
 	}
-	rows, err := RunSweep(SweepSpec{
+	rows, err := RunSweep(context.Background(), SweepSpec{
 		Platforms:  []NamedPlatform{DefaultPlatform()},
 		Geometries: []Geometry{Fixed8()},
 		Models:     []SweepModel{LeNetModel},

@@ -1,6 +1,7 @@
 package accel
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -123,7 +124,7 @@ func TestInferMatchesDirectFloat32(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := eng.Infer(x)
+	got, err := eng.Infer(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestInferFixed8CloseToDirect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := eng.Infer(x)
+	got, err := eng.Infer(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestOrderingsProduceIdenticalFixed8Outputs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		out, err := eng.Infer(x)
+		out, err := eng.Infer(context.Background(), x)
 		if err != nil {
 			t.Fatalf("%s: %v", ord, err)
 		}
@@ -219,7 +220,7 @@ func TestOrderingsProduceCloseFloat32Outputs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		out, err := eng.Infer(x)
+		out, err := eng.Infer(context.Background(), x)
 		if err != nil {
 			t.Fatalf("%s: %v", ord, err)
 		}
@@ -253,7 +254,7 @@ func TestOrderingReducesBT(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := eng.Infer(x); err != nil {
+		if _, err := eng.Infer(context.Background(), x); err != nil {
 			t.Fatal(err)
 		}
 		bts[ord] = eng.TotalBT()
@@ -287,7 +288,7 @@ func TestSegmentedLinearLayer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := eng.Infer(x)
+	got, err := eng.Infer(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +315,7 @@ func TestInBandIndexStillCorrect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := eng.Infer(x)
+	got, err := eng.Infer(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +324,7 @@ func TestInBandIndexStillCorrect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := ref.Infer(x)
+	want, err := ref.Infer(context.Background(), x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,7 +346,7 @@ func TestLayerStatsRecorded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Infer(testInput(m, 16)); err != nil {
+	if _, err := eng.Infer(context.Background(), testInput(m, 16)); err != nil {
 		t.Fatal(err)
 	}
 	stats := eng.LayerStats()
@@ -373,11 +374,11 @@ func TestMultipleInfersAccumulate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Infer(testInput(m, 18)); err != nil {
+	if _, err := eng.Infer(context.Background(), testInput(m, 18)); err != nil {
 		t.Fatal(err)
 	}
 	bt1 := eng.TotalBT()
-	if _, err := eng.Infer(testInput(m, 19)); err != nil {
+	if _, err := eng.Infer(context.Background(), testInput(m, 19)); err != nil {
 		t.Fatal(err)
 	}
 	if bt2 := eng.TotalBT(); bt2 <= bt1 {
@@ -408,7 +409,7 @@ func TestHigherMCCountFewerCyclesPerTask(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := eng.Infer(x); err != nil {
+		if _, err := eng.Infer(context.Background(), x); err != nil {
 			t.Fatal(err)
 		}
 		return eng.Cycles()

@@ -1,6 +1,7 @@
 package accel
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -79,7 +80,7 @@ func TestInferBatchMatchesSerial(t *testing.T) {
 			}
 			want := make([]*tensor.Tensor, len(inputs))
 			for i, in := range inputs {
-				if want[i], err = serialEng.Infer(in); err != nil {
+				if want[i], err = serialEng.Infer(context.Background(), in); err != nil {
 					t.Fatalf("%s/%s serial infer %d: %v", g.Format, ord, i, err)
 				}
 			}
@@ -91,7 +92,7 @@ func TestInferBatchMatchesSerial(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				got, err := batchEng.InferBatch(inputs)
+				got, err := batchEng.InferBatch(context.Background(), inputs)
 				if err != nil {
 					t.Fatalf("%s/%s/%s InferBatch: %v", g.Format, ord, mode, err)
 				}
@@ -132,7 +133,7 @@ func TestInferBatchThroughput(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, in := range inputs {
-		if _, err := serialEng.Infer(in); err != nil {
+		if _, err := serialEng.Infer(context.Background(), in); err != nil {
 			t.Fatalf("serial infer %d: %v", i, err)
 		}
 	}
@@ -142,7 +143,7 @@ func TestInferBatchThroughput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := batchEng.InferBatch(inputs); err != nil {
+	if _, err := batchEng.InferBatch(context.Background(), inputs); err != nil {
 		t.Fatal(err)
 	}
 	st := batchEng.LastBatchStats()
@@ -180,7 +181,7 @@ func TestInferBatchPipelinedLayers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := eng.InferBatch(inputs)
+	got, err := eng.InferBatch(context.Background(), inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestInferBatchPipelinedLayers(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, in := range inputs {
-		want, err := ref.Infer(in)
+		want, err := ref.Infer(context.Background(), in)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -211,7 +212,7 @@ func TestInferBatchLayerStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.InferBatch(inputs); err != nil {
+	if _, err := eng.InferBatch(context.Background(), inputs); err != nil {
 		t.Fatal(err)
 	}
 	stats := eng.LayerStats()
@@ -236,13 +237,13 @@ func TestInferBatchValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.InferBatch(nil); err == nil {
+	if _, err := eng.InferBatch(context.Background(), nil); err == nil {
 		t.Error("empty batch accepted")
 	}
-	if _, err := eng.InferBatch([]*tensor.Tensor{nil}); err == nil {
+	if _, err := eng.InferBatch(context.Background(), []*tensor.Tensor{nil}); err == nil {
 		t.Error("nil input accepted")
 	}
-	if _, err := eng.Infer(nil); err == nil {
+	if _, err := eng.Infer(context.Background(), nil); err == nil {
 		t.Error("nil Infer input accepted")
 	}
 }
@@ -263,7 +264,7 @@ func TestSchedulerContextsClearedOnError(t *testing.T) {
 		t.Fatal(err)
 	}
 	flows := []*flow{{idx: 0, act: input}}
-	s := newScheduler(eng, flows)
+	s := newScheduler(context.Background(), eng, flows)
 	runErr := s.run()
 	if runErr == nil || !strings.Contains(runErr.Error(), "cycle cap") {
 		t.Fatalf("expected cycle-cap error, got %v", runErr)

@@ -1,6 +1,7 @@
 package accel
 
 import (
+	"context"
 	"fmt"
 
 	"nocbt/internal/bitutil"
@@ -18,6 +19,14 @@ import (
 // scales, partner tables and packet bookkeeping live in the scheduler
 // context of each call (see scheduler.go), which is what lets InferBatch
 // keep several inferences in flight on the mesh at once.
+//
+// A run that fails after traffic reached the mesh — context cancellation,
+// deadline expiry, or a protocol error — leaves that run's flits behind
+// and its BT/cycle counters polluted. The engine marks itself unusable
+// and every later Infer/InferBatch call returns a descriptive error:
+// build a fresh engine instead (the sweep runner already uses one engine
+// per measurement). Failures before any dispatch (validation, a context
+// cancelled before the first cycle) leave the engine untouched.
 type Engine struct {
 	cfg   Config
 	model *dnn.Model
@@ -32,6 +41,30 @@ type Engine struct {
 	resultPackets int64
 
 	lastBatch BatchStats
+
+	// aborted records the error of a run that died after dispatching
+	// traffic; once set, the mesh state is indeterminate and the engine
+	// refuses further inferences.
+	aborted error
+}
+
+// usable reports whether the engine can run another inference.
+func (e *Engine) usable() error {
+	if e.aborted != nil {
+		return fmt.Errorf("accel: engine unusable after an aborted run (%v); create a new engine", e.aborted)
+	}
+	return nil
+}
+
+// noteAbort poisons the engine if the failed run reached the mesh: its
+// flits may still be queued, buffered or in flight, and a later scheduler
+// would reject them as unknown packets. Runs that failed before any
+// dispatch leave the engine untouched.
+func (e *Engine) noteAbort(err error, startTasks int64) {
+	if e.taskPackets == startTasks && !e.sim.Busy() {
+		return
+	}
+	e.aborted = err
 }
 
 // LayerStat records one executed layer's traffic.
@@ -100,8 +133,11 @@ func New(cfg Config, model *dnn.Model) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if model == nil || len(model.Layers) == 0 {
-		return nil, fmt.Errorf("accel: empty model")
+	if model == nil {
+		return nil, fmt.Errorf("accel: nil model")
+	}
+	if len(model.Layers) == 0 {
+		return nil, fmt.Errorf("accel: model %q has no layers", model.Name())
 	}
 	sim, err := noc.New(cfg.Mesh)
 	if err != nil {
@@ -128,14 +164,22 @@ func (e *Engine) nextID() uint64 {
 }
 
 // Infer runs one forward pass: conv and linear layers travel through the
-// NoC as task/result packets; other layers execute memory-side.
-func (e *Engine) Infer(input *tensor.Tensor) (*tensor.Tensor, error) {
+// NoC as task/result packets; other layers execute memory-side. The
+// context cancels or deadline-bounds the simulation: the scheduler polls
+// it between cycles, so a cancelled inference returns ctx.Err() promptly
+// instead of simulating to completion.
+func (e *Engine) Infer(ctx context.Context, input *tensor.Tensor) (*tensor.Tensor, error) {
 	if input == nil {
 		return nil, fmt.Errorf("accel: nil input")
 	}
+	if err := e.usable(); err != nil {
+		return nil, err
+	}
+	startTasks := e.taskPackets
 	flows := []*flow{{idx: 0, act: input}}
-	s := newScheduler(e, flows)
+	s := newScheduler(ctx, e, flows)
 	if err := s.run(); err != nil {
+		e.noteAbort(err, startTasks)
 		return nil, err
 	}
 	e.layers = append(e.layers, flows[0].layers...)
@@ -156,8 +200,9 @@ func (e *Engine) Infer(input *tensor.Tensor) (*tensor.Tensor, error) {
 // deterministic in the packet data alone, and partial sums reduce in fixed
 // segment order, so timing interleave cannot change any result. Per-batch
 // throughput and latency figures are available from LastBatchStats after
-// the call.
-func (e *Engine) InferBatch(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+// the call. Cancelling the context aborts the batch between simulator
+// cycles with ctx.Err().
+func (e *Engine) InferBatch(ctx context.Context, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("accel: empty batch")
 	}
@@ -165,6 +210,9 @@ func (e *Engine) InferBatch(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 		if in == nil {
 			return nil, fmt.Errorf("accel: nil input %d", i)
 		}
+	}
+	if err := e.usable(); err != nil {
+		return nil, err
 	}
 	startCycle := e.sim.Cycle()
 	startBT := e.sim.TotalBT()
@@ -174,8 +222,9 @@ func (e *Engine) InferBatch(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	for i, in := range inputs {
 		flows[i] = &flow{idx: i, act: in}
 	}
-	s := newScheduler(e, flows)
+	s := newScheduler(ctx, e, flows)
 	if err := s.run(); err != nil {
+		e.noteAbort(err, startTasks)
 		return nil, err
 	}
 
@@ -212,7 +261,7 @@ func (e *Engine) LastBatchStats() BatchStats { return e.lastBatch }
 // InferRepeated runs n copies of the same input as one batch — the
 // sustained-traffic measurement shape the sweep runner and the batch
 // experiments use.
-func (e *Engine) InferRepeated(input *tensor.Tensor, n int) ([]*tensor.Tensor, error) {
+func (e *Engine) InferRepeated(ctx context.Context, input *tensor.Tensor, n int) ([]*tensor.Tensor, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("accel: batch size %d < 1", n)
 	}
@@ -220,5 +269,5 @@ func (e *Engine) InferRepeated(input *tensor.Tensor, n int) ([]*tensor.Tensor, e
 	for i := range inputs {
 		inputs[i] = input
 	}
-	return e.InferBatch(inputs)
+	return e.InferBatch(ctx, inputs)
 }

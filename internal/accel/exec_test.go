@@ -1,6 +1,7 @@
 package accel
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -24,7 +25,7 @@ func mkValidationScheduler(t *testing.T, tasks int) (*Engine, *scheduler, *layer
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newScheduler(eng, []*flow{{idx: 0}})
+	s := newScheduler(context.Background(), eng, []*flow{{idx: 0}})
 	run := &layerRun{
 		flow:     s.flows[0],
 		name:     "forged",

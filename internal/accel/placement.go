@@ -1,0 +1,87 @@
+package accel
+
+// MC placement policies. The paper attaches memory controllers (with their
+// ordering units and off-chip memory channels) at the mesh edge (Fig. 6);
+// PerimeterMCs in config.go is its evenly-spread default. The policies here
+// generalize placement beyond the paper's three presets so arbitrary
+// platforms can position their MCs: at the corners (shortest worst-case
+// path to two edges), down one column (a memory-channel stack on one side
+// of the die), or at explicit coordinates.
+
+import (
+	"fmt"
+
+	"nocbt/internal/noc"
+)
+
+// CornerMCs places up to four memory controllers at the mesh corners, in
+// NW, SE, NE, SW order so one or two MCs land at opposite corners.
+// Deterministic in (w, h, count).
+func CornerMCs(w, h, count int) ([]int, error) {
+	cfg := noc.Config{Width: w, Height: h}
+	corners := [][2]int{{0, 0}, {w - 1, h - 1}, {w - 1, 0}, {0, h - 1}}
+	// Degenerate meshes collapse corners onto each other; deduplicate so a
+	// 2×1 mesh exposes two distinct corners, not four.
+	seen := make(map[int]bool, 4)
+	var nodes []int
+	for _, c := range corners {
+		n := cfg.Node(c[0], c[1])
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("accel: corner placement needs at least 1 MC, got %d", count)
+	}
+	if count > len(nodes) {
+		return nil, fmt.Errorf("accel: corner placement supports at most %d MCs on a %dx%d mesh, got %d",
+			len(nodes), w, h, count)
+	}
+	return nodes[:count], nil
+}
+
+// ColumnMCs places count memory controllers evenly spaced down column x —
+// the stacked-memory-channel layout where every controller sits on one
+// side of the die. Deterministic in (w, h, x, count).
+func ColumnMCs(w, h, x, count int) ([]int, error) {
+	if x < 0 || x >= w {
+		return nil, fmt.Errorf("accel: MC column %d outside mesh of width %d", x, w)
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("accel: column placement needs at least 1 MC, got %d", count)
+	}
+	if count > h {
+		return nil, fmt.Errorf("accel: column placement supports at most %d MCs in a column of height %d, got %d",
+			h, h, count)
+	}
+	cfg := noc.Config{Width: w, Height: h}
+	nodes := make([]int, 0, count)
+	for i := 0; i < count; i++ {
+		nodes = append(nodes, cfg.Node(x, i*h/count))
+	}
+	return nodes, nil
+}
+
+// CoordMCs converts explicit (x, y) coordinates into MC node IDs,
+// validating each against the mesh bounds and rejecting duplicates.
+func CoordMCs(w, h int, coords [][2]int) ([]int, error) {
+	if len(coords) == 0 {
+		return nil, fmt.Errorf("accel: explicit MC placement needs at least one coordinate")
+	}
+	cfg := noc.Config{Width: w, Height: h}
+	seen := make(map[int]bool, len(coords))
+	nodes := make([]int, 0, len(coords))
+	for _, c := range coords {
+		if c[0] < 0 || c[0] >= w || c[1] < 0 || c[1] >= h {
+			return nil, fmt.Errorf("accel: MC coordinate (%d,%d) outside %dx%d mesh", c[0], c[1], w, h)
+		}
+		n := cfg.Node(c[0], c[1])
+		if seen[n] {
+			return nil, fmt.Errorf("accel: duplicate MC coordinate (%d,%d)", c[0], c[1])
+		}
+		seen[n] = true
+		nodes = append(nodes, n)
+	}
+	return nodes, nil
+}

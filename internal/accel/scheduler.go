@@ -21,6 +21,7 @@ package accel
 // whole context in one place.
 
 import (
+	"context"
 	"fmt"
 
 	"nocbt/internal/dnn"
@@ -102,6 +103,7 @@ type pendingResult struct {
 
 // scheduler executes a set of flows over the engine's mesh.
 type scheduler struct {
+	ctx   context.Context
 	e     *Engine
 	flows []*flow
 
@@ -113,10 +115,22 @@ type scheduler struct {
 	// order, for deadline checking.
 	activeRuns []*layerRun
 	running    int // flows not yet done
+
+	// cycleCount paces the context poll: ctx.Err() is checked once every
+	// ctxPollInterval simulated cycles, so cancellation is prompt (a few
+	// microseconds of wall time) without an atomic load per cycle.
+	cycleCount int
 }
 
-func newScheduler(e *Engine, flows []*flow) *scheduler {
+// ctxPollInterval is the number of simulated cycles between context polls.
+const ctxPollInterval = 1024
+
+func newScheduler(ctx context.Context, e *Engine, flows []*flow) *scheduler {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	return &scheduler{
+		ctx:     ctx,
 		e:       e,
 		flows:   flows,
 		tasks:   make(map[uint64]*taskCtx),
@@ -143,6 +157,9 @@ func (s *scheduler) reset() {
 // different inferences — share the mesh concurrently.
 func (s *scheduler) run() error {
 	defer s.reset()
+	if err := s.ctx.Err(); err != nil {
+		return err
+	}
 	if s.e.cfg.LayerMode == SerialLayers {
 		for i := range s.flows {
 			if err := s.execute(s.flows[i : i+1]); err != nil {
@@ -167,6 +184,11 @@ func (s *scheduler) execute(flows []*flow) error {
 		}
 	}
 	for s.running > 0 {
+		if s.cycleCount++; s.cycleCount%ctxPollInterval == 0 {
+			if err := s.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if err := s.checkDeadlines(); err != nil {
 			return err
 		}

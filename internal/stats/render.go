@@ -85,17 +85,22 @@ func (t *Table) AddRow(cells ...string) {
 	t.rows = append(t.rows, row)
 }
 
+// FormatCell renders one table cell the way AddRowf does: float64 with two
+// decimals, everything else with %v. Exported so the experiment render
+// layer reproduces Table output byte-for-byte from typed rows.
+func FormatCell(c interface{}) string {
+	if v, ok := c.(float64); ok {
+		return fmt.Sprintf("%.2f", v)
+	}
+	return fmt.Sprintf("%v", c)
+}
+
 // AddRowf appends a row of formatted cells: each argument is rendered with
 // %v unless it is a float64, which renders with 2 decimals.
 func (t *Table) AddRowf(cells ...interface{}) {
 	strs := make([]string, len(cells))
 	for i, c := range cells {
-		switch v := c.(type) {
-		case float64:
-			strs[i] = fmt.Sprintf("%.2f", v)
-		default:
-			strs[i] = fmt.Sprintf("%v", v)
-		}
+		strs[i] = FormatCell(c)
 	}
 	t.AddRow(strs...)
 }

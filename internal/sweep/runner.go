@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -40,8 +41,14 @@ type runner struct {
 // Run executes every job of the spec on a bounded worker pool and returns
 // one Result per job in expansion order. A job error aborts the sweep:
 // already-running jobs finish, still-queued jobs are skipped, and the
-// lowest-index error that was actually recorded is returned.
-func Run(spec Spec) ([]Result, error) {
+// lowest-index error that was actually recorded is returned. Cancelling
+// the context aborts the sweep promptly — workers stop picking up jobs,
+// in-flight inferences bail between simulator cycles, and Run returns
+// ctx.Err().
+func Run(ctx context.Context, spec Spec) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -65,10 +72,10 @@ func Run(spec Spec) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for job := range ch {
-				if failed.Load() {
+				if failed.Load() || ctx.Err() != nil {
 					continue // drain the queue without running
 				}
-				results[job.Index], errs[job.Index] = r.runJob(job)
+				results[job.Index], errs[job.Index] = r.runJob(ctx, job)
 				if errs[job.Index] != nil {
 					failed.Store(true)
 				}
@@ -81,6 +88,11 @@ func Run(spec Spec) ([]Result, error) {
 	close(ch)
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		// A cancelled sweep has no complete result set; report the
+		// cancellation itself rather than whichever job saw it first.
+		return nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("sweep: job %s: %w", jobs[i].Name(), err)
@@ -116,7 +128,7 @@ func (r *runner) workload(w Workload, seed int64) *workloadEntry {
 // model for race-free inference, run it through the NoC. Batch sizes above
 // one share the mesh between all inferences via Engine.InferBatch; size one
 // keeps the classic serial Infer path.
-func (r *runner) runJob(job Job) (Result, error) {
+func (r *runner) runJob(ctx context.Context, job Job) (Result, error) {
 	entry := r.workload(job.Workload, job.Seed)
 	if entry.err != nil {
 		return Result{}, entry.err
@@ -151,7 +163,7 @@ func (r *runner) runJob(job Job) (Result, error) {
 		Batch:        batch,
 	}
 	if batch == 1 {
-		if _, err := eng.Infer(entry.input); err != nil {
+		if _, err := eng.Infer(ctx, entry.input); err != nil {
 			return Result{}, err
 		}
 		if c := eng.Cycles(); c > 0 {
@@ -159,7 +171,7 @@ func (r *runner) runJob(job Job) (Result, error) {
 			res.AvgLatencyCycles = float64(c)
 		}
 	} else {
-		if _, err := eng.InferRepeated(entry.input, batch); err != nil {
+		if _, err := eng.InferRepeated(ctx, entry.input, batch); err != nil {
 			return Result{}, err
 		}
 		st := eng.LastBatchStats()

@@ -2,11 +2,13 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"math/rand"
 	"reflect"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -124,13 +126,13 @@ func TestValidate(t *testing.T) {
 func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 	serial := tinySpec()
 	serial.Workers = 1
-	a, err := Run(serial)
+	a, err := Run(context.Background(), serial)
 	if err != nil {
 		t.Fatal(err)
 	}
 	concurrent := tinySpec()
 	concurrent.Workers = 7
-	b, err := Run(concurrent)
+	b, err := Run(context.Background(), concurrent)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +158,7 @@ func TestWorkloadBuiltOncePerSeed(t *testing.T) {
 		},
 	}}
 	spec.Workers = 4
-	if _, err := Run(spec); err != nil {
+	if _, err := Run(context.Background(), spec); err != nil {
 		t.Fatal(err)
 	}
 	if got := builds.Load(); got != int64(len(spec.Seeds)) {
@@ -167,7 +169,7 @@ func TestWorkloadBuiltOncePerSeed(t *testing.T) {
 func TestReductionPct(t *testing.T) {
 	spec := tinySpec()
 	spec.Seeds = []int64{1}
-	results, err := Run(spec)
+	results, err := Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +192,7 @@ func TestReductionPctWithoutBaseline(t *testing.T) {
 	spec := tinySpec()
 	spec.Seeds = []int64{1}
 	spec.Orderings = []flit.Ordering{flit.Separated}
-	results, err := Run(spec)
+	results, err := Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +212,7 @@ func TestRunPropagatesBuildError(t *testing.T) {
 			return nil, nil, boom
 		},
 	}}
-	_, err := Run(spec)
+	_, err := Run(context.Background(), spec)
 	if !errors.Is(err, boom) {
 		t.Fatalf("build error not propagated: %v", err)
 	}
@@ -234,7 +236,7 @@ func TestRunAbortsQueuedJobsAfterError(t *testing.T) {
 			return nil, nil, boom
 		},
 	}}
-	if _, err := Run(spec); !errors.Is(err, boom) {
+	if _, err := Run(context.Background(), spec); !errors.Is(err, boom) {
 		t.Fatalf("build error not propagated: %v", err)
 	}
 	// Build is memoized per seed, so even without the abort it could run at
@@ -248,7 +250,7 @@ func TestWriteJSON(t *testing.T) {
 	spec := tinySpec()
 	spec.Seeds = []int64{1}
 	spec.Geometries = spec.Geometries[:1]
-	results, err := Run(spec)
+	results, err := Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +276,7 @@ func TestRenderTable(t *testing.T) {
 	spec := tinySpec()
 	spec.Seeds = []int64{1}
 	spec.Geometries = spec.Geometries[:1]
-	results, err := Run(spec)
+	results, err := Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +302,7 @@ func TestBatchAxis(t *testing.T) {
 		Seeds:      []int64{1},
 		Batches:    []int{1, 2, 4},
 	}
-	results, err := Run(spec)
+	results, err := Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,11 +351,70 @@ func TestBatchAxis(t *testing.T) {
 	}
 }
 
+// TestRunCancelledContext proves a pre-cancelled context aborts the sweep
+// before any job runs and surfaces ctx.Err().
+func TestRunCancelledContext(t *testing.T) {
+	var ran atomic.Int64
+	spec := tinySpec()
+	inner := spec.Workloads[0].Build
+	spec.Workloads = []Workload{{
+		Name: "counted",
+		Build: func(seed int64, rng *rand.Rand) (*dnn.Model, *tensor.Tensor, error) {
+			ran.Add(1)
+			return inner(seed, rng)
+		},
+	}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, spec); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 0 {
+		t.Errorf("%d workloads built under a pre-cancelled context", got)
+	}
+}
+
+// TestRunCancelMidSweep cancels from another goroutine once the first job
+// reports in and requires Run to return ctx.Err() without burning the rest
+// of the grid.
+func TestRunCancelMidSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan struct{})
+	var once sync.Once
+	var ran atomic.Int64
+	spec := tinySpec()
+	spec.Seeds = []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	spec.Workers = 1 // deterministic: jobs run one at a time off the queue
+	inner := spec.Workloads[0].Build
+	spec.Workloads = []Workload{{
+		Name: "signal",
+		Build: func(seed int64, rng *rand.Rand) (*dnn.Model, *tensor.Tensor, error) {
+			ran.Add(1)
+			once.Do(func() { close(started) })
+			return inner(seed, rng)
+		},
+	}}
+	go func() {
+		<-started
+		cancel()
+	}()
+	if _, err := Run(ctx, spec); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-sweep cancel returned %v, want context.Canceled", err)
+	}
+	// The first materialization raced the cancel; every later seed must be
+	// skipped once the flag is visible. Allow a small in-flight margin but
+	// reject a full grid run.
+	if got := ran.Load(); got >= int64(len(spec.Seeds)) {
+		t.Errorf("all %d workloads built despite mid-sweep cancel", got)
+	}
+}
+
 // TestBatchValidation rejects non-positive batch sizes.
 func TestBatchValidation(t *testing.T) {
 	spec := tinySpec()
 	spec.Batches = []int{0}
-	if _, err := Run(spec); err == nil || !strings.Contains(err.Error(), "batch size") {
+	if _, err := Run(context.Background(), spec); err == nil || !strings.Contains(err.Error(), "batch size") {
 		t.Errorf("batch size 0 not rejected: %v", err)
 	}
 }

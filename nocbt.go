@@ -12,19 +12,28 @@
 //   - a NocDAS-style NoC-based DNN accelerator that runs full LeNet /
 //     DarkNet inferences as task/result packets;
 //   - hardware cost and link-power models for the ordering unit;
-//   - runnable reproductions of every table and figure in the paper
-//     (see the Table1/Fig1/.../LinkPowerReport experiment functions and
-//     cmd/btexp).
+//   - runnable reproductions of every table and figure in the paper,
+//     registered as experiments (see Experiments, RunExperiment and
+//     cmd/btexp -list).
 //
 // Quick start:
 //
 //	model := nocbt.TrainedLeNet(1)
-//	cfg := nocbt.Platform4x4MC2(nocbt.Fixed8())
-//	cfg.Ordering = nocbt.O2
+//	cfg, err := nocbt.NewPlatform(
+//		nocbt.WithGeometry(nocbt.Fixed8()),
+//		nocbt.WithOrdering(nocbt.O2),
+//	)
+//	if err != nil { ... }
 //	eng, err := nocbt.NewEngine(cfg, model)
 //	if err != nil { ... }
-//	out, err := eng.Infer(nocbt.SampleInput(model, 7))
+//	out, err := eng.Infer(ctx, nocbt.SampleInput(model, 7))
 //	fmt.Println(eng.TotalBT(), out)
+//
+// Paper experiments run through the registry and render as text, JSON or
+// CSV:
+//
+//	res, err := nocbt.RunExperiment(ctx, "fig12", nocbt.Params{Seed: 1, Trained: true})
+//	text, _ := nocbt.Render(res, nocbt.Text)
 package nocbt
 
 import (
@@ -64,17 +73,43 @@ func Float32() Geometry { return flit.Float32Geometry() }
 // Fixed8 returns the paper's 128-bit link / 16×fixed-8 flit format.
 func Fixed8() Geometry { return flit.Fixed8Geometry() }
 
-// Platform is an accelerator platform configuration.
+// Platform is an accelerator platform configuration. Build one with
+// NewPlatform (see platform.go) — arbitrary mesh sizes, MC counts and
+// placement policies — or start from a paper preset option bundle.
 type Platform = accel.Config
 
 // Platform4x4MC2 returns the paper's default platform: 4×4 mesh, 2 MCs.
-func Platform4x4MC2(g Geometry) Platform { return accel.Mesh4x4MC2(g) }
+//
+// Deprecated: use NewPlatform(PaperOptions4x4MC2(g)...).
+func Platform4x4MC2(g Geometry) Platform {
+	return paperPlatform(PaperOptions4x4MC2(g), func() Platform { return accel.Mesh4x4MC2(g) })
+}
 
 // Platform8x8MC4 returns the paper's 8×8 mesh with 4 MCs.
-func Platform8x8MC4(g Geometry) Platform { return accel.Mesh8x8MC4(g) }
+//
+// Deprecated: use NewPlatform(PaperOptions8x8MC4(g)...).
+func Platform8x8MC4(g Geometry) Platform {
+	return paperPlatform(PaperOptions8x8MC4(g), func() Platform { return accel.Mesh8x8MC4(g) })
+}
 
 // Platform8x8MC8 returns the paper's 8×8 mesh with 8 MCs.
-func Platform8x8MC8(g Geometry) Platform { return accel.Mesh8x8MC8(g) }
+//
+// Deprecated: use NewPlatform(PaperOptions8x8MC8(g)...).
+func Platform8x8MC8(g Geometry) Platform {
+	return paperPlatform(PaperOptions8x8MC8(g), func() Platform { return accel.Mesh8x8MC8(g) })
+}
+
+// paperPlatform builds a preset through NewPlatform; when the caller's
+// geometry is invalid it falls back to the raw v1 constructor so the
+// error still surfaces as NewEngine's recoverable validation failure, not
+// a construction panic — the v1 contract these deprecated shims keep.
+func paperPlatform(opts []PlatformOption, v1 func() Platform) Platform {
+	cfg, err := NewPlatform(opts...)
+	if err != nil {
+		return v1()
+	}
+	return cfg
+}
 
 // Engine executes DNN inference over the simulated NoC. Engine.Infer runs
 // one inference at a time; Engine.InferBatch keeps a whole batch of
@@ -184,10 +219,12 @@ func key(name string, seed int64) string {
 // shape — the inference stimulus used by the with-NoC experiments. Any
 // seed is valid: the sample count derives from the seed's residue
 // normalized into [1, 10], so negative seeds (whose Go remainder is
-// negative) cannot request a negative-capacity dataset.
+// negative) cannot request a negative-capacity dataset. The returned
+// sample is drawn from the seed's private rng, so different seeds pick
+// different digits while the same seed always yields the same image.
 func SampleInput(m *Model, seed int64) *Tensor {
 	rng := rand.New(rand.NewSource(seed))
 	n := 1 + int((seed%10+10)%10)
 	ds := train.SyntheticDigits(n, m.InShape, rng)
-	return ds.Samples[len(ds.Samples)-1].Image
+	return ds.Samples[rng.Intn(len(ds.Samples))].Image
 }

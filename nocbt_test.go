@@ -1,10 +1,13 @@
 package nocbt
 
 import (
+	"context"
+	"math/rand"
 	"strings"
 	"testing"
 
 	"nocbt/internal/bitutil"
+	"nocbt/internal/train"
 )
 
 func TestLeNetDeterministicPerSeed(t *testing.T) {
@@ -59,19 +62,53 @@ func TestSampleInputNegativeSeed(t *testing.T) {
 	}
 }
 
+// TestSampleInputDerivedFromRng pins the fix for SampleInput always
+// returning the *last* synthetic digit regardless of the rng: the sample
+// index is now drawn from the seed's private rng. The sums below were
+// recorded when the fix landed; they pin both seed-determinism and the
+// rng-derived choice (for these seeds the picked digit is not the last
+// one, which the old implementation always returned).
+func TestSampleInputDerivedFromRng(t *testing.T) {
+	m := LeNet(1)
+	sum := func(x *Tensor) float64 {
+		var s float64
+		for _, v := range x.Data {
+			s += float64(v)
+		}
+		return s
+	}
+	pinned := map[int64]float64{
+		1: 150.285995, // rng picks digit 0 of 2; the last digit sums to 123.484301
+		2: 74.286121,  // rng picks digit 1 of 3; the last digit sums to 69.013895
+	}
+	for seed, want := range pinned {
+		got := sum(SampleInput(m, seed))
+		if diff := got - want; diff > 1e-3 || diff < -1e-3 {
+			t.Errorf("seed %d: SampleInput sum = %.6f, want %.6f", seed, got, want)
+		}
+	}
+	// rng-derived choice must differ from the old always-the-last behavior
+	// for at least one seed: seed 1 synthesizes 2 digits and picks index 0.
+	rng := rand.New(rand.NewSource(1))
+	ds := train.SyntheticDigits(2, m.InShape, rng)
+	if got, last := sum(SampleInput(m, 1)), sum(ds.Samples[len(ds.Samples)-1].Image); got == last {
+		t.Errorf("SampleInput(1) still returns the last synthetic digit (sum %.6f)", got)
+	}
+}
+
 // TestRunModelBatchOnNoC exercises the public batch measurement path and
 // its consistency with the serial row arithmetic.
 func TestRunModelBatchOnNoC(t *testing.T) {
 	m := LeNet(1)
 	in := SampleInput(m, 3)
-	serial, err := RunModelOnNoC("4x4 MC2", Platform4x4MC2(Fixed8()), O2, m, in)
+	serial, err := RunModelOnNoC(context.Background(), "4x4 MC2", Platform4x4MC2(Fixed8()), O2, m, in)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if serial.Batch != 1 || serial.Throughput <= 0 || serial.AvgLatencyCycles != float64(serial.Cycles) {
 		t.Fatalf("serial row malformed: %+v", serial)
 	}
-	batch, err := RunModelBatchOnNoC("4x4 MC2", Platform4x4MC2(Fixed8()), O2, m, in, 2)
+	batch, err := RunModelBatchOnNoC(context.Background(), "4x4 MC2", Platform4x4MC2(Fixed8()), O2, m, in, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,14 +123,14 @@ func TestRunModelBatchOnNoC(t *testing.T) {
 		t.Errorf("batch cycles %d above 2x serial %d", batch.Cycles, 2*serial.Cycles)
 	}
 	// batch 1 delegates to the serial row; non-positive sizes are errors.
-	one, err := RunModelBatchOnNoC("4x4 MC2", Platform4x4MC2(Fixed8()), O2, m, in, 1)
+	one, err := RunModelBatchOnNoC(context.Background(), "4x4 MC2", Platform4x4MC2(Fixed8()), O2, m, in, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if one != serial {
 		t.Errorf("batch-1 row %+v differs from serial row %+v", one, serial)
 	}
-	if _, err := RunModelBatchOnNoC("4x4 MC2", Platform4x4MC2(Fixed8()), O2, m, in, 0); err == nil {
+	if _, err := RunModelBatchOnNoC(context.Background(), "4x4 MC2", Platform4x4MC2(Fixed8()), O2, m, in, 0); err == nil {
 		t.Error("batch size 0 not rejected")
 	}
 }
@@ -232,7 +269,7 @@ func TestLinkPowerReport(t *testing.T) {
 func TestRunModelOnNoCQuick(t *testing.T) {
 	// Small end-to-end check through the facade with random weights.
 	m := LeNet(1)
-	r, err := RunModelOnNoC("4x4 MC2", Platform4x4MC2(Fixed8()), O1, m, SampleInput(m, 3))
+	r, err := RunModelOnNoC(context.Background(), "4x4 MC2", Platform4x4MC2(Fixed8()), O1, m, SampleInput(m, 3))
 	if err != nil {
 		t.Fatal(err)
 	}

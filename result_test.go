@@ -1,0 +1,115 @@
+package nocbt
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleResult() *Result {
+	return &Result{
+		Experiment: "sample",
+		Title:      "Sample — two tables",
+		Meta:       map[string]any{"seed": int64(1)},
+		Tables: []ResultTable{
+			{Name: "first", Columns: []string{"name", "value"},
+				Rows: [][]any{{"a", 1.5}, {"b", 2}}},
+			{Name: "second", Columns: []string{"k"},
+				Rows: [][]any{{"x"}}},
+		},
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for in, want := range map[string]Format{
+		"table": Text, "text": Text, "": Text, "JSON": JSON, "csv": CSV,
+	} {
+		got, err := ParseFormat(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseFormat("yaml"); err == nil || !strings.Contains(err.Error(), "yaml") {
+		t.Errorf("unknown format not rejected: %v", err)
+	}
+}
+
+// TestRenderTextDefaultLayout covers the no-sections fallback: title line
+// then every table, float64 cells with two decimals.
+func TestRenderTextDefaultLayout(t *testing.T) {
+	out, err := Render(sampleResult(), Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "Sample — two tables\n") {
+		t.Errorf("missing title line:\n%s", out)
+	}
+	for _, want := range []string{"name", "1.50", "2", "k", "x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRenderTextSectionScript covers the explicit section path and its
+// bounds check.
+func TestRenderTextSectionScript(t *testing.T) {
+	r := sampleResult()
+	r.Sections = []Section{TextSection("prologue\n"), TableSection(1), TextSection("epilogue\n")}
+	out, err := Render(r, Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "prologue\n") || !strings.HasSuffix(out, "epilogue\n") {
+		t.Errorf("section order wrong:\n%s", out)
+	}
+	if strings.Contains(out, "1.50") {
+		t.Errorf("unreferenced table rendered:\n%s", out)
+	}
+	r.Sections = []Section{TableSection(5)}
+	if _, err := Render(r, Text); err == nil || !strings.Contains(err.Error(), "references table") {
+		t.Errorf("out-of-range table section not rejected: %v", err)
+	}
+}
+
+// TestSectionZeroValueIsText pins the zero value: a bare struct literal
+// Section{Text: ...} renders its text, not Tables[0].
+func TestSectionZeroValueIsText(t *testing.T) {
+	r := sampleResult()
+	r.Sections = []Section{{Text: "bare literal\n"}}
+	out, err := Render(r, Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "bare literal\n" {
+		t.Errorf("zero-value section rendered %q, want the text verbatim", out)
+	}
+}
+
+// TestRenderCSV checks header rows, cell formatting and multi-table
+// separation. Unlike the text tables, CSV floats keep full precision —
+// probability columns must not be quantized to two decimals.
+func TestRenderCSV(t *testing.T) {
+	r := sampleResult()
+	r.Tables[0].Rows = append(r.Tables[0].Rows, []any{"tiny", 0.0031415})
+	out, err := Render(r, CSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "# first" || lines[1] != "name,value" || lines[2] != "a,1.5" {
+		t.Errorf("csv head wrong: %q", lines[:3])
+	}
+	if lines[4] != "tiny,0.0031415" {
+		t.Errorf("csv quantized a small float: %q", lines[4])
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "# second") || !strings.Contains(joined, "\n\n# second") {
+		t.Errorf("tables not separated/labelled:\n%s", out)
+	}
+}
+
+func TestRenderNilResult(t *testing.T) {
+	if _, err := Render(nil, Text); err == nil {
+		t.Error("nil result rendered")
+	}
+}

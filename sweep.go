@@ -1,6 +1,7 @@
 package nocbt
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -9,6 +10,12 @@ import (
 	"nocbt/internal/sweep"
 	"nocbt/internal/tensor"
 )
+
+func init() {
+	MustRegister(NewExperiment("sweep",
+		"arbitrary ordering × platform × format × model × seed × batch grid on the concurrent runner",
+		sweepResult))
+}
 
 // This file is the public face of the concurrent sweep runner
 // (internal/sweep): declare a grid of orderings × platforms × formats ×
@@ -45,6 +52,22 @@ func PaperPlatforms() []NamedPlatform {
 // DefaultPlatform returns the paper's default 4×4/MC2 platform.
 func DefaultPlatform() NamedPlatform {
 	return NamedPlatform{Name: "4x4 MC2", Build: Platform4x4MC2}
+}
+
+// FixedPlatform adapts an already-built Platform (e.g. from NewPlatform)
+// into a sweep axis entry. The sweep's geometry axis still applies: each
+// grid point re-links the platform to the swept geometry, keeping mesh
+// link width and flit format consistent.
+func FixedPlatform(name string, cfg Platform) NamedPlatform {
+	return NamedPlatform{
+		Name: name,
+		Build: func(g Geometry) Platform {
+			out := cfg
+			out.Geometry = g
+			out.Mesh.LinkBits = g.LinkBits
+			return out
+		},
+	}
 }
 
 // SweepSpec declares a sweep grid. Zero-valued axes fall back to the
@@ -156,12 +179,15 @@ func (s SweepSpec) toInternal() (sweep.Spec, error) {
 // ReductionPct filled in relative to each group's O0 run, and are
 // bit-identical for any worker count: jobs share materialized models
 // (trained at most once per model+seed) but infer on private clones.
-func RunSweep(spec SweepSpec) ([]NoCRunResult, error) {
+// Cancelling the context aborts the sweep promptly with ctx.Err():
+// workers stop picking up jobs and in-flight inferences bail between
+// simulator cycles.
+func RunSweep(ctx context.Context, spec SweepSpec) ([]NoCRunResult, error) {
 	internal, err := spec.withDefaults().toInternal()
 	if err != nil {
 		return nil, err
 	}
-	results, err := sweep.Run(internal)
+	results, err := sweep.Run(ctx, internal)
 	if err != nil {
 		return nil, err
 	}
@@ -184,6 +210,51 @@ func RunSweep(spec SweepSpec) ([]NoCRunResult, error) {
 		}
 	}
 	return rows, nil
+}
+
+// sweepResult runs the registered "sweep" experiment: the grid from
+// Params.Sweep (or the paper's full default grid seeded from Params) on
+// the concurrent runner, packaged as a typed Result.
+func sweepResult(ctx context.Context, p Params) (*Result, error) {
+	p = p.withDefaults()
+	spec := SweepSpec{Trained: p.Trained, Seeds: []int64{p.Seed}}
+	if p.Sweep != nil {
+		spec = *p.Sweep
+	}
+	rows, err := RunSweep(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	table := ResultTable{
+		Name: "sweep",
+		Columns: []string{"Platform", "Model", "Format", "Ordering", "Seed", "Batch",
+			"Total BT", "Cycles", "Packets", "Inf/kcycle", "Reduction %"},
+	}
+	for _, r := range rows {
+		table.AddRow(r.Platform, r.Model, r.Geometry.Format.String(), r.Ordering.String(),
+			r.Seed, r.Batch, r.TotalBT, r.Cycles, r.Packets, r.Throughput, r.ReductionPct)
+	}
+	resolved := spec.withDefaults()
+	platformNames := make([]string, len(resolved.Platforms))
+	for i, pl := range resolved.Platforms {
+		platformNames[i] = pl.Name
+	}
+	return &Result{
+		Experiment: "sweep",
+		Title:      "Sweep — ordering × platform × format × model grid",
+		Meta: map[string]any{
+			"rows":      len(rows),
+			"platforms": platformNames,
+			"seeds":     resolved.Seeds,
+			"batches":   resolved.Batches,
+			"trained":   resolved.Trained,
+		},
+		Tables: []ResultTable{table},
+		Sections: []Section{
+			TextSection("Sweep — ordering × platform × format × model grid\n"),
+			TableSection(0),
+		},
+	}, nil
 }
 
 // SweepReport renders sweep rows with the standard table formatter.
