@@ -5,7 +5,7 @@
 // Usage:
 //
 //	btexp -list
-//	btexp [-seed N] [-quick] [-trained=false] [-format table|json|csv] [-o file] -run <name>
+//	btexp [-seed N] [-quick] [-trained=false] [-timeout D] [-format table|json|csv] [-o file] -run <name>
 //	btexp [flags] <experiment>           (positional form of -run)
 //	btexp [flags] all                    (every paper experiment, table format)
 //
@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"nocbt"
+	"nocbt/internal/fsutil"
 )
 
 // allOrder is the paper's presentation order for `btexp all`.
@@ -42,6 +43,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("btexp", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "experiment seed")
+	timeout := fs.Duration("timeout", 0, "abort the run after this long (0: no limit)")
 	quick := fs.Bool("quick", false, "smaller streams / random weights for a fast pass")
 	trained := fs.Bool("trained", true, "use trained weights for the with-NoC experiments")
 	out := fs.String("o", "", "write output to file instead of stdout")
@@ -63,7 +65,7 @@ func run(args []string, stdout io.Writer) error {
 
 	emit := func(s string) error {
 		if *out != "" {
-			return os.WriteFile(*out, []byte(s), 0o644)
+			return atomicWriteFile(*out, []byte(s))
 		}
 		_, err := io.WriteString(stdout, s)
 		return err
@@ -109,7 +111,15 @@ func run(args []string, stdout io.Writer) error {
 		}
 		params.Sweep = &spec
 	}
+	// -timeout bounds the whole run: the context threads through registry
+	// experiments, engine scheduling (polled between cycles) and sweep
+	// workers, so even a mid-simulation overrun aborts promptly.
 	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if exp == "all" {
 		if renderAs != nocbt.Text {
@@ -163,19 +173,26 @@ func run(args []string, stdout io.Writer) error {
 	return emit(rendered)
 }
 
+// atomicWriteFile replaces path with data atomically (temp file +
+// rename), so a failure mid-write can never leave a truncated or corrupt
+// -o file behind: path either keeps its previous content or holds the
+// complete new content. Non-regular targets (/dev/stdout, a process
+// substitution fifo, a symlink) cannot be renamed over without breaking
+// them, so those keep the plain write-through path.
+func atomicWriteFile(path string, data []byte) error {
+	if info, err := os.Lstat(path); err == nil && !info.Mode().IsRegular() {
+		return os.WriteFile(path, data, 0o644)
+	}
+	return fsutil.WriteFileAtomic(path, data, 0o644)
+}
+
 // sweepSpec assembles a SweepSpec from the command-line subset flags;
 // empty flags keep the paper's full default axis.
 func sweepSpec(platforms, formats, models, seeds, batches string, seed int64, trained bool) (nocbt.SweepSpec, error) {
 	spec := nocbt.SweepSpec{Trained: trained, Seeds: []int64{seed}}
 	if platforms != "" {
-		byName := map[string]nocbt.NamedPlatform{}
-		for _, p := range nocbt.PaperPlatforms() {
-			key := strings.ReplaceAll(strings.ToLower(p.Name), " ", "")
-			byName[key] = p // "4x4mc2", "8x8mc4", "8x8mc8"
-		}
-		byName["4x4"] = byName["4x4mc2"] // the only unambiguous short name
 		for _, name := range strings.Split(platforms, ",") {
-			p, ok := byName[strings.ToLower(strings.TrimSpace(name))]
+			p, ok := nocbt.LookupPaperPlatform(name)
 			if !ok {
 				return spec, fmt.Errorf("unknown platform %q (want 4x4, 8x8mc4 or 8x8mc8)", name)
 			}

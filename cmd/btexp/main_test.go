@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -118,6 +120,92 @@ func TestRunOutputFile(t *testing.T) {
 	}
 	if decoded.Experiment != "fig1" {
 		t.Errorf("decoded experiment = %q", decoded.Experiment)
+	}
+}
+
+// TestAtomicWriteFile pins the -o write discipline: replacement is atomic
+// (temp file + rename), so a failed write can never leave a truncated
+// target, and successful writes leave no temp files behind.
+func TestAtomicWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(path, []byte("previous content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := atomicWriteFile(path, []byte("new content")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "new content" {
+		t.Fatalf("after write: %q, %v", data, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("temp file left behind: %v", entries)
+	}
+
+	// A write that cannot even create its temp file (the "directory" is a
+	// regular file) must fail without touching anything.
+	bad := filepath.Join(path, "sub.txt") // path is a file, not a dir
+	if err := atomicWriteFile(bad, []byte("x")); err == nil {
+		t.Error("write into a non-directory succeeded")
+	}
+	if data, _ := os.ReadFile(path); string(data) != "new content" {
+		t.Errorf("failed write corrupted an unrelated target: %q", data)
+	}
+
+	// Non-regular targets write through instead of being replaced: a
+	// symlinked -o must update the link's target and stay a symlink.
+	link := filepath.Join(dir, "link.txt")
+	if err := os.Symlink(path, link); err != nil {
+		t.Fatal(err)
+	}
+	if err := atomicWriteFile(link, []byte("through the link")); err != nil {
+		t.Fatal(err)
+	}
+	if info, err := os.Lstat(link); err != nil || info.Mode()&os.ModeSymlink == 0 {
+		t.Errorf("symlink target was replaced by a regular file: %v, %v", info, err)
+	}
+	if data, _ := os.ReadFile(path); string(data) != "through the link" {
+		t.Errorf("write did not reach the symlink's target: %q", data)
+	}
+}
+
+// TestRunOutputFileKeptOnFailure is the -o regression: when the run fails
+// before rendering completes, a pre-existing output file keeps its old
+// content instead of being truncated.
+func TestRunOutputFileKeptOnFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-run", "fig99", "-o", path}, &sb); err == nil {
+		t.Fatal("unknown experiment did not fail")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "precious" {
+		t.Errorf("failed run clobbered -o file: %q, %v", data, err)
+	}
+}
+
+// TestRunTimeoutAborts pins -timeout: an expired deadline aborts the run
+// with context.DeadlineExceeded instead of simulating to completion.
+func TestRunTimeoutAborts(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-timeout", "1ns", "-quick", "-platforms", "4x4", "-formats", "fixed8", "sweep"}, &sb)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired -timeout returned %v, want context.DeadlineExceeded", err)
+	}
+	sb.Reset()
+	if err := run([]string{"-timeout", "1m", "fig1"}, &sb); err != nil {
+		t.Errorf("generous -timeout failed a fast experiment: %v", err)
+	}
+	if err := run([]string{"-timeout", "bogus", "fig1"}, &sb); err == nil {
+		t.Error("malformed -timeout accepted")
 	}
 }
 

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startServer runs the daemon on an ephemeral port and returns its base
+// URL plus a stop func that triggers graceful shutdown and waits for run
+// to return.
+func startServer(t *testing.T, args ...string) (string, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	addrs := make(chan net.Addr, 1)
+	testOnListen = func(a net.Addr) { addrs <- a }
+	t.Cleanup(func() { testOnListen = nil })
+
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), &out) }()
+
+	select {
+	case a := <-addrs:
+		return "http://" + a.String(), func() error {
+			cancel()
+			select {
+			case err := <-done:
+				return err
+			case <-time.After(10 * time.Second):
+				return fmt.Errorf("shutdown timed out")
+			}
+		}
+	case err := <-done:
+		t.Fatalf("server exited before listening: %v (output: %s)", err, out.String())
+		return "", nil
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never started listening")
+		return "", nil
+	}
+}
+
+func TestServeHealthzAndGracefulShutdown(t *testing.T) {
+	base, stop := startServer(t)
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Errorf("healthz: %d %s", resp.StatusCode, body)
+	}
+	if err := stop(); err != nil {
+		t.Errorf("graceful shutdown: %v", err)
+	}
+}
+
+func TestServeExperimentRoundTripWithCache(t *testing.T) {
+	base, stop := startServer(t)
+	defer stop()
+
+	req := `{"name":"fig1","params":{"quick":true,"step":16}}`
+	var bodies [][]byte
+	var caches []string
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(base+"/v1/experiments/run", "application/json", strings.NewReader(req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %d: %d %s", i, resp.StatusCode, b)
+		}
+		bodies = append(bodies, b)
+		caches = append(caches, resp.Header.Get("X-Cache"))
+	}
+	if caches[0] != "miss" || caches[1] != "hit" {
+		t.Errorf("X-Cache sequence %v, want [miss hit]", caches)
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Error("cached response not byte-identical")
+	}
+	var res struct {
+		Experiment string `json:"experiment"`
+	}
+	if err := json.Unmarshal(bodies[0], &res); err != nil || res.Experiment != "fig1" {
+		t.Errorf("experiment = %q, err %v", res.Experiment, err)
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	ctx := context.Background()
+	var out bytes.Buffer
+	if err := run(ctx, []string{"-nope"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run(ctx, []string{"positional"}, &out); err == nil {
+		t.Error("positional argument accepted")
+	}
+	if err := run(ctx, []string{"-h"}, &out); err != nil {
+		t.Errorf("-h should not be an error: %v", err)
+	}
+	if err := run(ctx, []string{"-replicas", "-3"}, &out); err == nil {
+		t.Error("negative replicas accepted")
+	}
+}

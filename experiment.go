@@ -9,6 +9,9 @@ package nocbt
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
@@ -147,6 +150,100 @@ func ExperimentNames() []string {
 		names[i] = e.Name()
 	}
 	return names
+}
+
+// fingerprintParams is the canonical, JSON-stable shadow of Params used
+// for content addressing. Defaults are resolved before hashing so that
+// parameter sets an experiment cannot distinguish (e.g. Step 0 vs Step 4)
+// share one address. Sweep platforms hash as name plus the content
+// addresses of the configs they build (the Build func itself is not
+// serializable, but what it constructs is).
+type fingerprintParams struct {
+	Seed           int64             `json:"seed"`
+	Trained        bool              `json:"trained"`
+	Quick          bool              `json:"quick"`
+	Step           int               `json:"step"`
+	Flits          int               `json:"flits"`
+	Table1         Table1Config      `json:"table1"`
+	BTReductionPct float64           `json:"bt_reduction_pct"`
+	Sweep          *fingerprintSweep `json:"sweep,omitempty"`
+}
+
+type fingerprintSweep struct {
+	// Platforms carries, per swept platform, its name plus the content
+	// address of the config it builds for every swept geometry — so two
+	// FixedPlatform axes sharing a display name but wrapping different
+	// configurations cannot collide to one cache address.
+	Platforms []string `json:"platforms"`
+	Formats   []string `json:"formats"`
+	Orderings []string `json:"orderings"`
+	Models    []string `json:"models"`
+	Trained   bool     `json:"trained"`
+	Seeds     []int64  `json:"seeds"`
+	Batches   []int    `json:"batches"`
+	// Workers is deliberately excluded: sweep results are bit-identical
+	// for any worker count, so it must not split the address space.
+}
+
+// Fingerprint returns the canonical JSON encoding of the parameters —
+// the content-address input used by result caches. Two Params values that
+// cannot produce different results (after default resolution) fingerprint
+// identically.
+func (p Params) Fingerprint() ([]byte, error) {
+	p = p.withDefaults()
+	fp := fingerprintParams{
+		Seed:    p.Seed,
+		Trained: p.Trained,
+		Quick:   p.Quick,
+		Step:    p.Step,
+		Flits:   p.Flits,
+		// Table1 hashes in its effective form (zero resolves to the
+		// paper's setup under the run's seed and quick flag), matching
+		// what the table1 experiment actually measures.
+		Table1:         table1Params(p),
+		BTReductionPct: p.BTReductionPct,
+	}
+	if p.Sweep != nil {
+		s := p.Sweep.withDefaults()
+		fs := &fingerprintSweep{Trained: s.Trained, Seeds: s.Seeds, Batches: s.Batches}
+		for _, pl := range s.Platforms {
+			entry := pl.Name
+			for _, g := range s.Geometries {
+				pfp, err := PlatformFingerprint(pl.Build(g))
+				if err != nil {
+					return nil, fmt.Errorf("nocbt: fingerprinting sweep platform %q: %w", pl.Name, err)
+				}
+				entry += "|" + pfp[:16]
+			}
+			fs.Platforms = append(fs.Platforms, entry)
+		}
+		for _, g := range s.Geometries {
+			fs.Formats = append(fs.Formats, fmt.Sprintf("%s/%d", g.Format, g.LinkBits))
+		}
+		for _, o := range s.Orderings {
+			fs.Orderings = append(fs.Orderings, o.String())
+		}
+		for _, m := range s.Models {
+			fs.Models = append(fs.Models, string(m))
+		}
+		fp.Sweep = fs
+	}
+	return json.Marshal(fp)
+}
+
+// ExperimentCacheKey returns the content address of one (experiment,
+// params) pair: a SHA-256 hex digest over the experiment name and the
+// canonicalized parameters. Deterministic experiments (every registered
+// one) can therefore be served from a cache keyed by this string.
+func ExperimentCacheKey(name string, p Params) (string, error) {
+	fp, err := p.Fingerprint()
+	if err != nil {
+		return "", fmt.Errorf("nocbt: fingerprinting params for %q: %w", name, err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "experiment\x00%s\x00", name)
+	h.Write(fp)
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // RunExperiment looks up and runs a registered experiment in one call,

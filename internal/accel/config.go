@@ -102,6 +102,10 @@ func platform(w, h, mcs int, g flit.Geometry) Config {
 	}
 }
 
+// WithDefaults returns the config with zero-valued knobs resolved — the
+// canonical form engines run and platform fingerprints hash.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	if c.MaxSegmentPairs == 0 {
 		c.MaxSegmentPairs = 64

@@ -258,6 +258,16 @@ func (e *Engine) InferBatch(ctx context.Context, inputs []*tensor.Tensor) ([]*te
 // InferBatch call (zero value before the first one).
 func (e *Engine) LastBatchStats() BatchStats { return e.lastBatch }
 
+// Aborted returns the error that poisoned the engine, or nil while the
+// engine is still usable. Once non-nil it never resets: the mesh state of
+// an aborted run is indeterminate, so the only recovery is a new engine.
+func (e *Engine) Aborted() error { return e.aborted }
+
+// Reusable reports whether the engine can serve another inference — the
+// lifecycle hook pools of warm engines use to decide between returning an
+// engine to the free list and retiring it for a rebuilt replacement.
+func (e *Engine) Reusable() bool { return e.aborted == nil }
+
 // InferRepeated runs n copies of the same input as one batch — the
 // sustained-traffic measurement shape the sweep runner and the batch
 // experiments use.

@@ -1,0 +1,41 @@
+// Package fsutil holds small filesystem helpers shared across commands
+// and subsystems.
+package fsutil
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic replaces path with data via a temp file + rename in the
+// target directory, so a failure mid-write (disk full, interrupt) can
+// never leave a truncated or corrupt file behind: path either keeps its
+// previous content or holds the complete new content. The temp file is
+// chmodded to perm before the rename so the result does not inherit
+// CreateTemp's restrictive 0600 by accident.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package fsutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomicReplacesAndSetsPerm(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("new"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "new" {
+		t.Fatalf("content %q, err %v", data, err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o644 {
+		t.Errorf("mode %v, want 0644 (not CreateTemp's 0600)", info.Mode().Perm())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("temp file left behind: %v", entries)
+	}
+}
+
+func TestWriteFileAtomicFailureLeavesTargetAlone(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "keep.txt")
+	if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The "directory" of the bad target is a regular file, so the temp
+	// file cannot even be created.
+	if err := WriteFileAtomic(filepath.Join(path, "sub"), []byte("x"), 0o644); err == nil {
+		t.Error("write into a non-directory succeeded")
+	}
+	if data, _ := os.ReadFile(path); string(data) != "precious" {
+		t.Errorf("unrelated file corrupted: %q", data)
+	}
+}

@@ -1,0 +1,174 @@
+// Package resultcache is a content-addressed cache for rendered experiment
+// and inference results. Keys are SHA-256 content addresses computed from
+// canonicalized request descriptions (see Key); values are opaque byte
+// slices — typically the rendered JSON a serving endpoint would otherwise
+// recompute by re-running a deterministic simulation.
+//
+// The cache has two tiers: a bounded in-memory LRU tier that answers hot
+// repeats, and an optional disk tier (one file per key, written
+// atomically) that survives process restarts and holds entries the LRU
+// evicted. Every simulation in this repository is deterministic in its
+// parameters, so a cache hit is guaranteed byte-identical to a re-run.
+package resultcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"nocbt/internal/fsutil"
+)
+
+// Key hashes the given canonical request parts into a content address.
+// Parts are length-prefixed before hashing, so ("ab", "c") and ("a", "bc")
+// address different entries.
+func Key(parts ...string) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Stats counts cache traffic. DiskHits is the subset of Hits answered by
+// the disk tier after a memory miss.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Puts      int64
+	Evictions int64
+	DiskHits  int64
+}
+
+// Cache is a two-tier content-addressed store, safe for concurrent use.
+type Cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	dir        string
+	ll         *list.List // front = most recently used
+	entries    map[string]*list.Element
+	stats      Stats
+}
+
+type entry struct {
+	key string
+	val []byte
+}
+
+// New returns a cache holding at most maxEntries values in memory
+// (maxEntries < 1 means 1). A non-empty dir enables the disk tier; the
+// directory is created if missing.
+func New(maxEntries int, dir string) (*Cache, error) {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("resultcache: creating disk tier: %w", err)
+		}
+	}
+	return &Cache{
+		maxEntries: maxEntries,
+		dir:        dir,
+		ll:         list.New(),
+		entries:    make(map[string]*list.Element),
+	}, nil
+}
+
+// Get returns the value stored under key. A memory miss falls through to
+// the disk tier (when enabled), promoting the entry back into memory. The
+// returned slice is the caller's to keep: it is a copy.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		val := append([]byte(nil), el.Value.(*entry).val...)
+		c.stats.Hits++
+		c.mu.Unlock()
+		return val, true
+	}
+	dir := c.dir
+	c.mu.Unlock()
+
+	if dir != "" {
+		if val, err := os.ReadFile(c.path(key)); err == nil {
+			c.mu.Lock()
+			// Another goroutine may have promoted it meanwhile; insert wins
+			// either way because the disk copy is authoritative and equal.
+			c.insertLocked(key, val)
+			c.stats.Hits++
+			c.stats.DiskHits++
+			c.mu.Unlock()
+			return append([]byte(nil), val...), true
+		}
+	}
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+	return nil, false
+}
+
+// Put stores val under key in the memory tier and, when enabled, the disk
+// tier. The value is copied; the disk file is written atomically (temp
+// file + rename) so a crash cannot leave a truncated entry behind.
+func (c *Cache) Put(key string, val []byte) error {
+	cp := append([]byte(nil), val...)
+	c.mu.Lock()
+	c.insertLocked(key, cp)
+	c.stats.Puts++
+	dir := c.dir
+	c.mu.Unlock()
+
+	if dir == "" {
+		return nil
+	}
+	if err := fsutil.WriteFileAtomic(c.path(key), cp, 0o644); err != nil {
+		return fmt.Errorf("resultcache: disk put: %w", err)
+	}
+	return nil
+}
+
+// insertLocked adds or refreshes a memory entry and evicts past the cap.
+// Evicted entries remain on disk (when the tier is enabled), so eviction
+// trades latency, never correctness.
+func (c *Cache) insertLocked(key string, val []byte) {
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*entry).val = val
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&entry{key: key, val: val})
+	for c.ll.Len() > c.maxEntries {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.entries, last.Value.(*entry).key)
+		c.stats.Evictions++
+	}
+}
+
+// path maps a key onto its disk-tier file.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".res")
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of entries currently in the memory tier.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,158 @@
+package resultcache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestKeyDeterministicAndPartAware(t *testing.T) {
+	if Key("a", "b") != Key("a", "b") {
+		t.Error("identical parts hash differently")
+	}
+	if Key("ab", "c") == Key("a", "bc") {
+		t.Error("part boundaries do not affect the address")
+	}
+	if Key("a") == Key("a", "") {
+		t.Error("trailing empty part does not affect the address")
+	}
+	if len(Key("x")) != 64 {
+		t.Errorf("key length %d, want 64 hex chars", len(Key("x")))
+	}
+}
+
+func TestMemoryTierHitMissAndCopy(t *testing.T) {
+	c, err := New(4, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if err := c.Put("k", []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("k")
+	if !ok || string(got) != "value" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	got[0] = 'X' // the returned slice must be the caller's copy
+	if again, _ := c.Get("k"); string(again) != "value" {
+		t.Errorf("stored value mutated through a returned slice: %q", again)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Puts != 1 {
+		t.Errorf("stats = %+v, want 2 hits / 1 miss / 1 put", st)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c, err := New(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	c.Get("a")              // a is now most recent
+	c.Put("c", []byte("3")) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("least-recently-used entry survived eviction")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("entry %q evicted out of LRU order", k)
+		}
+	}
+	if c.Len() != 2 || c.Stats().Evictions != 1 {
+		t.Errorf("Len=%d Evictions=%d, want 2 and 1", c.Len(), c.Stats().Evictions)
+	}
+}
+
+func TestDiskTierSurvivesRestartAndEviction(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", []byte("alpha"))
+	c.Put("b", []byte("beta")) // evicts a from memory; disk copy remains
+	if got, ok := c.Get("a"); !ok || string(got) != "alpha" {
+		t.Fatalf("evicted entry not recovered from disk: %q, %v", got, ok)
+	}
+	if c.Stats().DiskHits != 1 {
+		t.Errorf("DiskHits = %d, want 1", c.Stats().DiskHits)
+	}
+
+	// A fresh cache over the same directory sees the old entries.
+	c2, err := New(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c2.Get("b"); !ok || string(got) != "beta" {
+		t.Fatalf("disk tier lost across restart: %q, %v", got, ok)
+	}
+
+	// No temp files may linger after successful puts.
+	matches, err := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Errorf("leftover temp files: %v", matches)
+	}
+}
+
+func TestDiskTierDisabled(t *testing.T) {
+	c, err := New(1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	if _, ok := c.Get("a"); ok {
+		t.Error("memory-only cache resurrected an evicted entry")
+	}
+}
+
+func TestNewBadDir(t *testing.T) {
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(4, filepath.Join(f, "sub")); err == nil {
+		t.Error("New over an unusable directory succeeded")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c, err := New(8, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := Key("k", fmt.Sprint(i%16))
+				want := []byte(strings.Repeat("v", i%16+1))
+				if err := c.Put(k, want); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok := c.Get(k); ok && !bytes.Equal(got, want) {
+					// Values under one key are always written identically in
+					// this test, so a hit must match.
+					t.Errorf("goroutine %d: got %q want %q", g, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

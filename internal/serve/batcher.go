@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"nocbt/internal/accel"
+	"nocbt/internal/tensor"
+)
+
+// Batcher coalesces single-inference requests into Engine.InferBatch
+// calls against one pool shard. The batching discipline is adaptive: the
+// first request of a batch starts a flush deadline, and the batch flushes
+// as soon as it reaches MaxBatch requests or the deadline fires —
+// whichever comes first. Under load the mesh therefore runs full
+// micro-batches; a lone request pays at most the window in extra latency.
+//
+// Flushes run concurrently up to the shard's replica count (Acquire
+// blocks on the free list), so the collector goroutine keeps batching
+// while earlier batches are still on a mesh.
+type Batcher struct {
+	shard    *Shard
+	maxBatch int
+	window   time.Duration
+	metrics  *Metrics
+
+	// ctx is the batcher's lifecycle: it gates engine acquisition and the
+	// simulations themselves, so cancelling it fails pending requests
+	// instead of stranding them.
+	ctx  context.Context
+	reqs chan *inferJob
+}
+
+// inferJob is one queued inference. done is buffered so a flush can
+// deliver the outcome even after the requester gave up.
+type inferJob struct {
+	input *tensor.Tensor
+	done  chan inferDone
+}
+
+// inferDone is the outcome delivered to one requester.
+type inferDone struct {
+	output    *tensor.Tensor
+	stat      accel.InferenceStat
+	batchSize int
+	err       error
+}
+
+// NewBatcher starts a batcher over the shard. maxBatch < 1 is treated as
+// 1 (no coalescing); window <= 0 flushes without waiting beyond the
+// requests already queued. The batcher stops when ctx is cancelled.
+func NewBatcher(ctx context.Context, shard *Shard, maxBatch int, window time.Duration, metrics *Metrics) *Batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	if metrics == nil {
+		metrics = &Metrics{}
+	}
+	b := &Batcher{
+		shard:    shard,
+		maxBatch: maxBatch,
+		window:   window,
+		metrics:  metrics,
+		ctx:      ctx,
+		reqs:     make(chan *inferJob),
+	}
+	go b.collect()
+	return b
+}
+
+// Do submits one input and blocks until its inference completes, the
+// request context is done, or the batcher shuts down. The returned stat
+// is the per-inference timing inside whatever micro-batch the request
+// landed in; batchSize reports that batch's size.
+func (b *Batcher) Do(ctx context.Context, input *tensor.Tensor) (*tensor.Tensor, accel.InferenceStat, int, error) {
+	if input == nil {
+		return nil, accel.InferenceStat{}, 0, fmt.Errorf("serve: nil input")
+	}
+	job := &inferJob{input: input, done: make(chan inferDone, 1)}
+	select {
+	case b.reqs <- job:
+	case <-ctx.Done():
+		return nil, accel.InferenceStat{}, 0, ctx.Err()
+	case <-b.ctx.Done():
+		return nil, accel.InferenceStat{}, 0, fmt.Errorf("serve: batcher shut down: %w", b.ctx.Err())
+	}
+	select {
+	case d := <-job.done:
+		return d.output, d.stat, d.batchSize, d.err
+	case <-ctx.Done():
+		// The flush carrying this job keeps running (a micro-batch serves
+		// other requesters too); the buffered done channel absorbs its
+		// late outcome.
+		return nil, accel.InferenceStat{}, 0, ctx.Err()
+	}
+}
+
+// collect is the batching loop: one goroutine per batcher accumulates
+// jobs into batches and hands each batch to a flush goroutine.
+func (b *Batcher) collect() {
+	for {
+		var first *inferJob
+		select {
+		case first = <-b.reqs:
+		case <-b.ctx.Done():
+			return
+		}
+		batch := []*inferJob{first}
+		switch {
+		case b.maxBatch <= 1:
+			// No coalescing.
+		case b.window <= 0:
+			// Drain whatever is already queued, without waiting.
+		drain:
+			for len(batch) < b.maxBatch {
+				select {
+				case job := <-b.reqs:
+					batch = append(batch, job)
+				default:
+					break drain
+				}
+			}
+		default:
+			timer := time.NewTimer(b.window)
+		fill:
+			for len(batch) < b.maxBatch {
+				select {
+				case job := <-b.reqs:
+					batch = append(batch, job)
+				case <-timer.C:
+					break fill
+				case <-b.ctx.Done():
+					timer.Stop()
+					b.fail(batch, fmt.Errorf("serve: batcher shut down: %w", b.ctx.Err()))
+					return
+				}
+			}
+			timer.Stop()
+		}
+		go b.flush(batch)
+	}
+}
+
+// flush runs one micro-batch on a warm engine from the shard.
+func (b *Batcher) flush(batch []*inferJob) {
+	eng, release, err := b.shard.Acquire(b.ctx)
+	if err != nil {
+		b.fail(batch, err)
+		return
+	}
+	defer release()
+
+	inputs := make([]*tensor.Tensor, len(batch))
+	for i, job := range batch {
+		inputs[i] = job.input
+	}
+	outs, err := eng.InferBatch(b.ctx, inputs)
+	if err != nil {
+		// release() sees Reusable() == false for poisoned engines and
+		// retires them; the next flush acquires a rebuilt replica.
+		b.fail(batch, err)
+		return
+	}
+	stats := eng.LastBatchStats()
+	b.metrics.InferBatches.Add(1)
+	b.metrics.InferBatchedRequests.Add(int64(len(batch)))
+	for i, job := range batch {
+		d := inferDone{output: outs[i], batchSize: len(batch)}
+		if i < len(stats.PerInference) {
+			d.stat = stats.PerInference[i]
+		}
+		job.done <- d
+	}
+}
+
+// fail delivers err to every job of a batch.
+func (b *Batcher) fail(batch []*inferJob, err error) {
+	for _, job := range batch {
+		job.done <- inferDone{err: err}
+	}
+}

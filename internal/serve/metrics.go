@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"nocbt/internal/resultcache"
+)
+
+// Metrics counts serving traffic. All counters are monotonic and safe for
+// concurrent use; /metrics renders them in the Prometheus text exposition
+// format so any scraper (or a plain curl | grep) can read them.
+type Metrics struct {
+	// InferRequests counts /v1/infer requests accepted for execution.
+	InferRequests atomic.Int64
+	// InferBatches counts Engine.InferBatch calls issued by the
+	// micro-batcher; InferBatchedRequests sums their batch sizes, so
+	// InferBatchedRequests/InferBatches is the achieved mean batch size.
+	InferBatches         atomic.Int64
+	InferBatchedRequests atomic.Int64
+	// ExperimentRuns counts /v1/experiments/run requests that executed an
+	// experiment (cache hits excluded).
+	ExperimentRuns atomic.Int64
+	// EngineBuilds and EngineRetirements count warm-pool engine lifecycle
+	// events: lazy shard construction and post-abort retirement.
+	EngineBuilds      atomic.Int64
+	EngineRetirements atomic.Int64
+	// HTTPErrors counts requests answered with a 4xx/5xx status.
+	HTTPErrors atomic.Int64
+	// CachePutErrors counts result-cache stores that failed (disk tier
+	// unwritable); the memory tier still served, so requests succeeded,
+	// but restarts will not see those entries.
+	CachePutErrors atomic.Int64
+}
+
+// WritePrometheus renders the counters (and the result cache's, when a
+// cache is attached) as Prometheus text.
+func (m *Metrics) WritePrometheus(w io.Writer, cache *resultcache.Cache) error {
+	type counter struct {
+		name, help string
+		value      int64
+	}
+	counters := []counter{
+		{"nocbt_serve_infer_requests_total", "Inference requests accepted.", m.InferRequests.Load()},
+		{"nocbt_serve_infer_batches_total", "Micro-batched InferBatch calls issued.", m.InferBatches.Load()},
+		{"nocbt_serve_infer_batched_requests_total", "Inference requests summed over issued batches.", m.InferBatchedRequests.Load()},
+		{"nocbt_serve_experiment_runs_total", "Experiment executions (cache misses).", m.ExperimentRuns.Load()},
+		{"nocbt_serve_engine_builds_total", "Warm-pool engine constructions.", m.EngineBuilds.Load()},
+		{"nocbt_serve_engine_retirements_total", "Engines retired after an aborted run.", m.EngineRetirements.Load()},
+		{"nocbt_serve_http_errors_total", "Requests answered with an error status.", m.HTTPErrors.Load()},
+		{"nocbt_serve_cache_put_errors_total", "Result-cache stores that failed (disk tier unwritable).", m.CachePutErrors.Load()},
+	}
+	if cache != nil {
+		st := cache.Stats()
+		counters = append(counters,
+			counter{"nocbt_serve_cache_hits_total", "Result cache hits.", st.Hits},
+			counter{"nocbt_serve_cache_misses_total", "Result cache misses.", st.Misses},
+			counter{"nocbt_serve_cache_disk_hits_total", "Result cache hits served by the disk tier.", st.DiskHits},
+			counter{"nocbt_serve_cache_evictions_total", "Result cache memory-tier evictions.", st.Evictions},
+		)
+	}
+	for _, c := range counters {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			c.name, c.help, c.name, c.name, c.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

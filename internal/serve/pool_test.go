@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nocbt/internal/accel"
+	"nocbt/internal/tensor"
+)
+
+// stubEngine is an instrumented pool Engine for pool/batcher tests.
+type stubEngine struct {
+	mu         sync.Mutex
+	id         int
+	batches    [][]int // sizes are enough; inputs are opaque here
+	inflight   int32
+	maxInfl    int32
+	reusable   bool
+	inferErr   error
+	inferDelay time.Duration
+	lastStats  accel.BatchStats
+}
+
+func (e *stubEngine) InferBatch(ctx context.Context, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	n := atomic.AddInt32(&e.inflight, 1)
+	defer atomic.AddInt32(&e.inflight, -1)
+	if n > atomic.LoadInt32(&e.maxInfl) {
+		atomic.StoreInt32(&e.maxInfl, n)
+	}
+	if e.inferDelay > 0 {
+		time.Sleep(e.inferDelay)
+	}
+	e.mu.Lock()
+	sizes := make([]int, len(inputs))
+	e.batches = append(e.batches, sizes)
+	e.lastStats = accel.BatchStats{
+		Inferences:   len(inputs),
+		PerInference: make([]accel.InferenceStat, len(inputs)),
+	}
+	for i := range e.lastStats.PerInference {
+		e.lastStats.PerInference[i] = accel.InferenceStat{Index: i, StartCycle: 0, EndCycle: int64(10 + i)}
+	}
+	e.mu.Unlock()
+	if e.inferErr != nil {
+		e.reusable = false
+		return nil, e.inferErr
+	}
+	outs := make([]*tensor.Tensor, len(inputs))
+	for i := range outs {
+		outs[i] = inputs[i] // identity model: output is the input tensor
+	}
+	return outs, nil
+}
+
+func (e *stubEngine) LastBatchStats() accel.BatchStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastStats
+}
+
+func (e *stubEngine) Reusable() bool { return e.reusable }
+
+func TestPoolLazyBuildAndReuse(t *testing.T) {
+	m := &Metrics{}
+	p := NewPool(1, m)
+	var builds int
+	shard := p.Shard("k", func() (Engine, error) {
+		builds++
+		return &stubEngine{id: builds, reusable: true}, nil
+	})
+	if builds != 0 {
+		t.Fatalf("Shard() built eagerly: %d builds", builds)
+	}
+	eng1, release, err := shard.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	eng2, release2, err := shard.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release2()
+	if builds != 1 || eng1 != eng2 {
+		t.Errorf("engine not reused: %d builds, same=%v", builds, eng1 == eng2)
+	}
+	if m.EngineBuilds.Load() != 1 {
+		t.Errorf("EngineBuilds = %d, want 1", m.EngineBuilds.Load())
+	}
+}
+
+func TestPoolRetiresAbortedEngine(t *testing.T) {
+	m := &Metrics{}
+	p := NewPool(1, m)
+	var builds int
+	shard := p.Shard("k", func() (Engine, error) {
+		builds++
+		return &stubEngine{id: builds, reusable: true}, nil
+	})
+	eng, release, err := shard.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.(*stubEngine).reusable = false // simulate an aborted run
+	release()
+	eng2, release2, err := shard.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release2()
+	if builds != 2 || eng2.(*stubEngine).id != 2 {
+		t.Errorf("aborted engine not rebuilt: %d builds, id %d", builds, eng2.(*stubEngine).id)
+	}
+	if m.EngineRetirements.Load() != 1 {
+		t.Errorf("EngineRetirements = %d, want 1", m.EngineRetirements.Load())
+	}
+}
+
+func TestPoolBuildErrorKeepsSlot(t *testing.T) {
+	p := NewPool(1, nil)
+	fail := true
+	shard := p.Shard("k", func() (Engine, error) {
+		if fail {
+			return nil, errors.New("boom")
+		}
+		return &stubEngine{reusable: true}, nil
+	})
+	if _, _, err := shard.Acquire(context.Background()); err == nil {
+		t.Fatal("build error not surfaced")
+	}
+	fail = false
+	// The slot must have been returned: this acquire retries the build
+	// instead of deadlocking on an empty free list.
+	_, release, err := shard.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("slot lost after failed build: %v", err)
+	}
+	release()
+}
+
+func TestPoolReplicasBoundConcurrency(t *testing.T) {
+	const replicas = 2
+	p := NewPool(replicas, nil)
+	shard := p.Shard("k", func() (Engine, error) {
+		return &stubEngine{reusable: true}, nil
+	})
+	var holding sync.WaitGroup
+	acquired := make(chan func(), replicas)
+	for i := 0; i < replicas; i++ {
+		holding.Add(1)
+		go func() {
+			defer holding.Done()
+			_, release, err := shard.Acquire(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			acquired <- release
+		}()
+	}
+	holding.Wait()
+	// All replicas are held; the next acquire must block until a release.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, _, err := shard.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("third acquire on a 2-replica shard = %v, want deadline", err)
+	}
+	release := <-acquired
+	release()
+	_, release2, err := shard.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	release2()
+	close(acquired)
+	for r := range acquired {
+		r()
+	}
+}
+
+func TestPoolShardRegistrationIsStable(t *testing.T) {
+	p := NewPool(1, nil)
+	s1 := p.Shard("a", func() (Engine, error) { return &stubEngine{reusable: true}, nil })
+	s2 := p.Shard("a", func() (Engine, error) { return nil, fmt.Errorf("must not be called") })
+	if s1 != s2 {
+		t.Error("same key produced distinct shards")
+	}
+	if p.Shards() != 1 {
+		t.Errorf("Shards() = %d, want 1", p.Shards())
+	}
+	_, release, err := s2.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("second registration's builder was used: %v", err)
+	}
+	release()
+}

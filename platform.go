@@ -14,6 +14,9 @@ package nocbt
 // Platform4x4MC2-style constructors remain as deprecated shims.
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 
 	"nocbt/internal/accel"
@@ -277,6 +280,23 @@ func NewPlatform(opts ...PlatformOption) (Platform, error) {
 		return Platform{}, fmt.Errorf("nocbt: %w", err)
 	}
 	return cfg, nil
+}
+
+// PlatformFingerprint returns a stable content address for a platform
+// configuration: the SHA-256 hex digest of its canonical JSON encoding
+// (after default resolution, so a zero DrainCycleCap and the explicit
+// default hash identically). Two platforms with the same fingerprint run
+// bit-identical simulations; serving-layer caches and engine pools key
+// their shards by this string.
+func PlatformFingerprint(p Platform) (string, error) {
+	b, err := json.Marshal(p.WithDefaults())
+	if err != nil {
+		return "", fmt.Errorf("nocbt: fingerprinting platform: %w", err)
+	}
+	h := sha256.New()
+	h.Write([]byte("platform\x00"))
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // MustPlatform is NewPlatform for statically-known-good option bundles: it

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"strings"
 
 	"nocbt/internal/dnn"
 	"nocbt/internal/sweep"
@@ -47,6 +48,22 @@ func PaperPlatforms() []NamedPlatform {
 		{Name: "8x8 MC4", Build: Platform8x8MC4},
 		{Name: "8x8 MC8", Build: Platform8x8MC8},
 	}
+}
+
+// LookupPaperPlatform resolves a case- and space-insensitive platform name
+// ("4x4 MC2", "8x8mc4", …) onto one of the paper's evaluated platforms.
+// "4x4" is accepted as the unambiguous short form of "4x4 MC2".
+func LookupPaperPlatform(name string) (NamedPlatform, bool) {
+	key := strings.ReplaceAll(strings.ToLower(strings.TrimSpace(name)), " ", "")
+	if key == "4x4" {
+		key = "4x4mc2"
+	}
+	for _, p := range PaperPlatforms() {
+		if strings.ReplaceAll(strings.ToLower(p.Name), " ", "") == key {
+			return p, true
+		}
+	}
+	return NamedPlatform{}, false
 }
 
 // DefaultPlatform returns the paper's default 4×4/MC2 platform.
