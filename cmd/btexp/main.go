@@ -12,8 +12,12 @@
 // Run `btexp -list` for the registered experiment names. The sweep
 // experiment runs the full ordering × platform × format × model grid on a
 // bounded worker pool; restrict it with -platforms/-formats/-models/
-// -seeds/-batches. The deprecated -json flag emits the sweep's legacy
-// row-array JSON; -format json emits the structured experiment Result.
+// -seeds/-batches, and widen the strategy axes with -orderings (any
+// registered ordering strategy) and -codings (none/gray/businvert). The
+// codings experiment compares every registered (ordering × link coding)
+// combination on the paper workloads. The deprecated -json flag emits the
+// sweep's legacy row-array JSON; -format json emits the structured
+// experiment Result.
 package main
 
 import (
@@ -55,6 +59,8 @@ func run(args []string, stdout io.Writer) error {
 	models := fs.String("models", "", "sweep: comma-separated subset of lenet,darknet")
 	seeds := fs.String("seeds", "", "sweep: comma-separated seed list (default: -seed)")
 	batches := fs.String("batches", "", "sweep: comma-separated inference batch sizes (default: 1)")
+	orderings := fs.String("orderings", "", "sweep: comma-separated ordering strategy names (default: O0,O1,O2; see the strategy registry)")
+	codings := fs.String("codings", "", "sweep: comma-separated link codings from none,gray,businvert (default: none)")
 	asJSON := fs.Bool("json", false, "sweep: emit the legacy row-array JSON instead of a table")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -105,7 +111,7 @@ func run(args []string, stdout io.Writer) error {
 		params.Trained = false // fast pass: skip model training
 	}
 	if exp == "sweep" {
-		spec, err := sweepSpec(*platforms, *formats, *models, *seeds, *batches, *seed, params.Trained)
+		spec, err := sweepSpec(*platforms, *formats, *models, *seeds, *batches, *orderings, *codings, *seed, params.Trained)
 		if err != nil {
 			return err
 		}
@@ -188,7 +194,7 @@ func atomicWriteFile(path string, data []byte) error {
 
 // sweepSpec assembles a SweepSpec from the command-line subset flags;
 // empty flags keep the paper's full default axis.
-func sweepSpec(platforms, formats, models, seeds, batches string, seed int64, trained bool) (nocbt.SweepSpec, error) {
+func sweepSpec(platforms, formats, models, seeds, batches, orderings, codings string, seed int64, trained bool) (nocbt.SweepSpec, error) {
 	spec := nocbt.SweepSpec{Trained: trained, Seeds: []int64{seed}}
 	if platforms != "" {
 		for _, name := range strings.Split(platforms, ",") {
@@ -233,6 +239,24 @@ func sweepSpec(platforms, formats, models, seeds, batches string, seed int64, tr
 				return spec, fmt.Errorf("bad batch size %q (want a positive integer)", s)
 			}
 			spec.Batches = append(spec.Batches, v)
+		}
+	}
+	if orderings != "" {
+		for _, name := range strings.Split(orderings, ",") {
+			ord, err := nocbt.ParseOrdering(strings.TrimSpace(name))
+			if err != nil {
+				return spec, err
+			}
+			spec.Orderings = append(spec.Orderings, ord)
+		}
+	}
+	if codings != "" {
+		for _, name := range strings.Split(codings, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := nocbt.LookupLinkCoding(name); !ok {
+				return spec, fmt.Errorf("unknown link coding %q (registered: %v)", name, nocbt.LinkCodingNames())
+			}
+			spec.Codings = append(spec.Codings, name)
 		}
 	}
 	return spec, nil

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"nocbt/internal/flit"
 )
 
 // Params carries the knobs shared by the registered experiments. The zero
@@ -181,6 +183,9 @@ type fingerprintSweep struct {
 	Trained   bool     `json:"trained"`
 	Seeds     []int64  `json:"seeds"`
 	Batches   []int    `json:"batches"`
+	// Codings hashes in canonical display form ("" resolves to "none"), so
+	// the two spellings of uncoded links share one address.
+	Codings []string `json:"codings"`
 	// Workers is deliberately excluded: sweep results are bit-identical
 	// for any worker count, so it must not split the address space.
 }
@@ -225,6 +230,19 @@ func (p Params) Fingerprint() ([]byte, error) {
 		}
 		for _, m := range s.Models {
 			fs.Models = append(fs.Models, string(m))
+		}
+		for _, c := range s.Codings {
+			// Hash the canonical form so every accepted spelling of one
+			// coding shares an address; unknown names hash as written (the
+			// sweep rejects them before any result exists to cache).
+			if canonical, ok := flit.CanonicalLinkCodingName(c); ok {
+				if canonical == "" {
+					c = "none"
+				} else {
+					c = canonical
+				}
+			}
+			fs.Codings = append(fs.Codings, c)
 		}
 		fp.Sweep = fs
 	}

@@ -1,0 +1,73 @@
+package nocbt
+
+import (
+	"context"
+	"testing"
+)
+
+// TestCodingsExperimentCoversStrategySpace runs the registered "codings"
+// experiment (Quick grid: LeNet) and checks the acceptance shape: one row
+// per (registered ordering × registered coding), the six headline
+// strategies all present, bus-invert's extra-line overhead visible, and
+// the paper's O2 still reducing BT against the plain O0 baseline.
+func TestCodingsExperimentCoversStrategySpace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a NoC strategy grid; skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("full strategy grid is too slow under the race detector")
+	}
+	res, err := RunExperiment(context.Background(), "codings", Params{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 1 {
+		t.Fatalf("codings returned %d tables", len(res.Tables))
+	}
+	tbl := res.Tables[0]
+	wantRows := len(OrderingStrategies()) * len(LinkCodingNames())
+	if len(tbl.Rows) != wantRows {
+		t.Fatalf("got %d rows, want %d (orderings × codings)", len(tbl.Rows), wantRows)
+	}
+
+	// Columns: Model, Format, Strategy, Ordering, Coding, Extra lines,
+	// Total BT, Cycles, Reduction % vs O0, Link power mW.
+	strategies := make(map[string]bool)
+	var o0BT, o2Red, o0Power any
+	for _, row := range tbl.Rows {
+		strategies[row[2].(string)] = true
+		if row[3] == "O0" && row[4] == "none" {
+			o0BT = row[6]
+			o0Power = row[9]
+		}
+		if row[3] == "O2" && row[4] == "none" {
+			o2Red = row[8]
+		}
+		if row[4] == "businvert" {
+			if lines, ok := row[5].(int); !ok || lines != 128/8 {
+				t.Errorf("businvert row extra lines = %v, want 16", row[5])
+			}
+		} else if lines, ok := row[5].(int); !ok || lines != 0 {
+			t.Errorf("%v+%v row extra lines = %v, want 0", row[3], row[4], row[5])
+		}
+		if p, ok := row[9].(float64); !ok || p <= 0 {
+			t.Errorf("%v row link power = %v, want > 0 mW", row[2], row[9])
+		}
+	}
+	for _, want := range []string{"O0", "O1", "O2", "hamming-nn", "popcount-asc", "O0+gray", "O0+businvert"} {
+		if !strategies[want] {
+			t.Errorf("strategy %q missing from the grid (have %v)", want, strategies)
+		}
+	}
+	if bt, ok := o0BT.(int64); !ok || bt <= 0 {
+		t.Errorf("O0 baseline BT = %v, want a positive count", o0BT)
+	}
+	if red, ok := o2Red.(float64); !ok || red <= 0 {
+		t.Errorf("O2 reduction vs O0 = %v, want > 0", o2Red)
+	}
+	// The baseline row's link power is the paper's §V-C figure: 128-bit
+	// links, 112 links, 125 MHz, half the wires toggling → 155.008 mW.
+	if p, ok := o0Power.(float64); !ok || p < 155.0 || p > 155.1 {
+		t.Errorf("O0/none link power = %v mW, want the §V-C 155.008", o0Power)
+	}
+}

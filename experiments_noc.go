@@ -40,6 +40,9 @@ type NoCRunResult struct {
 	Workload string
 	Geometry Geometry
 	Ordering Ordering
+	// Coding is the link coding's display name; empty and "none" both mean
+	// the paper's plain binary links.
+	Coding string
 	// Seed is the weight/input seed of the run (sweep paths fill it in;
 	// direct RunModelOnNoC calls leave it 0 unless the caller sets it).
 	Seed int64
@@ -55,6 +58,16 @@ type NoCRunResult struct {
 	AvgLatencyCycles float64
 	// ReductionPct is relative to the same platform/geometry's O0 run.
 	ReductionPct float64
+}
+
+// codingDisplayName canonicalizes a platform's LinkCoding for result rows:
+// the empty (uncoded) spelling renders as "none", matching the sweep
+// runner's display form so serial and swept rows compare equal.
+func codingDisplayName(c string) string {
+	if c == "" {
+		return "none"
+	}
+	return c
 }
 
 // RunModelOnNoC executes one inference of the model on the platform with
@@ -74,6 +87,7 @@ func RunModelOnNoC(ctx context.Context, name string, cfg Platform, ord Ordering,
 		Model:    model.Name(),
 		Geometry: cfg.Geometry,
 		Ordering: ord,
+		Coding:   codingDisplayName(cfg.LinkCoding),
 		Batch:    1,
 		TotalBT:  eng.TotalBT(),
 		Cycles:   eng.Cycles(),
@@ -112,6 +126,7 @@ func RunModelBatchOnNoC(ctx context.Context, name string, cfg Platform, ord Orde
 		Model:            model.Name(),
 		Geometry:         cfg.Geometry,
 		Ordering:         ord,
+		Coding:           codingDisplayName(cfg.LinkCoding),
 		Batch:            batch,
 		TotalBT:          eng.TotalBT(),
 		Cycles:           eng.Cycles(),

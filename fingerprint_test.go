@@ -54,6 +54,91 @@ func TestParamsFingerprintSweepWorkersExcluded(t *testing.T) {
 	}
 }
 
+// TestParamsFingerprintCodingsCanonicalized: the two spellings of uncoded
+// links ("" and "none") must share an address, and a real coding must not.
+func TestParamsFingerprintCodingsCanonicalized(t *testing.T) {
+	mk := func(codings ...string) Params {
+		return Params{Sweep: &SweepSpec{Seeds: []int64{1}, Codings: codings}}
+	}
+	a, err := mk("").Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mk("none").Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error(`"" and "none" codings fingerprint differently`)
+	}
+	c, err := mk("gray").Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Error("gray coding shares the uncoded fingerprint")
+	}
+}
+
+// TestPlatformFingerprintLinkCoding: the coding is part of the platform's
+// content address ("none" canonicalizes to the uncoded form).
+func TestPlatformFingerprintLinkCoding(t *testing.T) {
+	plain, err := NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	noneSpelled, err := NewPlatform(WithLinkCoding("none"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coded, err := NewPlatform(WithLinkCoding("businvert"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fPlain, err := PlatformFingerprint(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fNone, err := PlatformFingerprint(noneSpelled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fCoded, err := PlatformFingerprint(coded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fPlain != fNone {
+		t.Error(`WithLinkCoding("none") fingerprints differently from the default`)
+	}
+	if fPlain == fCoded {
+		t.Error("businvert platform shares the uncoded fingerprint")
+	}
+	// Spelling must never split the address space: every accepted casing
+	// of a coding name canonicalizes before hashing.
+	spelledNone, err := NewPlatform(WithLinkCoding("None"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fSpelledNone, err := PlatformFingerprint(spelledNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fSpelledNone != fPlain {
+		t.Error(`WithLinkCoding("None") fingerprints differently from the default`)
+	}
+	spelledBI, err := NewPlatform(WithLinkCoding("BusInvert"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fSpelledBI, err := PlatformFingerprint(spelledBI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fSpelledBI != fCoded {
+		t.Error(`WithLinkCoding("BusInvert") fingerprints differently from "businvert"`)
+	}
+}
+
 // TestParamsFingerprintTable1Resolution: the zero Table1 config and the
 // explicit paper default describe the same measurement, so they must
 // share an address (and Quick, which shrinks the stream, must not).

@@ -22,8 +22,14 @@ type Config struct {
 	Mesh noc.Config
 	// Geometry is the flit format (512-bit/float-32 or 128-bit/fixed-8).
 	Geometry flit.Geometry
-	// Ordering selects the transmission ordering (O0/O1/O2).
+	// Ordering selects the transmission-ordering strategy by its registered
+	// wire ID: the paper's O0/O1/O2 or any strategy added through
+	// flit.RegisterOrdering.
 	Ordering flit.Ordering
+	// LinkCoding names a registered link coding ("gray", "businvert")
+	// applied on every mesh link on top of the ordering. Empty or "none"
+	// transmits plain binary — the paper's configuration.
+	LinkCoding string
 	// InBandIndex makes separated-ordering ship its re-pairing index as
 	// extra flits (costing BT); off by default to match the paper's
 	// negligible-overhead accounting.
@@ -116,6 +122,13 @@ func (c Config) withDefaults() Config {
 	if c.DrainCycleCap == 0 {
 		c.DrainCycleCap = 100_000_000
 	}
+	if canonical, ok := flit.CanonicalLinkCodingName(c.LinkCoding); ok {
+		// Every accepted spelling ("none", "NONE", "Gray") resolves to one
+		// canonical form — "" for uncoded, the registered name otherwise —
+		// so platforms that run identically fingerprint identically.
+		// Unknown names stay as written for Validate to reject.
+		c.LinkCoding = canonical
+	}
 	return c
 }
 
@@ -149,6 +162,12 @@ func (c Config) Validate() error {
 	}
 	if c.MaxSegmentPairs < 1 {
 		return fmt.Errorf("accel: MaxSegmentPairs %d < 1", c.MaxSegmentPairs)
+	}
+	if _, ok := flit.OrderingStrategyByID(c.Ordering); !ok {
+		return fmt.Errorf("accel: unknown ordering %d (registered: %v)", int(c.Ordering), flit.OrderingNames())
+	}
+	if _, ok := flit.LookupLinkCoding(c.LinkCoding); !ok {
+		return fmt.Errorf("accel: unknown link coding %q (registered: %v)", c.LinkCoding, flit.LinkCodingNames())
 	}
 	return nil
 }

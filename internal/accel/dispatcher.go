@@ -78,7 +78,10 @@ func (s *scheduler) dispatch(f *flow, nl nocLayer) (*layerRun, error) {
 			})
 			pkt := flit.NewPacket(pid, mc, pe, hdr, fz.Payloads())
 			ctx := &taskCtx{run: run, task: ti, seg: seg, pairs: hi - lo, mc: mc}
-			if e.cfg.Ordering == flit.Separated && !e.cfg.InBandIndex {
+			if fz.PartnerIndex != nil && !e.cfg.InBandIndex {
+				// Any partner-emitting strategy (O2 or a registered kin)
+				// ships its re-pairing table out-of-band unless the
+				// configuration pays for in-band index flits.
 				ctx.partner = fz.PartnerIndex
 			}
 			s.tasks[pid] = ctx

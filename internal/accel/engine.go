@@ -6,6 +6,7 @@ import (
 
 	"nocbt/internal/bitutil"
 	"nocbt/internal/dnn"
+	"nocbt/internal/flit"
 	"nocbt/internal/noc"
 	"nocbt/internal/tensor"
 )
@@ -32,6 +33,9 @@ type Engine struct {
 	model *dnn.Model
 	sim   *noc.Sim
 	pes   []int
+	// strategy is the resolved ordering strategy for cfg.Ordering; New
+	// fails on unregistered IDs, so it is never nil on a built engine.
+	strategy flit.OrderingStrategy
 
 	nextPacketID uint64
 
@@ -143,16 +147,35 @@ func New(cfg Config, model *dnn.Model) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	strategy, ok := flit.OrderingStrategyByID(cfg.Ordering)
+	if !ok {
+		return nil, fmt.Errorf("accel: unknown ordering %d (registered: %v)", int(cfg.Ordering), flit.OrderingNames())
+	}
+	if scheme, ok := flit.LookupLinkCoding(cfg.LinkCoding); !ok {
+		return nil, fmt.Errorf("accel: unknown link coding %q (registered: %v)", cfg.LinkCoding, flit.LinkCodingNames())
+	} else if scheme != nil {
+		if err := sim.SetLinkCoding(scheme); err != nil {
+			return nil, err
+		}
+	}
 	return &Engine{
-		cfg:   cfg,
-		model: model,
-		sim:   sim,
-		pes:   cfg.PEs(),
+		cfg:      cfg,
+		model:    model,
+		sim:      sim,
+		pes:      cfg.PEs(),
+		strategy: strategy,
 	}, nil
 }
 
 // Config returns the engine's configuration (after defaulting).
 func (e *Engine) Config() Config { return e.cfg }
+
+// SetTrace installs a flit-delivery observer on the engine's mesh (nil
+// disables tracing). Trace consumers see the raw payload patterns; with a
+// link coding installed the simulator's BT counters reflect the coded wire
+// activity, so recounting a coded run's trace needs the matching scheme
+// (see trace.Recorder.CodedBT).
+func (e *Engine) SetTrace(fn noc.TraceFunc) { e.sim.SetTrace(fn) }
 
 // fixed reports whether the engine runs in fixed-8 mode.
 func (e *Engine) fixed() bool { return e.cfg.Geometry.Format == bitutil.Fixed8 }

@@ -74,7 +74,7 @@ func (s *scheduler) peCompute(pkt *flit.Packet, ctx *taskCtx) (float32, error) {
 		return 0, fmt.Errorf("packet has %d payload flits, need %d data flits", len(payloads), dataFlits)
 	}
 	var partner []int
-	if s.e.cfg.Ordering == flit.Separated {
+	if s.e.strategy.EmitsPartner() {
 		if s.e.cfg.InBandIndex {
 			var err error
 			partner, err = flit.DecodePartnerIndex(g, payloads[dataFlits:], ctx.pairs)

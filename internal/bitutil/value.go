@@ -77,6 +77,13 @@ func WordTransitions(a, b Word, width int) int {
 	return (a ^ b).OnesCount(width)
 }
 
+// HammingDistance returns the number of differing bits between w and o over
+// their low `width` bits — the same quantity as WordTransitions, named for
+// the ordering strategies that minimize it between consecutive values.
+func (w Word) HammingDistance(o Word, width int) int {
+	return WordTransitions(w, o, width)
+}
+
 // PackWords builds a Vec of the given total width with each value's low
 // laneWidth bits placed side by side starting at bit 0. Lanes beyond
 // len(words) stay zero (padding). It panics if the lanes do not fit.

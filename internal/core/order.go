@@ -127,6 +127,83 @@ func AffiliatedOrder(pairs []Pair, width int) ([]Pair, []int) {
 	return ordered, perm
 }
 
+// AscendingAffiliatedOrder sorts pairs by ascending weight popcount, keeping
+// each input attached to its weight — the '1'-bit-count sorting-unit dual of
+// AffiliatedOrder evaluated by Han et al. ("'1'-bit Count-based Sorting Unit
+// to Reduce Link Power in DNN Accelerators"): the same sorting hardware with
+// the comparator sense flipped. The returned permutation satisfies
+// ordered[i] == pairs[perm[i]]; the stable sort keeps the result
+// deterministic.
+func AscendingAffiliatedOrder(pairs []Pair, width int) ([]Pair, []int) {
+	perm := make([]int, len(pairs))
+	for i := range perm {
+		perm[i] = i
+	}
+	counts := make([]int, len(pairs))
+	for i, p := range pairs {
+		counts[i] = p.Weight.OnesCount(width)
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		return counts[perm[a]] < counts[perm[b]]
+	})
+	ordered := make([]Pair, len(pairs))
+	for i, p := range perm {
+		ordered[i] = pairs[p]
+	}
+	return ordered, perm
+}
+
+// HammingNNOrder orders pairs by a greedy nearest-neighbor walk over
+// inter-value Hamming distance, the ordering family of Li et al. ("Improving
+// Efficiency in Neural Network Accelerator Using Operands Hamming Distance
+// Optimization"): consecutive transmitted values should differ in as few bit
+// positions as possible, which directly minimizes the transitions their
+// lane experiences. The walk starts at the pair with the highest weight
+// popcount (ties: lowest index, mirroring the paper's descending-count
+// anchor) and repeatedly appends the unused pair minimizing
+// HD(weight) + HD(input) to the previous pick (ties: lowest original
+// index). Pairing is preserved, so like AffiliatedOrder no recovery
+// side-channel is needed. O(n²) in the task size, the same order as the
+// transposition sorting network it would replace in hardware.
+func HammingNNOrder(pairs []Pair, width int) ([]Pair, []int) {
+	n := len(pairs)
+	if n == 0 {
+		return nil, nil
+	}
+	used := make([]bool, n)
+	perm := make([]int, 0, n)
+	start, best := 0, -1
+	for i, p := range pairs {
+		if c := p.Weight.OnesCount(width); c > best {
+			start, best = i, c
+		}
+	}
+	cur := start
+	used[cur] = true
+	perm = append(perm, cur)
+	for len(perm) < n {
+		next, bestDist := -1, -1
+		for i := range pairs {
+			if used[i] {
+				continue
+			}
+			d := pairs[cur].Weight.HammingDistance(pairs[i].Weight, width) +
+				pairs[cur].Input.HammingDistance(pairs[i].Input, width)
+			if next == -1 || d < bestDist {
+				next, bestDist = i, d
+			}
+		}
+		used[next] = true
+		perm = append(perm, next)
+		cur = next
+	}
+	ordered := make([]Pair, n)
+	for i, p := range perm {
+		ordered[i] = pairs[p]
+	}
+	return ordered, perm
+}
+
 // Separated is the result of separated-ordering (§IV-B): weights and inputs
 // each sorted by their own popcount, plus the minimal side-channel needed to
 // re-pair them at the PE.

@@ -390,3 +390,113 @@ func TestZipPairsMismatchPanics(t *testing.T) {
 	}()
 	ZipPairs(make([]bitutil.Word, 1), make([]bitutil.Word, 2))
 }
+
+// TestAscendingAffiliatedOrderProperties: ascending '1'-count, pairing
+// preserved, valid permutation — the Han et al. sorting-unit dual.
+func TestAscendingAffiliatedOrderProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(40)
+		pairs := ZipPairs(randWords(n, 8, rng), randWords(n, 8, rng))
+		ordered, perm := AscendingAffiliatedOrder(pairs, 8)
+		if len(ordered) != len(pairs) || len(perm) != len(pairs) {
+			t.Fatalf("length mismatch: %d pairs -> %d ordered, %d perm", len(pairs), len(ordered), len(perm))
+		}
+		seen := make([]bool, len(pairs))
+		for i, p := range perm {
+			if seen[p] {
+				t.Fatalf("perm reuses index %d", p)
+			}
+			seen[p] = true
+			if ordered[i] != pairs[p] {
+				t.Fatalf("ordered[%d] != pairs[perm[%d]]", i, i)
+			}
+		}
+		for i := 1; i < len(ordered); i++ {
+			if ordered[i].Weight.OnesCount(8) < ordered[i-1].Weight.OnesCount(8) {
+				t.Fatalf("weights not ascending at %d", i)
+			}
+		}
+	}
+}
+
+// TestAscendingIsReverseOfDescendingCounts: the two affiliated orders must
+// produce mirrored popcount sequences on the same input.
+func TestAscendingIsReverseOfDescendingCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	pairs := ZipPairs(randWords(30, 8, rng), randWords(30, 8, rng))
+	desc, _ := AffiliatedOrder(pairs, 8)
+	asc, _ := AscendingAffiliatedOrder(pairs, 8)
+	for i := range desc {
+		if desc[i].Weight.OnesCount(8) != asc[len(asc)-1-i].Weight.OnesCount(8) {
+			t.Fatalf("count sequences not mirrored at %d", i)
+		}
+	}
+}
+
+// TestHammingNNOrderProperties: valid permutation, pairing preserved,
+// deterministic, starts at the max-popcount weight.
+func TestHammingNNOrderProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(40)
+		pairs := ZipPairs(randWords(n, 8, rng), randWords(n, 8, rng))
+		ordered, perm := HammingNNOrder(pairs, 8)
+		if len(ordered) != n || len(perm) != n {
+			t.Fatalf("length mismatch for n=%d", n)
+		}
+		seen := make([]bool, n)
+		for i, p := range perm {
+			if seen[p] {
+				t.Fatalf("perm reuses index %d", p)
+			}
+			seen[p] = true
+			if ordered[i] != pairs[p] {
+				t.Fatalf("ordered[%d] != pairs[perm[%d]]", i, i)
+			}
+		}
+		best := 0
+		for _, p := range pairs {
+			if c := p.Weight.OnesCount(8); c > best {
+				best = c
+			}
+		}
+		if got := ordered[0].Weight.OnesCount(8); got != best {
+			t.Fatalf("walk starts at popcount %d, want max %d", got, best)
+		}
+		again, perm2 := HammingNNOrder(pairs, 8)
+		for i := range again {
+			if again[i] != ordered[i] || perm2[i] != perm[i] {
+				t.Fatal("HammingNNOrder not deterministic")
+			}
+		}
+	}
+	if ordered, perm := HammingNNOrder(nil, 8); ordered != nil || perm != nil {
+		t.Error("empty input should order to nil")
+	}
+}
+
+// TestHammingNNOrderReducesAdjacentDistance: on average the greedy walk
+// must yield a lower summed adjacent Hamming distance than natural order —
+// the quantity Li et al. minimize.
+func TestHammingNNOrderReducesAdjacentDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	adjacent := func(pairs []Pair) int {
+		total := 0
+		for i := 1; i < len(pairs); i++ {
+			total += pairs[i-1].Weight.HammingDistance(pairs[i].Weight, 8) +
+				pairs[i-1].Input.HammingDistance(pairs[i].Input, 8)
+		}
+		return total
+	}
+	var natural, greedy int
+	for trial := 0; trial < 100; trial++ {
+		pairs := ZipPairs(randWords(25, 8, rng), randWords(25, 8, rng))
+		ordered, _ := HammingNNOrder(pairs, 8)
+		natural += adjacent(pairs)
+		greedy += adjacent(ordered)
+	}
+	if !(greedy < natural) {
+		t.Errorf("greedy adjacent distance %d not below natural %d", greedy, natural)
+	}
+}

@@ -19,7 +19,8 @@ type Task struct {
 
 // Options configures flitization.
 type Options struct {
-	// Ordering selects O0/O1/O2.
+	// Ordering selects a registered ordering strategy by wire ID (the
+	// paper's O0/O1/O2 or any strategy added via RegisterOrdering).
 	Ordering Ordering
 	// InBandIndex makes separated-ordering transmit its re-pairing indices
 	// as extra index flits that cross the NoC (and therefore cost BT).
@@ -35,12 +36,13 @@ type Flitized struct {
 	// inputs, lanes [half, lanes) carry weights; the bias sits in the last
 	// lane of the last data flit.
 	Data []bitutil.Vec
-	// Index is the separated-ordering index flit payloads (only with
-	// Ordering == Separated and InBandIndex).
+	// Index is the separated-ordering index flit payloads (only when the
+	// strategy emits a partner table and InBandIndex is set).
 	Index []bitutil.Vec
 	// PartnerIndex is the separated-ordering re-pairing table:
 	// PartnerIndex[i] is the rank (in the ordered weight sequence) of the
-	// weight paired with ordered input i. Nil for O0/O1.
+	// weight paired with ordered input i. Nil for strategies that preserve
+	// pairing (O0, O1, hamming-nn, popcount-asc).
 	PartnerIndex []int
 }
 
@@ -60,11 +62,15 @@ func (g Geometry) DataFlitCount(n int) int {
 }
 
 // Flitize converts a task into flit payloads under the chosen ordering.
+// The ordering resolves through the strategy registry (strategy.go): the
+// paper's O0/O1/O2 and any registered related-work or custom strategy flow
+// through the same placement and recovery machinery.
 //
 // Placement: with M data flits and H = HalfLanes pair slots per flit,
-// baseline (O0) fills pair k into flit k/H, slot k%H (flit-major, the
-// natural streaming order of Fig. 2). O1/O2 place rank r into flit r%M,
-// slot r/M (column-major, Fig. 3): lane-wise, consecutive flits then carry
+// flit-major strategies (O0) fill pair k into flit k/H, slot k%H (the
+// natural streaming order of Fig. 2); interleaving strategies (O1/O2 and
+// every rank-ordering strategy) place rank r into flit r%M, slot r/M
+// (column-major, Fig. 3): lane-wise, consecutive flits then carry
 // adjacent-rank values, which is the §III-B optimal interleave generalized
 // from two flits to M.
 func Flitize(g Geometry, t Task, opt Options) (Flitized, error) {
@@ -78,22 +84,19 @@ func Flitize(g Geometry, t Task, opt Options) (Flitized, error) {
 	if len(t.Inputs) != n {
 		return Flitized{}, fmt.Errorf("flit: %d inputs vs %d weights", len(t.Inputs), n)
 	}
+	strat, ok := OrderingStrategyByID(opt.Ordering)
+	if !ok {
+		return Flitized{}, fmt.Errorf("flit: unknown ordering %d (registered: %v)", int(opt.Ordering), OrderingNames())
+	}
 
-	inputs := t.Inputs
-	weights := t.Weights
-	var partner []int
-	switch opt.Ordering {
-	case Baseline:
-		// Natural order.
-	case Affiliated:
-		ordered, _ := core.AffiliatedOrder(core.ZipPairs(weights, inputs), g.LaneBits())
-		weights, inputs = core.SplitPairs(ordered)
-	case Separated:
-		sep := core.SeparatedOrder(weights, inputs, g.LaneBits())
-		weights, inputs = sep.Weights, sep.Inputs
-		partner = sep.PartnerIndex
-	default:
-		return Flitized{}, fmt.Errorf("flit: unknown ordering %d", int(opt.Ordering))
+	weights, inputs, partner := strat.Order(t.Weights, t.Inputs, g.LaneBits())
+	if len(weights) != n || len(inputs) != n {
+		return Flitized{}, fmt.Errorf("flit: ordering %s returned %d weights and %d inputs for an %d-pair task",
+			strat.Name(), len(weights), len(inputs), n)
+	}
+	if strat.EmitsPartner() != (partner != nil) {
+		return Flitized{}, fmt.Errorf("flit: ordering %s partner table (%d entries) contradicts EmitsPartner=%v",
+			strat.Name(), len(partner), strat.EmitsPartner())
 	}
 
 	half := g.HalfLanes()
@@ -105,10 +108,10 @@ func Flitize(g Geometry, t Task, opt Options) (Flitized, error) {
 	lb := g.LaneBits()
 	for r := 0; r < n; r++ {
 		var fl, slot int
-		if opt.Ordering == Baseline {
-			fl, slot = r/half, r%half
-		} else {
+		if strat.Interleave() {
 			fl, slot = r%m, r/m
+		} else {
+			fl, slot = r/half, r%half
 		}
 		data[fl].SetField(slot*lb, lb, uint64(inputs[r]))
 		data[fl].SetField((half+slot)*lb, lb, uint64(weights[r]))
@@ -118,7 +121,7 @@ func Flitize(g Geometry, t Task, opt Options) (Flitized, error) {
 	data[m-1].SetField((g.Lanes()-1)*lb, lb, uint64(t.Bias))
 
 	out := Flitized{Data: data, PartnerIndex: partner}
-	if opt.Ordering == Separated && opt.InBandIndex {
+	if partner != nil && opt.InBandIndex {
 		out.Index = EncodePartnerIndex(g, partner)
 	}
 	return out, nil
@@ -126,8 +129,9 @@ func Flitize(g Geometry, t Task, opt Options) (Flitized, error) {
 
 // Deflitize reconstructs a consistently paired task from data flit
 // payloads. n is the pair count (from the packet header) and ord the
-// ordering the sender applied. For separated-ordering the partner table
-// must be supplied (decoded from index flits or passed out-of-band).
+// ordering the sender applied, resolved through the strategy registry. For
+// partner-emitting strategies (O2 and kin) the partner table must be
+// supplied (decoded from index flits or passed out-of-band).
 //
 // The returned task's pairs are NOT in the original task order — they are
 // in the sender's transmission rank order with pairing restored, which is
@@ -139,6 +143,10 @@ func Deflitize(g Geometry, data []bitutil.Vec, n int, ord Ordering, partner []in
 	if n <= 0 {
 		return Task{}, fmt.Errorf("flit: non-positive pair count %d", n)
 	}
+	strat, ok := OrderingStrategyByID(ord)
+	if !ok {
+		return Task{}, fmt.Errorf("flit: unknown ordering %d (registered: %v)", int(ord), OrderingNames())
+	}
 	m := g.DataFlitCount(n)
 	if len(data) != m {
 		return Task{}, fmt.Errorf("flit: %d data flits for %d pairs, want %d", len(data), n, m)
@@ -149,17 +157,17 @@ func Deflitize(g Geometry, data []bitutil.Vec, n int, ord Ordering, partner []in
 	weights := make([]bitutil.Word, n)
 	for r := 0; r < n; r++ {
 		var fl, slot int
-		if ord == Baseline {
-			fl, slot = r/half, r%half
-		} else {
+		if strat.Interleave() {
 			fl, slot = r%m, r/m
+		} else {
+			fl, slot = r/half, r%half
 		}
 		inputs[r] = bitutil.Word(data[fl].Field(slot*lb, lb))
 		weights[r] = bitutil.Word(data[fl].Field((half+slot)*lb, lb))
 	}
 	bias := bitutil.Word(data[m-1].Field((g.Lanes()-1)*lb, lb))
 
-	if ord == Separated {
+	if strat.EmitsPartner() {
 		if len(partner) != n {
 			return Task{}, fmt.Errorf("flit: partner table length %d, want %d", len(partner), n)
 		}
@@ -196,14 +204,19 @@ func EncodePartnerIndex(g Geometry, partner []int) []bitutil.Vec {
 	return vecs
 }
 
-// DecodePartnerIndex reverses EncodePartnerIndex for an n-pair task.
+// DecodePartnerIndex reverses EncodePartnerIndex for an n-pair task. A
+// non-positive n — a malformed header count — is an error, mirroring
+// Deflitize's validation: the old code silently returned a nil table for
+// it, deferring the failure to whatever indexed the table later.
 func DecodePartnerIndex(g Geometry, vecs []bitutil.Vec, n int) ([]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("flit: non-positive pair count %d", n)
+	}
 	ib := core.IndexBits(n)
 	if ib == 0 {
-		if n == 1 {
-			return []int{0}, nil
-		}
-		return nil, nil
+		// IndexBits is zero only for n == 1: a single pair re-pairs with
+		// itself and needs no on-wire index.
+		return []int{0}, nil
 	}
 	perFlit := g.LinkBits / ib
 	if perFlit == 0 {

@@ -212,6 +212,25 @@ func TestDecodePartnerIndexWrongCount(t *testing.T) {
 	}
 }
 
+// TestDecodePartnerIndexRejectsNonPositiveCount is the regression for the
+// (nil, nil) escape: a malformed header pair count of zero or below used
+// to decode into a nil partner table without error, deferring the failure
+// to whatever indexed the table later (or corrupting results silently).
+func TestDecodePartnerIndexRejectsNonPositiveCount(t *testing.T) {
+	g := Fixed8Geometry()
+	for _, n := range []int{0, -1, -40} {
+		partner, err := DecodePartnerIndex(g, nil, n)
+		if err == nil {
+			t.Errorf("n=%d decoded into %v without error", n, partner)
+		}
+	}
+	// n == 1 stays the valid degenerate case: one pair, no on-wire index.
+	partner, err := DecodePartnerIndex(g, nil, 1)
+	if err != nil || len(partner) != 1 || partner[0] != 0 {
+		t.Errorf("n=1 = %v, %v; want the identity table", partner, err)
+	}
+}
+
 func TestDeflitizeErrors(t *testing.T) {
 	g := Fixed8Geometry()
 	if _, err := Deflitize(g, nil, 0, Baseline, nil); err == nil {

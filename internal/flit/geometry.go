@@ -78,18 +78,13 @@ const (
 	Separated
 )
 
-// String implements fmt.Stringer using the paper's O0/O1/O2 names.
+// String implements fmt.Stringer: the registered strategy name (the paper's
+// O0/O1/O2 for the built-in trio) or a numeric fallback for unregistered IDs.
 func (o Ordering) String() string {
-	switch o {
-	case Baseline:
-		return "O0"
-	case Affiliated:
-		return "O1"
-	case Separated:
-		return "O2"
-	default:
-		return fmt.Sprintf("Ordering(%d)", int(o))
+	if s, ok := OrderingStrategyByID(o); ok {
+		return s.Name()
 	}
+	return fmt.Sprintf("Ordering(%d)", int(o))
 }
 
 // Orderings lists the three evaluated configurations in paper order.

@@ -1,0 +1,243 @@
+package flit
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"nocbt/internal/bitutil"
+)
+
+func TestRegistryBuiltins(t *testing.T) {
+	want := map[string]struct {
+		id           Ordering
+		interleave   bool
+		emitsPartner bool
+	}{
+		"O0":           {Baseline, false, false},
+		"O1":           {Affiliated, true, false},
+		"O2":           {Separated, true, true},
+		"hamming-nn":   {HammingNN, true, false},
+		"popcount-asc": {PopcountAsc, true, false},
+	}
+	for name, w := range want {
+		s, ok := LookupOrderingStrategy(name)
+		if !ok {
+			t.Errorf("built-in %q not registered", name)
+			continue
+		}
+		if s.ID() != w.id || s.Interleave() != w.interleave || s.EmitsPartner() != w.emitsPartner {
+			t.Errorf("%s: id=%d interleave=%v partner=%v, want %d/%v/%v",
+				name, int(s.ID()), s.Interleave(), s.EmitsPartner(), int(w.id), w.interleave, w.emitsPartner)
+		}
+		// Lookup is case-insensitive; display keeps the registered spelling.
+		if s2, ok := LookupOrderingStrategy(strings.ToUpper(name)); !ok || s2.Name() != s.Name() {
+			t.Errorf("%q case-insensitive lookup failed", name)
+		}
+		// ID round-trips through the header-side lookup and Stringer.
+		if byID, ok := OrderingStrategyByID(w.id); !ok || byID.Name() != s.Name() {
+			t.Errorf("ID %d does not resolve back to %q", int(w.id), name)
+		}
+		if w.id.String() != s.Name() {
+			t.Errorf("Ordering(%d).String() = %q, want %q", int(w.id), w.id.String(), s.Name())
+		}
+	}
+}
+
+func TestRegisterOrderingRejectsConflicts(t *testing.T) {
+	if err := RegisterOrdering(nil); err == nil {
+		t.Error("nil strategy registered")
+	}
+	dupName := NewOrderingStrategy("o2", 200, false, false, nil)
+	if err := RegisterOrdering(dupName); err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Errorf("duplicate name (case-insensitive) not rejected: %v", err)
+	}
+	dupID := NewOrderingStrategy("fresh-name", Separated, false, false, nil)
+	if err := RegisterOrdering(dupID); err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Errorf("duplicate ID not rejected: %v", err)
+	}
+	wide := NewOrderingStrategy("too-wide", 256, false, false, nil)
+	if err := RegisterOrdering(wide); err == nil || !strings.Contains(err.Error(), "8-bit") {
+		t.Errorf("ID beyond the header field not rejected: %v", err)
+	}
+}
+
+func TestParseOrdering(t *testing.T) {
+	for name, want := range map[string]Ordering{
+		"O0": Baseline, "o1": Affiliated, "O2": Separated,
+		"HAMMING-NN": HammingNN, "popcount-asc": PopcountAsc,
+	} {
+		got, err := ParseOrdering(name)
+		if err != nil || got != want {
+			t.Errorf("ParseOrdering(%q) = %d, %v; want %d", name, int(got), err, int(want))
+		}
+	}
+	if _, err := ParseOrdering("o9"); err == nil || !strings.Contains(err.Error(), "O2") {
+		t.Errorf("unknown name error %v does not list registered names", err)
+	}
+}
+
+// TestFlitizeHammingNNReducesStreamBT: over random tasks, the greedy
+// Hamming nearest-neighbor order must yield fewer intra-packet transitions
+// than baseline — the property Li et al. optimize for.
+func TestFlitizeHammingNNReducesStreamBT(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := Fixed8Geometry()
+	streamBT := func(vecs []bitutil.Vec) int {
+		total := 0
+		for i := 1; i < len(vecs); i++ {
+			total += vecs[i-1].Transitions(vecs[i])
+		}
+		return total
+	}
+	var base, nn int
+	for i := 0; i < 200; i++ {
+		task := randTask(25, rng)
+		b, err := Flitize(g, task, Options{Ordering: Baseline})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := Flitize(g, task, Options{Ordering: HammingNN})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base += streamBT(b.Data)
+		nn += streamBT(h.Data)
+	}
+	if !(nn < base) {
+		t.Errorf("hamming-nn packet BT %d not below baseline %d", nn, base)
+	}
+}
+
+// TestFlitizeNewStrategiesRoundTrip: the related-work strategies must
+// preserve pairing (dot-product invariance) through flitize/deflitize,
+// exactly like the paper trio.
+func TestFlitizeNewStrategiesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := Fixed8Geometry()
+	for _, ord := range []Ordering{HammingNN, PopcountAsc} {
+		for _, n := range []int{1, 2, 7, 25, 64} {
+			task := randTask(n, rng)
+			fz, err := Flitize(g, task, Options{Ordering: ord})
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", ord, n, err)
+			}
+			if fz.PartnerIndex != nil {
+				t.Fatalf("%s emitted a partner table; pairing is preserved by construction", ord)
+			}
+			got, err := Deflitize(g, fz.Data, n, ord, nil)
+			if err != nil {
+				t.Fatalf("%s n=%d deflitize: %v", ord, n, err)
+			}
+			if taskDot(got) != taskDot(task) || got.Bias != task.Bias {
+				t.Errorf("%s n=%d: round trip broke pairing or bias", ord, n)
+			}
+		}
+	}
+}
+
+// TestFlitizePopcountAscAscending pins the Han et al. sort sense.
+func TestFlitizePopcountAscAscending(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	g := Fixed8Geometry()
+	task := randTask(25, rng)
+	fz, err := Flitize(g, task, Options{Ordering: PopcountAsc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Deflitize(g, fz.Data, 25, PopcountAsc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got.Weights); i++ {
+		if got.Weights[i].OnesCount(8) < got.Weights[i-1].OnesCount(8) {
+			t.Fatalf("weights not ascending at rank %d", i)
+		}
+	}
+}
+
+func TestLinkCodingRegistry(t *testing.T) {
+	names := LinkCodingNames()
+	if len(names) < 3 || names[0] != "none" {
+		t.Fatalf("LinkCodingNames = %v, want none first plus gray and businvert", names)
+	}
+	for _, name := range []string{"", "none", "NONE"} {
+		if s, ok := LookupLinkCoding(name); !ok || s != nil {
+			t.Errorf("LookupLinkCoding(%q) = %v, %v; want the nil no-coding scheme", name, s, ok)
+		}
+	}
+	if _, ok := LookupLinkCoding("huffman"); ok {
+		t.Error("unknown coding resolved")
+	}
+	if err := RegisterLinkCoding(grayScheme{}); err == nil {
+		t.Error("duplicate coding registration accepted")
+	}
+
+	bi, ok := LookupLinkCoding("businvert")
+	if !ok || bi == nil {
+		t.Fatal("businvert not registered")
+	}
+	if got := bi.ExtraLines(128); got != 128/BusinvertSegBits {
+		t.Errorf("businvert ExtraLines(128) = %d, want %d", got, 128/BusinvertSegBits)
+	}
+	gr, _ := LookupLinkCoding("gray")
+	if got := gr.ExtraLines(128); got != 0 {
+		t.Errorf("gray ExtraLines = %d, want 0", got)
+	}
+}
+
+// TestGrayEncodeSelfConsistent: the transform must be width-preserving,
+// bijective (prefix-XOR decode) and match the bit-level definition.
+func TestGrayEncodeSelfConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for _, width := range []int{16, 63, 64, 65, 128, 512} {
+		v := bitutil.NewVec(width)
+		for i := 0; i < width; i++ {
+			v.SetBit(i, rng.Intn(2) == 1)
+		}
+		enc := GrayEncode(v)
+		if enc.Width() != width {
+			t.Fatalf("width %d: encoded width %d", width, enc.Width())
+		}
+		for i := 0; i < width; i++ {
+			want := v.Bit(i)
+			if i+1 < width {
+				want = want != v.Bit(i+1)
+			}
+			if enc.Bit(i) != want {
+				t.Fatalf("width %d: bit %d = %v, want %v", width, i, enc.Bit(i), want)
+			}
+		}
+		// Prefix-XOR decode from the MSB recovers the original.
+		dec := bitutil.NewVec(width)
+		carry := false
+		for i := width - 1; i >= 0; i-- {
+			carry = carry != enc.Bit(i)
+			dec.SetBit(i, carry)
+		}
+		if !dec.Equal(v) {
+			t.Fatalf("width %d: gray transform not bijective", width)
+		}
+	}
+}
+
+// TestGrayCodingTransitions: the per-link coder counts transitions between
+// consecutive encoded patterns, starting from all-zero wires.
+func TestGrayCodingTransitions(t *testing.T) {
+	gr, _ := LookupLinkCoding("gray")
+	coder, err := gr.New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := bitutil.NewVec(16)
+	a.SetField(0, 16, 0b0000_0000_0000_0011)
+	// enc(0b11) = 0b10 (bit i XORs bit i+1): one set bit → 1 transition
+	// from the all-zero wire.
+	if got := coder.Transitions(a); got != 1 {
+		t.Errorf("first beat transitions = %d, want 1", got)
+	}
+	// Same payload again: encoded pattern unchanged → no transitions.
+	if got := coder.Transitions(a); got != 0 {
+		t.Errorf("repeat beat transitions = %d, want 0", got)
+	}
+}

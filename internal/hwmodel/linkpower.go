@@ -17,6 +17,10 @@ type LinkPowerModel struct {
 	EnergyPerTransition float64
 	// LinkBits is the link width.
 	LinkBits int
+	// ExtraBitsPerLink counts additional physical wires a link coding
+	// adds per link (bus-invert's invert lines); they toggle — and burn
+	// power — like any payload wire. Zero for the paper's uncoded links.
+	ExtraBitsPerLink int
 	// Links is the inter-router link count (the paper uses 112 for 8×8).
 	Links int
 	// FreqHz is the clock frequency.
@@ -38,10 +42,18 @@ func PaperLinkModel(energyPerTransition float64) LinkPowerModel {
 	}
 }
 
+// WithExtraLines returns a copy of the model with a link coding's extra
+// per-link wires added to the toggling width — how bus-invert's §II
+// overhead enters the power arithmetic.
+func (m LinkPowerModel) WithExtraLines(n int) LinkPowerModel {
+	m.ExtraBitsPerLink = n
+	return m
+}
+
 // PowerW returns the total link power in watts:
-// E_t × (LinkBits × ToggleFraction) × Links × f.
+// E_t × ((LinkBits + ExtraBitsPerLink) × ToggleFraction) × Links × f.
 func (m LinkPowerModel) PowerW() float64 {
-	return m.EnergyPerTransition * float64(m.LinkBits) * m.ToggleFraction * float64(m.Links) * m.FreqHz
+	return m.EnergyPerTransition * float64(m.LinkBits+m.ExtraBitsPerLink) * m.ToggleFraction * float64(m.Links) * m.FreqHz
 }
 
 // ReducedPowerW applies a BT reduction rate (0..1) to the toggling

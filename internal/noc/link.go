@@ -48,6 +48,11 @@ type Link struct {
 	bt   int64
 	sent int64
 
+	// coder, when set, owns the wire state: transitions are whatever the
+	// installed link coding (bus-invert, Gray, …) reports, including any
+	// extra-line flips. Nil links count plain binary transitions.
+	coder flit.LinkCoding
+
 	// inFlight is the flit traversing this cycle; it is delivered to the
 	// sink at the start of the next cycle.
 	inFlight *flit.Flit
@@ -81,8 +86,12 @@ func (l *Link) transmit(f *flit.Flit) {
 		panic(fmt.Sprintf("noc: link %s is %d bits, flit payload %d",
 			l.Name, l.wire.Width(), f.Payload.Width()))
 	}
-	l.bt += int64(l.wire.Transitions(f.Payload))
-	l.wire.CopyFrom(f.Payload)
+	if l.coder != nil {
+		l.bt += int64(l.coder.Transitions(f.Payload))
+	} else {
+		l.bt += int64(l.wire.Transitions(f.Payload))
+		l.wire.CopyFrom(f.Payload)
+	}
 	l.sent++
 	l.inFlight = f
 	l.sim.busy = append(l.sim.busy, l)

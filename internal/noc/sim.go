@@ -119,6 +119,30 @@ func New(cfg Config) (*Sim, error) {
 // Config returns the simulator's configuration.
 func (s *Sim) Config() Config { return s.cfg }
 
+// SetLinkCoding installs fresh per-link coding state from the scheme on
+// every link of the mesh, so all BT recorders count the coded wire
+// activity (payload transitions under the coding plus extra-line flips).
+// A nil scheme restores plain binary transmission. Install before any
+// traffic: switching codings mid-flight would misalign coder wire state
+// with the transitions already recorded.
+func (s *Sim) SetLinkCoding(scheme flit.LinkCodingScheme) error {
+	if s.cycle != 0 || s.Busy() {
+		return fmt.Errorf("noc: link coding must be installed before any traffic")
+	}
+	for _, l := range s.links {
+		if scheme == nil {
+			l.coder = nil
+			continue
+		}
+		coder, err := scheme.New(s.cfg.LinkBits)
+		if err != nil {
+			return fmt.Errorf("noc: link coding %q on link %s: %w", scheme.Name(), l.Name, err)
+		}
+		l.coder = coder
+	}
+	return nil
+}
+
 // Inject queues a packet for transmission at its source NI.
 func (s *Sim) Inject(p *flit.Packet) error {
 	if p.Src < 0 || p.Src >= s.cfg.Nodes() || p.Dst < 0 || p.Dst >= s.cfg.Nodes() {

@@ -16,7 +16,9 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sync"
@@ -39,13 +41,19 @@ func Key(parts ...string) string {
 }
 
 // Stats counts cache traffic. DiskHits is the subset of Hits answered by
-// the disk tier after a memory miss.
+// the disk tier after a memory miss. DiskErrors counts disk-tier reads
+// that failed for a reason other than the entry not existing — permission
+// problems, a corrupted tier, a directory where a file should be. Those
+// lookups still report a miss (the caller recomputes and availability is
+// preserved), but they are not cold keys and the counter makes the
+// difference observable.
 type Stats struct {
-	Hits      int64
-	Misses    int64
-	Puts      int64
-	Evictions int64
-	DiskHits  int64
+	Hits       int64
+	Misses     int64
+	Puts       int64
+	Evictions  int64
+	DiskHits   int64
+	DiskErrors int64
 }
 
 // Cache is a two-tier content-addressed store, safe for concurrent use.
@@ -98,8 +106,11 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	dir := c.dir
 	c.mu.Unlock()
 
+	diskErr := false
 	if dir != "" {
-		if val, err := os.ReadFile(c.path(key)); err == nil {
+		val, err := os.ReadFile(c.path(key))
+		switch {
+		case err == nil:
 			c.mu.Lock()
 			// Another goroutine may have promoted it meanwhile; insert wins
 			// either way because the disk copy is authoritative and equal.
@@ -108,10 +119,17 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 			c.stats.DiskHits++
 			c.mu.Unlock()
 			return append([]byte(nil), val...), true
+		case !errors.Is(err, fs.ErrNotExist):
+			// A real disk failure, not a cold key: an unreadable or
+			// corrupted tier must not masquerade as a plain miss.
+			diskErr = true
 		}
 	}
 	c.mu.Lock()
 	c.stats.Misses++
+	if diskErr {
+		c.stats.DiskErrors++
+	}
 	c.mu.Unlock()
 	return nil, false
 }

@@ -50,6 +50,63 @@ func TestMemoryTierHitMissAndCopy(t *testing.T) {
 	}
 }
 
+// TestDiskErrorDistinguishedFromMiss is the regression for the
+// every-error-is-a-miss bug: a disk-tier read that fails for a reason
+// other than fs.ErrNotExist (here an unreadable entry — a directory
+// squatting on the key's path, which fails ReadFile regardless of the
+// test's uid) must be counted as a DiskError, not silently folded into
+// the cold-key misses.
+func TestDiskErrorDistinguishedFromMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold key: a plain miss, no disk error.
+	if _, ok := c.Get("cold"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if st := c.Stats(); st.Misses != 1 || st.DiskErrors != 0 {
+		t.Fatalf("cold key stats = %+v, want 1 miss / 0 disk errors", st)
+	}
+
+	// Unreadable entry: the key's disk path exists but cannot be read as
+	// a file.
+	if err := os.Mkdir(c.path("broken"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("broken"); ok {
+		t.Fatal("unreadable entry reported as a hit")
+	}
+	st := c.Stats()
+	if st.DiskErrors != 1 {
+		t.Errorf("stats = %+v, want exactly 1 disk error", st)
+	}
+	if st.Misses != 2 {
+		t.Errorf("stats = %+v, want the failed read to still report a miss", st)
+	}
+
+	// An unreadable regular file (permission bits cleared) is the classic
+	// shape; root bypasses permission checks, so only assert it when the
+	// test runs unprivileged.
+	if os.Getuid() != 0 {
+		path := c.path("perm")
+		if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chmod(path, 0o000); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.Get("perm"); ok {
+			t.Fatal("permission-denied entry reported as a hit")
+		}
+		if st := c.Stats(); st.DiskErrors != 2 {
+			t.Errorf("stats after permission error = %+v, want 2 disk errors", st)
+		}
+	}
+}
+
 func TestLRUEvictionOrder(t *testing.T) {
 	c, err := New(2, "")
 	if err != nil {

@@ -163,14 +163,20 @@ func (b *Batcher) flush(batch []*inferJob) {
 		return
 	}
 	stats := eng.LastBatchStats()
+	if len(outs) != len(batch) || len(stats.PerInference) != len(batch) {
+		// A broken engine implementation delivered fewer outputs or stats
+		// than requests. The old code silently handed the short requesters
+		// a zero-valued InferenceStat (latency 0); the whole batch fails
+		// loudly instead — none of its results can be trusted.
+		b.fail(batch, fmt.Errorf(
+			"serve: engine returned %d outputs and %d per-inference stats for a %d-request batch",
+			len(outs), len(stats.PerInference), len(batch)))
+		return
+	}
 	b.metrics.InferBatches.Add(1)
 	b.metrics.InferBatchedRequests.Add(int64(len(batch)))
 	for i, job := range batch {
-		d := inferDone{output: outs[i], batchSize: len(batch)}
-		if i < len(stats.PerInference) {
-			d.stat = stats.PerInference[i]
-		}
-		job.done <- d
+		job.done <- inferDone{output: outs[i], stat: stats.PerInference[i], batchSize: len(batch)}
 	}
 }
 

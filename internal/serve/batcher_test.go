@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -131,6 +132,32 @@ func TestBatcherDeliversEngineError(t *testing.T) {
 	if _, _, _, err := b.Do(context.Background(), in()); !errors.Is(err, boom) {
 		t.Errorf("Do = %v, want the engine error", err)
 	}
+}
+
+// TestBatcherRejectsShortBatchStats is the regression for the silent
+// zero-stat delivery: an engine whose LastBatchStats reports fewer
+// PerInference entries than the batch has requests must fail the batch
+// with a descriptive error — a requester must never see a fabricated
+// latency of 0 for an inference the engine did not account for.
+func TestBatcherRejectsShortBatchStats(t *testing.T) {
+	eng := &stubEngine{reusable: true, statsShortBy: 1}
+	b := newTestBatcher(t, 2, time.Hour, eng)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, stat, _, err := b.Do(context.Background(), in())
+			if err == nil {
+				t.Errorf("Do succeeded with stat %+v; want a stats-mismatch error", stat)
+				return
+			}
+			if !strings.Contains(err.Error(), "per-inference stats") {
+				t.Errorf("Do error %q does not describe the stats mismatch", err)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestBatcherRequestContextCancel(t *testing.T) {

@@ -57,6 +57,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, cache *resultcache.Cache) error {
 			counter{"nocbt_serve_cache_hits_total", "Result cache hits.", st.Hits},
 			counter{"nocbt_serve_cache_misses_total", "Result cache misses.", st.Misses},
 			counter{"nocbt_serve_cache_disk_hits_total", "Result cache hits served by the disk tier.", st.DiskHits},
+			counter{"nocbt_serve_cache_disk_errors_total", "Result cache disk-tier reads that failed for a reason other than a cold key.", st.DiskErrors},
 			counter{"nocbt_serve_cache_evictions_total", "Result cache memory-tier evictions.", st.Evictions},
 		)
 	}

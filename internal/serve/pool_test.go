@@ -24,6 +24,10 @@ type stubEngine struct {
 	inferErr   error
 	inferDelay time.Duration
 	lastStats  accel.BatchStats
+	// statsShortBy makes LastBatchStats report that many fewer
+	// PerInference entries than the batch — the broken-engine shape the
+	// batcher must reject instead of delivering zero-valued stats.
+	statsShortBy int
 }
 
 func (e *stubEngine) InferBatch(ctx context.Context, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
@@ -38,9 +42,13 @@ func (e *stubEngine) InferBatch(ctx context.Context, inputs []*tensor.Tensor) ([
 	e.mu.Lock()
 	sizes := make([]int, len(inputs))
 	e.batches = append(e.batches, sizes)
+	per := len(inputs) - e.statsShortBy
+	if per < 0 {
+		per = 0
+	}
 	e.lastStats = accel.BatchStats{
 		Inferences:   len(inputs),
-		PerInference: make([]accel.InferenceStat, len(inputs)),
+		PerInference: make([]accel.InferenceStat, per),
 	}
 	for i := range e.lastStats.PerInference {
 		e.lastStats.PerInference[i] = accel.InferenceStat{Index: i, StartCycle: 0, EndCycle: int64(10 + i)}

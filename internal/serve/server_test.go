@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"nocbt"
 	"nocbt/internal/accel"
 	"nocbt/internal/dnn"
 	"nocbt/internal/tensor"
@@ -405,9 +406,51 @@ func TestMaxShardsCap(t *testing.T) {
 	}
 }
 
+// TestPlatformSpecRegistryStrategies: the wire spec resolves any
+// registered ordering strategy and link coding, not just the paper trio.
+func TestPlatformSpecRegistryStrategies(t *testing.T) {
+	p, err := PlatformSpec{Ordering: "hamming-nn", LinkCoding: "businvert"}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ordering != nocbt.HammingNN || p.LinkCoding != "businvert" {
+		t.Errorf("built platform ordering/coding = %d/%q", int(p.Ordering), p.LinkCoding)
+	}
+	// The pre-registry long aliases keep working.
+	p, err = PlatformSpec{Ordering: "separated"}.Build()
+	if err != nil || p.Ordering != nocbt.O2 {
+		t.Errorf("alias separated = %d, %v", int(p.Ordering), err)
+	}
+}
+
+// TestSweepParamsOrderingsAndCodings: the sweep wire params accept the new
+// axes and reject unknown names.
+func TestSweepParamsOrderingsAndCodings(t *testing.T) {
+	params, err := ExperimentParams{Sweep: &SweepParams{
+		Orderings: []string{"o0", "popcount-asc"},
+		Codings:   []string{"none", "gray"},
+	}}.toParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(params.Sweep.Orderings) != 2 || params.Sweep.Orderings[1] != nocbt.PopcountAsc {
+		t.Errorf("orderings lowered wrong: %+v", params.Sweep.Orderings)
+	}
+	if len(params.Sweep.Codings) != 2 || params.Sweep.Codings[1] != "gray" {
+		t.Errorf("codings lowered wrong: %+v", params.Sweep.Codings)
+	}
+	if _, err := (ExperimentParams{Sweep: &SweepParams{Orderings: []string{"o7"}}}).toParams(); err == nil {
+		t.Error("unknown sweep ordering accepted")
+	}
+	if _, err := (ExperimentParams{Sweep: &SweepParams{Codings: []string{"huffman"}}}).toParams(); err == nil {
+		t.Error("unknown sweep coding accepted")
+	}
+}
+
 func TestPlatformSpecRejectsBadValues(t *testing.T) {
 	bad := []PlatformSpec{
 		{Ordering: "o3"},
+		{LinkCoding: "huffman"},
 		{LayerMode: "warp"},
 		{Placement: "diagonal"},
 		{Placement: "column", MCColumn: 99},

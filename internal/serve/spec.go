@@ -18,16 +18,22 @@ import (
 // (O0, serial) — a serving deployment exists to run the optimized
 // ordering under sustained traffic.
 type PlatformSpec struct {
-	Width     int    `json:"width,omitempty"`
-	Height    int    `json:"height,omitempty"`
-	Geometry  string `json:"geometry,omitempty"`   // fixed8 | float32
-	Ordering  string `json:"ordering,omitempty"`   // o0 | o1 | o2
-	LayerMode string `json:"layer_mode,omitempty"` // pipelined | serial
-	MCCount   int    `json:"mc_count,omitempty"`
-	Placement string `json:"placement,omitempty"` // perimeter | corners | column
-	MCColumn  int    `json:"mc_column,omitempty"` // column index for placement=column
-	VCs       int    `json:"vcs,omitempty"`
-	BufDepth  int    `json:"buf_depth,omitempty"`
+	Width    int    `json:"width,omitempty"`
+	Height   int    `json:"height,omitempty"`
+	Geometry string `json:"geometry,omitempty"` // fixed8 | float32
+	// Ordering names a registered ordering strategy: the paper aliases
+	// (o0/baseline, o1/affiliated, o2/separated) or any registry name
+	// ("hamming-nn", "popcount-asc", a custom registration).
+	Ordering string `json:"ordering,omitempty"`
+	// LinkCoding names a registered link coding ("gray", "businvert");
+	// empty or "none" serves on plain binary links.
+	LinkCoding string `json:"link_coding,omitempty"`
+	LayerMode  string `json:"layer_mode,omitempty"` // pipelined | serial
+	MCCount    int    `json:"mc_count,omitempty"`
+	Placement  string `json:"placement,omitempty"` // perimeter | corners | column
+	MCColumn   int    `json:"mc_column,omitempty"` // column index for placement=column
+	VCs        int    `json:"vcs,omitempty"`
+	BufDepth   int    `json:"buf_depth,omitempty"`
 }
 
 // withDefaults resolves omitted fields to the serving defaults.
@@ -80,16 +86,16 @@ func (s PlatformSpec) Build() (nocbt.Platform, error) {
 	default:
 		return nocbt.Platform{}, fmt.Errorf("serve: unknown geometry %q (want fixed8 or float32)", s.Geometry)
 	}
-	switch strings.ToLower(s.Ordering) {
-	case "o0", "baseline":
-		opts = append(opts, nocbt.WithOrdering(nocbt.O0))
-	case "o1", "affiliated":
-		opts = append(opts, nocbt.WithOrdering(nocbt.O1))
-	case "o2", "separated":
-		opts = append(opts, nocbt.WithOrdering(nocbt.O2))
-	default:
-		return nocbt.Platform{}, fmt.Errorf("serve: unknown ordering %q (want o0, o1 or o2)", s.Ordering)
+	ord, err := parseOrdering(s.Ordering)
+	if err != nil {
+		return nocbt.Platform{}, err
 	}
+	opts = append(opts, nocbt.WithOrdering(ord))
+	if _, ok := nocbt.LookupLinkCoding(s.LinkCoding); !ok {
+		return nocbt.Platform{}, fmt.Errorf("serve: unknown link coding %q (registered: %v)",
+			s.LinkCoding, nocbt.LinkCodingNames())
+	}
+	opts = append(opts, nocbt.WithLinkCoding(s.LinkCoding))
 	switch strings.ToLower(s.LayerMode) {
 	case "pipelined":
 		opts = append(opts, nocbt.WithLayerMode(nocbt.PipelinedLayers))
@@ -109,6 +115,25 @@ func (s PlatformSpec) Build() (nocbt.Platform, error) {
 		return nocbt.Platform{}, fmt.Errorf("serve: unknown MC placement %q (want perimeter, corners or column)", s.Placement)
 	}
 	return nocbt.NewPlatform(opts...)
+}
+
+// parseOrdering resolves a wire ordering name: the paper's long aliases
+// first (the pre-registry serving API accepted "baseline" etc.), then any
+// name in the strategy registry.
+func parseOrdering(name string) (nocbt.Ordering, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "baseline":
+		return nocbt.O0, nil
+	case "affiliated":
+		return nocbt.O1, nil
+	case "separated":
+		return nocbt.O2, nil
+	}
+	ord, err := nocbt.ParseOrdering(name)
+	if err != nil {
+		return 0, fmt.Errorf("serve: %w", err)
+	}
+	return ord, nil
 }
 
 // ModelProvider materializes one servable model family.
@@ -212,9 +237,15 @@ type ExperimentParams struct {
 type SweepParams struct {
 	Platforms []string `json:"platforms,omitempty"`
 	Formats   []string `json:"formats,omitempty"`
-	Models    []string `json:"models,omitempty"`
-	Seeds     []int64  `json:"seeds,omitempty"`
-	Batches   []int    `json:"batches,omitempty"`
+	// Orderings restricts the ordering axis by registry name ("o0",
+	// "hamming-nn", …); empty keeps the paper's O0/O1/O2 default.
+	Orderings []string `json:"orderings,omitempty"`
+	// Codings adds a link-coding axis by registry name ("none", "gray",
+	// "businvert"); empty sweeps plain binary links only.
+	Codings []string `json:"codings,omitempty"`
+	Models  []string `json:"models,omitempty"`
+	Seeds   []int64  `json:"seeds,omitempty"`
+	Batches []int    `json:"batches,omitempty"`
 }
 
 // toParams lowers the wire params onto nocbt.Params.
@@ -250,6 +281,19 @@ func (p ExperimentParams) toParams() (nocbt.Params, error) {
 		default:
 			return out, fmt.Errorf("serve: unknown sweep format %q (want fixed8 or float32)", f)
 		}
+	}
+	for _, o := range p.Sweep.Orderings {
+		ord, err := parseOrdering(o)
+		if err != nil {
+			return out, err
+		}
+		spec.Orderings = append(spec.Orderings, ord)
+	}
+	for _, c := range p.Sweep.Codings {
+		if _, ok := nocbt.LookupLinkCoding(c); !ok {
+			return out, fmt.Errorf("serve: unknown sweep link coding %q (registered: %v)", c, nocbt.LinkCodingNames())
+		}
+		spec.Codings = append(spec.Codings, c)
 	}
 	for _, m := range p.Sweep.Models {
 		model := nocbt.SweepModel(strings.ToLower(strings.TrimSpace(m)))

@@ -20,7 +20,9 @@ type Result struct {
 	LinkBits     int           `json:"link_bits"`
 	Ordering     flit.Ordering `json:"-"`
 	OrderingName string        `json:"ordering"`
-	Seed         int64         `json:"seed"`
+	// Coding is the link coding's display name ("none" when uncoded).
+	Coding string `json:"coding"`
+	Seed   int64  `json:"seed"`
 	// Batch is the inference batch size of the run (1 = serial Infer).
 	Batch   int   `json:"batch"`
 	TotalBT int64 `json:"total_bt"`
@@ -46,10 +48,14 @@ func WriteJSON(w io.Writer, results []Result) error {
 // RenderTable renders the results with the repository's standard table
 // formatter, one row per grid point in sweep order.
 func RenderTable(results []Result) string {
-	t := stats.NewTable("Platform", "Model", "Format", "Ordering", "Seed", "Batch",
+	t := stats.NewTable("Platform", "Model", "Format", "Ordering", "Coding", "Seed", "Batch",
 		"Total BT", "Cycles", "Packets", "Inf/kcycle", "Reduction %")
 	for _, r := range results {
-		t.AddRowf(r.Platform, r.Model, r.Format, r.OrderingName, r.Seed, r.Batch,
+		coding := r.Coding
+		if coding == "" {
+			coding = "none" // rows predating the coding axis
+		}
+		t.AddRowf(r.Platform, r.Model, r.Format, r.OrderingName, coding, r.Seed, r.Batch,
 			r.TotalBT, r.Cycles, r.Packets, r.Throughput, r.ReductionPct)
 	}
 	return t.String()

@@ -135,6 +135,17 @@ func (r *runner) runJob(ctx context.Context, job Job) (Result, error) {
 	}
 	cfg := job.Platform.Build(job.Geometry)
 	cfg.Ordering = job.Ordering
+	if job.Coding != "" {
+		// A listed coding — "none" included — overrides the platform's own
+		// LinkCoding; an empty axis value keeps it.
+		cfg.LinkCoding = job.Coding
+	}
+	// The row reports the coding the engine actually runs (the platform's
+	// own when the axis is empty), in canonical display form.
+	effCoding, ok := flit.CanonicalLinkCodingName(cfg.LinkCoding)
+	if !ok {
+		return Result{}, fmt.Errorf("unknown link coding %q", cfg.LinkCoding)
+	}
 	batch := job.Batch
 	if batch < 1 {
 		batch = 1
@@ -159,6 +170,7 @@ func (r *runner) runJob(ctx context.Context, job Job) (Result, error) {
 		LinkBits:     job.Geometry.LinkBits,
 		Ordering:     job.Ordering,
 		OrderingName: job.Ordering.String(),
+		Coding:       codingName(effCoding),
 		Seed:         job.Seed,
 		Batch:        batch,
 	}
@@ -184,12 +196,25 @@ func (r *runner) runJob(ctx context.Context, job Job) (Result, error) {
 	return res, nil
 }
 
-// groupKey identifies a reduction group: one job minus its ordering.
+// codingName maps the spec's coding axis value onto the display/JSON name:
+// the empty string renders as "none" so serialized rows stay
+// self-describing.
+func codingName(c string) string {
+	if c == "" {
+		return "none"
+	}
+	return c
+}
+
+// groupKey identifies a reduction group: one job minus its ordering. The
+// coding is part of the group, so a coded sweep's reductions compare each
+// ordering against the Baseline run under the same coding.
 type groupKey struct {
 	platform string
 	workload string
 	linkBits int
 	format   string
+	coding   string
 	seed     int64
 	batch    int
 }
@@ -200,6 +225,7 @@ func (res Result) group() groupKey {
 		workload: res.Workload,
 		linkBits: res.LinkBits,
 		format:   res.Format,
+		coding:   res.Coding,
 		seed:     res.Seed,
 		batch:    res.Batch,
 	}

@@ -65,6 +65,11 @@ type Spec struct {
 	// PipelinedLayers, measuring BT and throughput under sustained
 	// multi-inference traffic. Empty means {1}.
 	Batches []int
+	// Codings lists link codings to measure, by registered name; "" or
+	// "none" is plain binary transmission. Empty means {""} — the paper's
+	// uncoded links. Codings stack with the Orderings axis: every
+	// (ordering, coding) combination becomes its own grid point.
+	Codings []string
 	// Workers bounds the pool; 0 means runtime.GOMAXPROCS(0).
 	Workers int
 }
@@ -79,6 +84,11 @@ func (s Spec) Validate() error {
 	for _, b := range s.Batches {
 		if b < 1 {
 			return fmt.Errorf("sweep: batch size %d < 1", b)
+		}
+	}
+	for _, c := range s.Codings {
+		if _, ok := flit.LookupLinkCoding(c); !ok {
+			return fmt.Errorf("sweep: unknown link coding %q (registered: %v)", c, flit.LinkCodingNames())
 		}
 	}
 	seen := make(map[string]bool, len(s.Workloads))
@@ -106,8 +116,8 @@ func (s Spec) Validate() error {
 	return nil
 }
 
-// Job is one grid point: a single (platform, geometry, ordering, workload,
-// seed, batch) inference measurement.
+// Job is one grid point: a single (platform, geometry, ordering, coding,
+// workload, seed, batch) inference measurement.
 type Job struct {
 	// Index is the job's position in expansion order; results are returned
 	// in this order.
@@ -118,40 +128,53 @@ type Job struct {
 	Geometry flit.Geometry
 	Platform Platform
 	Ordering flit.Ordering
+	// Coding is the link coding's registered name ("" = plain binary).
+	Coding string
 }
 
 // Name renders the job's coordinates for error messages.
 func (j Job) Name() string {
-	return fmt.Sprintf("%s/%s/%s/%s/seed%d/batch%d",
+	name := fmt.Sprintf("%s/%s/%s/%s/seed%d/batch%d",
 		j.Platform.Name, j.Geometry.Format, j.Ordering, j.Workload.Name, j.Seed, j.Batch)
+	if j.Coding != "" {
+		name += "/" + j.Coding
+	}
+	return name
 }
 
 // Jobs expands the grid in deterministic nesting order — seeds, then
-// batches, then workloads, then geometries, then platforms, then orderings.
-// Orderings are innermost so each reduction group (a job minus its
-// ordering) is a contiguous run, and the serial reference loops in
-// experiments_noc.go produce rows in exactly this order.
+// batches, then workloads, then geometries, then platforms, then codings,
+// then orderings. Orderings are innermost so each reduction group (a job
+// minus its ordering) is a contiguous run, and the serial reference loops
+// in experiments_noc.go produce rows in exactly this order.
 func (s Spec) Jobs() []Job {
 	batches := s.Batches
 	if len(batches) == 0 {
 		batches = []int{1}
 	}
-	jobs := make([]Job, 0, len(s.Seeds)*len(batches)*len(s.Workloads)*len(s.Geometries)*len(s.Platforms)*len(s.Orderings))
+	codings := s.Codings
+	if len(codings) == 0 {
+		codings = []string{""}
+	}
+	jobs := make([]Job, 0, len(s.Seeds)*len(batches)*len(s.Workloads)*len(s.Geometries)*len(s.Platforms)*len(codings)*len(s.Orderings))
 	for _, seed := range s.Seeds {
 		for _, batch := range batches {
 			for _, w := range s.Workloads {
 				for _, g := range s.Geometries {
 					for _, p := range s.Platforms {
-						for _, ord := range s.Orderings {
-							jobs = append(jobs, Job{
-								Index:    len(jobs),
-								Seed:     seed,
-								Batch:    batch,
-								Workload: w,
-								Geometry: g,
-								Platform: p,
-								Ordering: ord,
-							})
+						for _, coding := range codings {
+							for _, ord := range s.Orderings {
+								jobs = append(jobs, Job{
+									Index:    len(jobs),
+									Seed:     seed,
+									Batch:    batch,
+									Workload: w,
+									Geometry: g,
+									Platform: p,
+									Coding:   coding,
+									Ordering: ord,
+								})
+							}
 						}
 					}
 				}

@@ -421,3 +421,63 @@ func TestBatchValidation(t *testing.T) {
 		t.Errorf("batch size 0 not rejected: %v", err)
 	}
 }
+
+// codedTinyPlatform is tinyPlatform with its own LinkCoding baked in, the
+// WithLinkCoding shape at the public layer.
+func codedTinyPlatform(coding string) Platform {
+	base := tinyPlatform()
+	return Platform{
+		Name: base.Name,
+		Build: func(g flit.Geometry) accel.Config {
+			cfg := base.Build(g)
+			cfg.LinkCoding = coding
+			return cfg
+		},
+	}
+}
+
+// TestEmptyCodingsAxisKeepsPlatformCoding is the regression for the
+// stomped-knob bug: a sweep whose Codings axis is empty must run each
+// platform with its own configured LinkCoding — and label the row with
+// the effective coding — not silently reset it to plain binary.
+func TestEmptyCodingsAxisKeepsPlatformCoding(t *testing.T) {
+	run := func(platform Platform, codings []string) Result {
+		t.Helper()
+		spec := Spec{
+			Platforms:  []Platform{platform},
+			Geometries: []flit.Geometry{flit.Fixed8Geometry()},
+			Orderings:  []flit.Ordering{flit.Baseline},
+			Workloads:  []Workload{tinyWorkload("tiny")},
+			Seeds:      []int64{1},
+			Codings:    codings,
+			Workers:    1,
+		}
+		results, err := Run(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results[0]
+	}
+
+	plain := run(tinyPlatform(), nil)
+	kept := run(codedTinyPlatform("businvert"), nil)
+	if kept.Coding != "businvert" {
+		t.Errorf("empty axis row labeled %q, want the platform's businvert", kept.Coding)
+	}
+	if kept.TotalBT == plain.TotalBT {
+		t.Errorf("platform's businvert coding was not applied: BT %d equals the uncoded run", kept.TotalBT)
+	}
+
+	// A listed "none" overrides the platform's coding (that is what the
+	// axis is for) and must reproduce the plain measurement.
+	forced := run(codedTinyPlatform("businvert"), []string{"none"})
+	if forced.Coding != "none" || forced.TotalBT != plain.TotalBT {
+		t.Errorf("forced none = %q/BT %d, want none/%d", forced.Coding, forced.TotalBT, plain.TotalBT)
+	}
+
+	// Spelling never splits behavior or labels: "GRAY" runs as gray.
+	spelled := run(tinyPlatform(), []string{"GRAY"})
+	if spelled.Coding != "gray" {
+		t.Errorf("GRAY row labeled %q, want canonical gray", spelled.Coding)
+	}
+}

@@ -34,12 +34,23 @@ type Event struct {
 type Recorder struct {
 	events []Event
 	wires  map[string]bitutil.Vec
+	// payloads holds each event's raw payload pattern (one entry per
+	// event) when payload recording is enabled — the input CodedBT needs
+	// to replay the stream through a link coding.
+	payloads []bitutil.Vec
+	keep     bool
 }
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder {
 	return &Recorder{wires: make(map[string]bitutil.Vec)}
 }
+
+// RecordPayloads makes the recorder keep a copy of every flit payload so
+// the stream can be recounted under a link coding (CodedBT). Enable before
+// installing the hook; payload copies cost one link-width vector per
+// event.
+func (r *Recorder) RecordPayloads() { r.keep = true }
 
 // Hook returns the TraceFunc to install with Sim.SetTrace.
 func (r *Recorder) Hook() noc.TraceFunc {
@@ -61,7 +72,52 @@ func (r *Recorder) Hook() noc.TraceFunc {
 			Dst:         f.Dst,
 			Transitions: t,
 		})
+		if r.keep {
+			r.payloads = append(r.payloads, f.Payload.Clone())
+		}
 	}
+}
+
+// CodedBT replays the recorded flit stream through fresh per-link coding
+// state and returns the total coded wire transitions — payload toggles
+// under the coding plus extra-line flips — over the given link classes
+// (all classes when none are given). This is the scalar cross-check for a
+// coded simulation's in-line BT recorders: the trace carries raw payloads,
+// so an independent recount must re-encode them exactly as each link did.
+// Requires RecordPayloads to have been enabled before recording.
+func (r *Recorder) CodedBT(scheme flit.LinkCodingScheme, classes ...noc.LinkClass) (int64, error) {
+	if scheme == nil {
+		return 0, fmt.Errorf("trace: nil link coding scheme")
+	}
+	if len(r.payloads) != len(r.events) {
+		return 0, fmt.Errorf("trace: %d payloads for %d events; enable RecordPayloads before recording",
+			len(r.payloads), len(r.events))
+	}
+	want := make(map[noc.LinkClass]bool, len(classes))
+	for _, c := range classes {
+		want[c] = true
+	}
+	coders := make(map[string]flit.LinkCoding)
+	var total int64
+	for i, e := range r.events {
+		coder, ok := coders[e.Link]
+		if !ok {
+			var err error
+			coder, err = scheme.New(r.payloads[i].Width())
+			if err != nil {
+				return 0, fmt.Errorf("trace: link %s: %w", e.Link, err)
+			}
+			coders[e.Link] = coder
+		}
+		// Every event must pass through its link's coder to keep the wire
+		// state aligned with the simulation, even when the class is
+		// filtered out of the total.
+		t := int64(coder.Transitions(r.payloads[i]))
+		if len(classes) == 0 || want[e.Class] {
+			total += t
+		}
+	}
+	return total, nil
 }
 
 // Events returns the recorded events in delivery order.

@@ -42,6 +42,7 @@ import (
 	"sync"
 
 	"nocbt/internal/accel"
+	"nocbt/internal/bitutil"
 	"nocbt/internal/dnn"
 	"nocbt/internal/flit"
 	"nocbt/internal/tensor"
@@ -63,6 +64,67 @@ const (
 
 // Orderings returns [O0, O1, O2].
 func Orderings() []Ordering { return flit.Orderings() }
+
+// The related-work ordering strategies shipped alongside the paper trio
+// (registered in the strategy registry; see OrderingStrategies).
+const (
+	// HammingNN is greedy nearest-neighbor ordering by inter-value Hamming
+	// distance (Li et al. 2020, "Improving Efficiency in Neural Network
+	// Accelerator Using Operands Hamming Distance Optimization").
+	HammingNN = flit.HammingNN
+	// PopcountAsc is ascending '1'-count affiliated ordering (Han et al.,
+	// "'1'-bit Count-based Sorting Unit to Reduce Link Power in DNN
+	// Accelerators").
+	PopcountAsc = flit.PopcountAsc
+)
+
+// OrderingStrategy is one registered transmission-ordering policy: it
+// permutes a task's (weight, input) pairs before flitization, optionally
+// emitting recovery metadata (O2's partner table). Implement it (or wrap a
+// function with NewOrderingStrategy) and register with
+// RegisterOrderingStrategy to run a custom ordering end to end through
+// NewPlatform, the engine, the sweep runner and the experiment registry.
+type OrderingStrategy = flit.OrderingStrategy
+
+// NewOrderingStrategy wraps an order function as a registrable strategy;
+// see flit.NewOrderingStrategy for the contract.
+func NewOrderingStrategy(name string, id Ordering, interleave, emitsPartner bool,
+	order func(weights, inputs []Word, laneBits int) ([]Word, []Word, []int)) OrderingStrategy {
+	return flit.NewOrderingStrategy(name, id, interleave, emitsPartner, order)
+}
+
+// Word is the raw bit pattern of one on-link value (see internal/bitutil):
+// what ordering strategies permute.
+type Word = bitutil.Word
+
+// RegisterOrderingStrategy adds a custom ordering strategy to the
+// process-wide registry. Names and wire IDs must be unique; IDs 0–4 are
+// taken by the built-ins (O0, O1, O2, hamming-nn, popcount-asc).
+func RegisterOrderingStrategy(s OrderingStrategy) error { return flit.RegisterOrdering(s) }
+
+// OrderingStrategies returns every registered ordering strategy in wire-ID
+// order (the paper's O0/O1/O2 first).
+func OrderingStrategies() []OrderingStrategy { return flit.OrderingStrategies() }
+
+// ParseOrdering resolves a registered strategy name ("O2", "hamming-nn",
+// case-insensitive) onto its wire ID.
+func ParseOrdering(name string) (Ordering, error) { return flit.ParseOrdering(name) }
+
+// LinkCodingScheme describes one link coding (bus-invert, Gray, …) and
+// builds per-link encoder state. Codings transform how the wires toggle on
+// every mesh link and stack on top of any ordering strategy.
+type LinkCodingScheme = flit.LinkCodingScheme
+
+// RegisterLinkCoding adds a custom link coding to the registry; "none" is
+// reserved for plain binary links.
+func RegisterLinkCoding(s LinkCodingScheme) error { return flit.RegisterLinkCoding(s) }
+
+// LookupLinkCoding resolves a coding name ("" and "none" mean uncoded and
+// resolve to a nil scheme).
+func LookupLinkCoding(name string) (LinkCodingScheme, bool) { return flit.LookupLinkCoding(name) }
+
+// LinkCodingNames returns the registered coding names, "none" first.
+func LinkCodingNames() []string { return flit.LinkCodingNames() }
 
 // Geometry describes the link/flit format.
 type Geometry = flit.Geometry

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"nocbt/internal/accel"
+	"nocbt/internal/flit"
 	"nocbt/internal/noc"
 )
 
@@ -72,6 +73,7 @@ type platformSpec struct {
 	maxSegmentPairs int
 	peComputeCycles int
 	inBandIndex     bool
+	linkCoding      string
 }
 
 // PlatformOption configures one aspect of a platform under construction.
@@ -88,9 +90,18 @@ func WithGeometry(g Geometry) PlatformOption {
 	return func(s *platformSpec) { s.geometry = g }
 }
 
-// WithOrdering sets the transmission ordering (default: O0 baseline).
+// WithOrdering sets the transmission-ordering strategy by wire ID
+// (default: O0 baseline). Any registered strategy ID is accepted; resolve
+// names with ParseOrdering.
 func WithOrdering(o Ordering) PlatformOption {
 	return func(s *platformSpec) { s.ordering = o }
+}
+
+// WithLinkCoding applies a registered link coding ("gray", "businvert") on
+// every mesh link, stacked on top of the ordering. The default ("" or
+// "none") is plain binary transmission, the paper's configuration.
+func WithLinkCoding(name string) PlatformOption {
+	return func(s *platformSpec) { s.linkCoding = name }
 }
 
 // WithLayerMode sets the mesh-sharing discipline (default: SerialLayers).
@@ -214,6 +225,12 @@ func NewPlatform(opts ...PlatformOption) (Platform, error) {
 	if s.peComputeCycles < 1 {
 		return Platform{}, fmt.Errorf("nocbt: PEComputeCycles %d < 1", s.peComputeCycles)
 	}
+	if _, ok := flit.OrderingStrategyByID(s.ordering); !ok {
+		return Platform{}, fmt.Errorf("nocbt: unknown ordering %d (registered: %v)", int(s.ordering), flit.OrderingNames())
+	}
+	if _, ok := flit.LookupLinkCoding(s.linkCoding); !ok {
+		return Platform{}, fmt.Errorf("nocbt: unknown link coding %q (registered: %v)", s.linkCoding, flit.LinkCodingNames())
+	}
 	if s.explicitNodes && s.explicitCoords {
 		return Platform{}, fmt.Errorf("nocbt: WithMCNodes and WithMCCoords are mutually exclusive")
 	}
@@ -270,6 +287,7 @@ func NewPlatform(opts ...PlatformOption) (Platform, error) {
 		},
 		Geometry:        s.geometry,
 		Ordering:        s.ordering,
+		LinkCoding:      s.linkCoding,
 		LayerMode:       s.layerMode,
 		InBandIndex:     s.inBandIndex,
 		MCs:             mcs,

@@ -110,6 +110,11 @@ type SweepSpec struct {
 	// concurrently, measuring BT and throughput under sustained traffic.
 	// Default: {1}.
 	Batches []int
+	// Codings lists link codings to measure by registered name ("none",
+	// "gray", "businvert"); every (ordering, coding) combination becomes a
+	// grid point, overriding each platform's own LinkCoding. Empty keeps
+	// the platforms' configured codings (usually none).
+	Codings []string
 	// Workers bounds the worker pool; 0 means GOMAXPROCS.
 	Workers int
 }
@@ -133,6 +138,10 @@ func (s SweepSpec) withDefaults() SweepSpec {
 	if len(s.Batches) == 0 {
 		s.Batches = []int{1}
 	}
+	// Codings deliberately has no default entry: an empty axis means "each
+	// platform's own LinkCoding" (usually none), so a FixedPlatform built
+	// WithLinkCoding keeps its knob. Listing codings — including "none" —
+	// overrides the platform's setting at every grid point.
 	return s
 }
 
@@ -174,6 +183,7 @@ func (s SweepSpec) toInternal() (sweep.Spec, error) {
 		Orderings:  s.Orderings,
 		Seeds:      s.Seeds,
 		Batches:    s.Batches,
+		Codings:    s.Codings,
 		Workers:    s.Workers,
 	}
 	for _, p := range s.Platforms {
@@ -216,6 +226,7 @@ func RunSweep(ctx context.Context, spec SweepSpec) ([]NoCRunResult, error) {
 			Workload:         r.Workload,
 			Geometry:         r.Geometry,
 			Ordering:         r.Ordering,
+			Coding:           r.Coding,
 			Batch:            r.Batch,
 			TotalBT:          r.TotalBT,
 			Cycles:           r.Cycles,
@@ -244,12 +255,12 @@ func sweepResult(ctx context.Context, p Params) (*Result, error) {
 	}
 	table := ResultTable{
 		Name: "sweep",
-		Columns: []string{"Platform", "Model", "Format", "Ordering", "Seed", "Batch",
+		Columns: []string{"Platform", "Model", "Format", "Ordering", "Coding", "Seed", "Batch",
 			"Total BT", "Cycles", "Packets", "Inf/kcycle", "Reduction %"},
 	}
 	for _, r := range rows {
 		table.AddRow(r.Platform, r.Model, r.Geometry.Format.String(), r.Ordering.String(),
-			r.Seed, r.Batch, r.TotalBT, r.Cycles, r.Packets, r.Throughput, r.ReductionPct)
+			r.Coding, r.Seed, r.Batch, r.TotalBT, r.Cycles, r.Packets, r.Throughput, r.ReductionPct)
 	}
 	resolved := spec.withDefaults()
 	platformNames := make([]string, len(resolved.Platforms))
@@ -264,6 +275,7 @@ func sweepResult(ctx context.Context, p Params) (*Result, error) {
 			"platforms": platformNames,
 			"seeds":     resolved.Seeds,
 			"batches":   resolved.Batches,
+			"codings":   resolved.Codings,
 			"trained":   resolved.Trained,
 		},
 		Tables: []ResultTable{table},
@@ -295,6 +307,10 @@ func toInternalResults(rows []NoCRunResult) []sweep.Result {
 		if batch == 0 {
 			batch = 1 // rows predating the batch axis
 		}
+		coding := r.Coding
+		if coding == "" {
+			coding = "none" // rows predating the coding axis
+		}
 		out[i] = sweep.Result{
 			Platform:         r.Platform,
 			Workload:         workload,
@@ -304,6 +320,7 @@ func toInternalResults(rows []NoCRunResult) []sweep.Result {
 			LinkBits:         r.Geometry.LinkBits,
 			Ordering:         r.Ordering,
 			OrderingName:     r.Ordering.String(),
+			Coding:           coding,
 			Seed:             r.Seed,
 			Batch:            batch,
 			TotalBT:          r.TotalBT,
