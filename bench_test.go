@@ -6,10 +6,14 @@ package nocbt_test
 // b.ReportMetric, so `go test -bench .` regenerates the evaluation's rows.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
+	"reflect"
 	"testing"
 
 	"nocbt"
@@ -505,7 +509,7 @@ func TestEmitNoCBenchBaseline(t *testing.T) {
 	}
 	st := batchEng.LastBatchStats()
 
-	baseline := map[string]interface{}{
+	updates := map[string]interface{}{
 		"schema": "nocbt-bench-noc/v1",
 		"sim_step_ns_per_cycle": map[string]interface{}{
 			"idle_8x8":      float64(idle.T.Nanoseconds()) / float64(idle.N),
@@ -520,17 +524,133 @@ func TestEmitNoCBenchBaseline(t *testing.T) {
 			"avg_latency_cycles":        st.AvgLatencyCycles,
 		},
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer f.Close()
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(baseline); err != nil {
+	if err := mergeBenchBaseline(path, updates); err != nil {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s", path)
+}
+
+// mergeBenchBaseline folds the emitter-owned sections into whatever JSON
+// document already exists at path and writes the result back. Sections the
+// emitter does not own — the hand-curated sim_step_optimization history, the
+// pooling baseline the alloc regression guard reads, notes, and any future
+// keys — pass through untouched, so rerunning the emitter never erases them.
+// A missing file starts from an empty document.
+func mergeBenchBaseline(path string, updates map[string]interface{}) error {
+	doc := map[string]interface{}{}
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("existing baseline %s: %w", path, err)
+		}
+	case !os.IsNotExist(err):
+		return err
+	}
+	for k, v := range updates {
+		doc[k] = v
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// TestBenchBaselineMergePreservesCuratedSections is the round-trip pin for
+// the emitter's merge behavior: rerunning TestEmitNoCBenchBaseline over a
+// baseline file must replace only the sections the emitter owns and keep the
+// hand-curated ones (sim_step_optimization, pooling, note) byte-for-byte —
+// an emitter that clobbers the file erases the before/after optimization
+// history that cannot be regenerated.
+func TestBenchBaselineMergePreservesCuratedSections(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_noc.json")
+	curated := map[string]interface{}{
+		"schema": "nocbt-bench-noc/v0", // stale: the emitter owns this key
+		"note":   "hand-written commentary that must survive",
+		"sim_step_optimization": map[string]interface{}{
+			"before": map[string]interface{}{"BenchmarkStepSaturated8x8": map[string]interface{}{"ns_per_op": 999.0}},
+			"after":  map[string]interface{}{"BenchmarkStepSaturated8x8": map[string]interface{}{"ns_per_op": 111.0}},
+		},
+		"pooling": map[string]interface{}{
+			"after": map[string]interface{}{"BenchmarkStepSaturated8x8": map[string]interface{}{"allocs_per_op": 1.0}},
+		},
+		"sim_step_ns_per_cycle": map[string]interface{}{"idle_8x8": 1.0}, // stale: emitter-owned
+	}
+	seed, err := json.Marshal(curated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, seed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	updates := map[string]interface{}{
+		"schema":                "nocbt-bench-noc/v1",
+		"sim_step_ns_per_cycle": map[string]interface{}{"idle_8x8": 2.0, "saturated_8x8": 3.0},
+		"infer":                 map[string]interface{}{"serial_cycles": 7.0},
+	}
+	if err := mergeBenchBaseline(path, updates); err != nil {
+		t.Fatal(err)
+	}
+
+	read := func() map[string]interface{} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]interface{}{}
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	got := read()
+	for _, curatedKey := range []string{"note", "sim_step_optimization", "pooling"} {
+		if !reflect.DeepEqual(got[curatedKey], curated[curatedKey]) {
+			t.Errorf("curated section %q changed by merge:\ngot  %#v\nwant %#v", curatedKey, got[curatedKey], curated[curatedKey])
+		}
+	}
+	for updatedKey, want := range updates {
+		if !reflect.DeepEqual(got[updatedKey], want) {
+			t.Errorf("emitter-owned section %q not replaced:\ngot  %#v\nwant %#v", updatedKey, got[updatedKey], want)
+		}
+	}
+
+	// Round trip: merging the same updates again must be a fixed point.
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mergeBenchBaseline(path, updates); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("second merge with identical updates changed the file")
+	}
+
+	// The committed repo baseline must itself survive a no-op merge: its
+	// curated sections are exactly what the emitter must not own.
+	repoData, err := os.ReadFile("BENCH_noc.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	repoDoc := map[string]interface{}{}
+	if err := json.Unmarshal(repoData, &repoDoc); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := repoDoc["sim_step_optimization"]; !ok {
+		t.Error("committed BENCH_noc.json lost its sim_step_optimization history")
+	}
+	if _, ok := repoDoc["pooling"]; !ok {
+		t.Error("committed BENCH_noc.json has no pooling section for the alloc guard")
+	}
 }
 
 // ---- Micro-benchmarks of the hot paths ---------------------------------------

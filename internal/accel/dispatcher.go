@@ -61,22 +61,28 @@ func (s *scheduler) dispatch(f *flow, nl nocLayer) (*layerRun, error) {
 			if seg == segs-1 {
 				bias = task.bias // only the final segment carries the bias
 			}
-			fz, err := flit.Flitize(g, flit.Task{
+			// Flitize through the engine scratch and the simulator's flit
+			// pool: the payload vectors, flit structs and packet shell all
+			// come from free-lists once the engine is warm.
+			pool := e.sim.Pool()
+			if err := flit.FlitizeInto(g, flit.Task{
 				Inputs:  task.inputs[lo:hi],
 				Weights: task.weights[lo:hi],
 				Bias:    bias,
-			}, flit.Options{Ordering: e.cfg.Ordering, InBandIndex: e.cfg.InBandIndex})
-			if err != nil {
+			}, flit.Options{Ordering: e.cfg.Ordering, InBandIndex: e.cfg.InBandIndex}, pool, &e.fzScratch); err != nil {
 				return nil, fmt.Errorf("flitize task %d seg %d: %w", ti, seg, err)
 			}
+			fz := &e.fzScratch
 			pid := e.nextID()
-			hdr := flit.EncodeHeader(g, flit.Header{
+			hdr := pool.Vec()
+			flit.EncodeHeaderInto(flit.Header{
 				Dst: uint16(pe), Src: uint16(mc),
 				PacketID: uint32(pid), TaskID: uint32(ti),
 				Kind: flit.KindTask, PairCount: uint16(hi - lo),
 				Ordering: e.cfg.Ordering,
-			})
-			pkt := flit.NewPacket(pid, mc, pe, hdr, fz.Payloads())
+			}, hdr)
+			e.payloadScratch = fz.AppendPayloads(e.payloadScratch[:0])
+			pkt := pool.Packet(pid, mc, pe, hdr, e.payloadScratch)
 			ctx := &taskCtx{run: run, task: ti, seg: seg, pairs: hi - lo, mc: mc}
 			if fz.PartnerIndex != nil && !e.cfg.InBandIndex {
 				// Any partner-emitting strategy (O2 or a registered kin)

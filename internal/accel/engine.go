@@ -46,6 +46,15 @@ type Engine struct {
 
 	lastBatch BatchStats
 
+	// Flitization/deflitization scratch, reused across every packet the
+	// engine ever builds or decodes so a warm engine's dispatch and PE
+	// paths stop allocating (the backing vectors come from the simulator's
+	// flit pool).
+	fzScratch      flit.Flitized
+	payloadScratch []bitutil.Vec
+	peScratch      []bitutil.Vec
+	deflitScratch  flit.Task
+
 	// aborted records the error of a run that died after dispatching
 	// traffic; once set, the mesh state is indeterminate and the engine
 	// refuses further inferences.

@@ -40,16 +40,23 @@ func (s *scheduler) pumpPEs() error {
 			if err != nil {
 				return fmt.Errorf("PE %d packet %d: %w", pe, pkt.ID, err)
 			}
+			// The task packet is fully decoded; its flits, payload vectors
+			// and shell go back to the pool and come out again as the
+			// result packet built just below.
+			pool := e.sim.Pool()
+			e.sim.Recycle(pkt)
 			rid := e.nextID()
-			rhdr := flit.EncodeHeader(g, flit.Header{
+			rhdr := pool.Vec()
+			flit.EncodeHeaderInto(flit.Header{
 				Dst: uint16(ctx.mc), Src: uint16(pe),
 				PacketID: uint32(rid), TaskID: uint32(ctx.task),
 				Kind: flit.KindResult, PairCount: uint16(ctx.seg),
 				Ordering: e.cfg.Ordering,
-			})
-			body := bitutil.NewVec(g.LinkBits)
+			}, rhdr)
+			body := pool.Vec()
 			body.SetField(0, 32, uint64(bitutil.Float32Word(value)))
-			rpkt := flit.NewPacket(rid, pe, ctx.mc, rhdr, []bitutil.Vec{body})
+			e.payloadScratch = append(e.payloadScratch[:0], body)
+			rpkt := pool.Packet(rid, pe, ctx.mc, rhdr, e.payloadScratch)
 			s.results[rid] = &resultCtx{run: ctx.run, task: ctx.task, seg: ctx.seg}
 			s.pending = append(s.pending, pendingResult{
 				ready: e.sim.Cycle() + int64(e.cfg.PEComputeCycles),
@@ -69,7 +76,8 @@ func (s *scheduler) pumpPEs() error {
 func (s *scheduler) peCompute(pkt *flit.Packet, ctx *taskCtx) (float32, error) {
 	g := s.e.cfg.Geometry
 	dataFlits := g.DataFlitCount(ctx.pairs)
-	payloads := pkt.PayloadVecs()
+	s.e.peScratch = pkt.AppendPayloadVecs(s.e.peScratch[:0])
+	payloads := s.e.peScratch
 	if len(payloads) < dataFlits {
 		return 0, fmt.Errorf("packet has %d payload flits, need %d data flits", len(payloads), dataFlits)
 	}
@@ -85,10 +93,10 @@ func (s *scheduler) peCompute(pkt *flit.Packet, ctx *taskCtx) (float32, error) {
 			partner = ctx.partner
 		}
 	}
-	task, err := flit.Deflitize(g, payloads[:dataFlits], ctx.pairs, s.e.cfg.Ordering, partner)
-	if err != nil {
+	if err := flit.DeflitizeInto(g, payloads[:dataFlits], ctx.pairs, s.e.cfg.Ordering, partner, &s.e.deflitScratch); err != nil {
 		return 0, err
 	}
+	task := &s.e.deflitScratch
 
 	if s.e.fixed() {
 		// Exact integer MAC, then one rescale: identical across orderings.
@@ -145,6 +153,9 @@ func (s *scheduler) pumpMCs() ([]*layerRun, error) {
 			}
 			run.seen[task][seg] = true
 			run.partials[task][seg] = bitutil.WordFloat32(bitutil.Word(pkt.Flits[1].Payload.Field(0, 32)))
+			// Everything of interest has been read; the packet returns to
+			// the pool for the next dispatch to reuse.
+			e.sim.Recycle(pkt)
 			run.received++
 			if run.received == run.expected {
 				completed = append(completed, run)

@@ -39,6 +39,28 @@ func NewVec(width int) Vec {
 	}
 }
 
+// FromWords wraps an existing backing-word slice as a width-bit vector
+// WITHOUT copying: the vector aliases words. len(words) must be exactly the
+// word count a NewVec of that width would allocate, and any bits above width
+// in the last word must be zero (they would corrupt popcounts). This is the
+// arena constructor — callers packing many vectors into one large []uint64
+// (e.g. a trace recorder's payload log) use it to avoid one allocation per
+// vector.
+func FromWords(width int, words []uint64) Vec {
+	if width < 0 {
+		panic(fmt.Sprintf("bitutil: negative width %d", width))
+	}
+	if want := (width + wordBits - 1) / wordBits; len(words) != want {
+		panic(fmt.Sprintf("bitutil: %d backing words for width %d, want %d", len(words), width, want))
+	}
+	if width%wordBits != 0 && len(words) > 0 {
+		if hi := words[len(words)-1] >> (uint(width) % wordBits); hi != 0 {
+			panic(fmt.Sprintf("bitutil: bits set above width %d", width))
+		}
+	}
+	return Vec{words: words, width: width}
+}
+
 // Width returns the vector width in bits.
 func (v Vec) Width() int { return v.width }
 

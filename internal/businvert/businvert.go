@@ -11,6 +11,7 @@ package businvert
 
 import (
 	"fmt"
+	"math/bits"
 
 	"nocbt/internal/bitutil"
 )
@@ -49,20 +50,37 @@ func (e *Encoder) ExtraLines() int { return e.segments }
 // Encode drives v onto the bus and returns the encoded pattern (some
 // segments possibly inverted), the invert-line values, and the total
 // transitions this beat caused — payload wire flips plus invert-line flips.
+// It is Drive plus copies of the resulting wire state; per-flit BT counting
+// should call Drive directly and skip the allocations.
 func (e *Encoder) Encode(v bitutil.Vec) (encoded bitutil.Vec, invert []bool, transitions int) {
+	transitions = e.Drive(v)
+	// After Drive the wires hold exactly the encoded pattern and invWire the
+	// chosen line values.
+	encoded = e.wire.Clone()
+	invert = append([]bool(nil), e.invWire...)
+	return encoded, invert, transitions
+}
+
+// Drive updates the bus state for payload v in place — no encoded copy, no
+// invert slice — and returns the transitions this beat caused. Each segment
+// is processed in 64-bit chunks: the Hamming distance to the current wires
+// is one XOR+popcount per chunk, and the (possibly inverted) segment is
+// written back the same way. Values are identical to Encode's; only the
+// allocations differ.
+func (e *Encoder) Drive(v bitutil.Vec) (transitions int) {
 	if v.Width() != e.width {
 		panic(fmt.Sprintf("businvert: flit width %d, bus is %d", v.Width(), e.width))
 	}
-	encoded = v.Clone()
-	invert = make([]bool, e.segments)
 	for s := 0; s < e.segments; s++ {
 		off := s * e.segBits
 		// Hamming distance between the segment and the current wires.
 		dist := 0
-		for b := 0; b < e.segBits; b++ {
-			if encoded.Bit(off+b) != e.wire.Bit(off+b) {
-				dist++
+		for b := 0; b < e.segBits; b += 64 {
+			w := e.segBits - b
+			if w > 64 {
+				w = 64
 			}
+			dist += bits.OnesCount64(v.Field(off+b, w) ^ e.wire.Field(off+b, w))
 		}
 		// Invert when more than half the segment would toggle; ties keep
 		// the current invert-line value to avoid a gratuitous line flip.
@@ -71,20 +89,29 @@ func (e *Encoder) Encode(v bitutil.Vec) (encoded bitutil.Vec, invert []bool, tra
 			doInvert = e.invWire[s]
 		}
 		if doInvert {
-			for b := 0; b < e.segBits; b++ {
-				encoded.SetBit(off+b, !encoded.Bit(off+b))
-			}
 			dist = e.segBits - dist
 		}
-		invert[s] = doInvert
 		transitions += dist
 		if doInvert != e.invWire[s] {
 			transitions++ // the invert line itself toggles
 		}
 		e.invWire[s] = doInvert
+		for b := 0; b < e.segBits; b += 64 {
+			w := e.segBits - b
+			if w > 64 {
+				w = 64
+			}
+			chunk := v.Field(off+b, w)
+			if doInvert {
+				chunk = ^chunk
+				if w < 64 {
+					chunk &= 1<<uint(w) - 1
+				}
+			}
+			e.wire.SetField(off+b, w, chunk)
+		}
 	}
-	e.wire.CopyFrom(encoded)
-	return encoded, invert, transitions
+	return transitions
 }
 
 // Decode recovers the original flit from an encoded pattern and its invert

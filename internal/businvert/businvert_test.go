@@ -206,3 +206,137 @@ func TestTieKeepsInvertLine(t *testing.T) {
 		t.Errorf("transitions = %d, want 4", transitions)
 	}
 }
+
+// naiveEncoder is the original per-bit reference implementation of the
+// encoder, kept verbatim in the tests as the oracle for the word-granular
+// Drive kernel: same tie rule, same invert-line accounting, one bit at a
+// time.
+type naiveEncoder struct {
+	width    int
+	segBits  int
+	segments int
+	wire     bitutil.Vec
+	invWire  []bool
+}
+
+func newNaiveEncoder(width, segBits int) *naiveEncoder {
+	return &naiveEncoder{
+		width:    width,
+		segBits:  segBits,
+		segments: width / segBits,
+		wire:     bitutil.NewVec(width),
+		invWire:  make([]bool, width/segBits),
+	}
+}
+
+func (e *naiveEncoder) encode(v bitutil.Vec) (encoded bitutil.Vec, invert []bool, transitions int) {
+	encoded = v.Clone()
+	invert = make([]bool, e.segments)
+	for s := 0; s < e.segments; s++ {
+		off := s * e.segBits
+		dist := 0
+		for b := 0; b < e.segBits; b++ {
+			if encoded.Bit(off+b) != e.wire.Bit(off+b) {
+				dist++
+			}
+		}
+		doInvert := dist > e.segBits/2
+		if dist*2 == e.segBits {
+			doInvert = e.invWire[s]
+		}
+		if doInvert {
+			for b := 0; b < e.segBits; b++ {
+				encoded.SetBit(off+b, !encoded.Bit(off+b))
+			}
+			dist = e.segBits - dist
+		}
+		invert[s] = doInvert
+		transitions += dist
+		if doInvert != e.invWire[s] {
+			transitions++
+		}
+		e.invWire[s] = doInvert
+	}
+	e.wire.CopyFrom(encoded)
+	return encoded, invert, transitions
+}
+
+// TestDriveMatchesNaiveReference drives identical random streams through the
+// word-granular kernel and the per-bit reference and requires bit-identical
+// wire state, invert lines and transition counts at every beat, across
+// geometries covering sub-word segments, word-aligned segments, straddling
+// segments and a segment wider than one backing word (the chunked path).
+func TestDriveMatchesNaiveReference(t *testing.T) {
+	for _, geo := range [][2]int{{8, 8}, {64, 8}, {128, 8}, {128, 32}, {128, 64}, {128, 128}, {256, 128}, {512, 8}, {96, 24}} {
+		width, segBits := geo[0], geo[1]
+		fast, err := NewEncoder(width, segBits)
+		if err != nil {
+			t.Fatalf("geometry %v: %v", geo, err)
+		}
+		naive := newNaiveEncoder(width, segBits)
+		rng := rand.New(rand.NewSource(int64(width*1000 + segBits)))
+		for beat := 0; beat < 200; beat++ {
+			v := randVec(width, rng)
+			wantEnc, wantInv, wantT := naive.encode(v)
+			gotEnc, gotInv, gotT := fast.Encode(v.Clone())
+			if gotT != wantT {
+				t.Fatalf("geometry %v beat %d: transitions %d, reference %d", geo, beat, gotT, wantT)
+			}
+			if !gotEnc.Equal(wantEnc) {
+				t.Fatalf("geometry %v beat %d: encoded\n%s\nreference\n%s", geo, beat, gotEnc, wantEnc)
+			}
+			for s := range wantInv {
+				if gotInv[s] != wantInv[s] {
+					t.Fatalf("geometry %v beat %d: invert[%d] = %v, reference %v", geo, beat, s, gotInv[s], wantInv[s])
+				}
+			}
+		}
+	}
+}
+
+// TestDriveEncodeSameTransitions pins Drive and Encode to identical
+// transition sequences over one stream: Encode is documented as Drive plus
+// copies, never a different computation.
+func TestDriveEncodeSameTransitions(t *testing.T) {
+	a, err := NewEncoder(128, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEncoder(128, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for beat := 0; beat < 100; beat++ {
+		v := randVec(128, rng)
+		_, _, te := a.Encode(v)
+		td := b.Drive(v)
+		if te != td {
+			t.Fatalf("beat %d: Encode %d transitions, Drive %d", beat, te, td)
+		}
+	}
+}
+
+// TestDriveAllocFree verifies the steady-state kernel does not allocate —
+// the property the simulator's per-flit BT counting relies on.
+func TestDriveAllocFree(t *testing.T) {
+	e, err := NewEncoder(128, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	vs := make([]bitutil.Vec, 32)
+	for i := range vs {
+		vs[i] = randVec(128, rng)
+	}
+	sink := 0
+	avg := testing.AllocsPerRun(100, func() {
+		for _, v := range vs {
+			sink += e.Drive(v)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("Drive allocates %.1f objects per 32-flit run, want 0", avg)
+	}
+	_ = sink
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"nocbt/internal/bitutil"
@@ -139,16 +140,19 @@ func AscendingAffiliatedOrder(pairs []Pair, width int) ([]Pair, []int) {
 	for i := range perm {
 		perm[i] = i
 	}
-	counts := make([]int, len(pairs))
+	// Pack (popcount, original index) into one uint64 key per pair: an
+	// unstable sort over the keys is then equivalent to the stable
+	// popcount sort (the index disambiguates ties), with no comparator
+	// indirection in the inner loop.
+	keys := make([]uint64, len(pairs))
 	for i, p := range pairs {
-		counts[i] = p.Weight.OnesCount(width)
+		keys[i] = uint64(p.Weight.OnesCount(width))<<32 | uint64(i)
 	}
-	sort.SliceStable(perm, func(a, b int) bool {
-		return counts[perm[a]] < counts[perm[b]]
-	})
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
 	ordered := make([]Pair, len(pairs))
-	for i, p := range perm {
-		ordered[i] = pairs[p]
+	for i, k := range keys {
+		perm[i] = int(k & 0xffffffff)
+		ordered[i] = pairs[perm[i]]
 	}
 	return ordered, perm
 }
@@ -159,16 +163,37 @@ func AscendingAffiliatedOrder(pairs []Pair, width int) ([]Pair, []int) {
 // Optimization"): consecutive transmitted values should differ in as few bit
 // positions as possible, which directly minimizes the transitions their
 // lane experiences. The walk starts at the pair with the highest weight
-// popcount (ties: lowest index, mirroring the paper's descending-count
-// anchor) and repeatedly appends the unused pair minimizing
-// HD(weight) + HD(input) to the previous pick (ties: lowest original
-// index). Pairing is preserved, so like AffiliatedOrder no recovery
-// side-channel is needed. O(n²) in the task size, the same order as the
-// transposition sorting network it would replace in hardware.
+// popcount and repeatedly appends the unused pair minimizing
+// HD(weight) + HD(input) to the previous pick. Pairing is preserved, so like
+// AffiliatedOrder no recovery side-channel is needed. O(n²) in the task
+// size, the same order as the transposition sorting network it would replace
+// in hardware.
+//
+// Tie-break rule (load-bearing for determinism and the pinned golden
+// outputs): both the anchor selection and every greedy step resolve ties in
+// favour of the LOWEST ORIGINAL INDEX. The anchor is the first pair
+// attaining the maximum weight popcount (strict > while scanning in index
+// order); each step picks the first unused pair attaining the minimum
+// summed Hamming distance (strict < while scanning in index order). Two
+// permutations that sort the same multiset differently are NOT
+// interchangeable here — the walk is path-dependent — so this rule is part
+// of the strategy's wire-visible contract.
+//
+// When both values fit one machine word together (2·width ≤ 64) the pair is
+// precomputed into a packed key weight | input<<width, collapsing the inner
+// distance evaluation to a single XOR+popcount.
 func HammingNNOrder(pairs []Pair, width int) ([]Pair, []int) {
 	n := len(pairs)
 	if n == 0 {
 		return nil, nil
+	}
+	var keys []uint64
+	if 2*width <= 64 {
+		mask := uint64(1)<<uint(width) - 1
+		keys = make([]uint64, n)
+		for i, p := range pairs {
+			keys[i] = uint64(p.Weight)&mask | (uint64(p.Input)&mask)<<uint(width)
+		}
 	}
 	used := make([]bool, n)
 	perm := make([]int, 0, n)
@@ -183,14 +208,27 @@ func HammingNNOrder(pairs []Pair, width int) ([]Pair, []int) {
 	perm = append(perm, cur)
 	for len(perm) < n {
 		next, bestDist := -1, -1
-		for i := range pairs {
-			if used[i] {
-				continue
+		if keys != nil {
+			ck := keys[cur]
+			for i := range keys {
+				if used[i] {
+					continue
+				}
+				d := bits.OnesCount64(ck ^ keys[i])
+				if next == -1 || d < bestDist {
+					next, bestDist = i, d
+				}
 			}
-			d := pairs[cur].Weight.HammingDistance(pairs[i].Weight, width) +
-				pairs[cur].Input.HammingDistance(pairs[i].Input, width)
-			if next == -1 || d < bestDist {
-				next, bestDist = i, d
+		} else {
+			for i := range pairs {
+				if used[i] {
+					continue
+				}
+				d := pairs[cur].Weight.HammingDistance(pairs[i].Weight, width) +
+					pairs[cur].Input.HammingDistance(pairs[i].Input, width)
+				if next == -1 || d < bestDist {
+					next, bestDist = i, d
+				}
 			}
 		}
 		used[next] = true

@@ -500,3 +500,184 @@ func TestHammingNNOrderReducesAdjacentDistance(t *testing.T) {
 		t.Errorf("greedy adjacent distance %d not below natural %d", greedy, natural)
 	}
 }
+
+// naiveHammingNN is the pre-packed-key reference walk, kept in the tests as
+// the oracle for the packed-popcount fast path: explicit first-index
+// tie-breaks, per-value HammingDistance calls, no key table.
+func naiveHammingNN(pairs []Pair, width int) ([]Pair, []int) {
+	n := len(pairs)
+	if n == 0 {
+		return nil, nil
+	}
+	used := make([]bool, n)
+	perm := make([]int, 0, n)
+	start, best := 0, -1
+	for i, p := range pairs {
+		if c := p.Weight.OnesCount(width); c > best {
+			start, best = i, c
+		}
+	}
+	cur := start
+	used[cur] = true
+	perm = append(perm, cur)
+	for len(perm) < n {
+		next, bestDist := -1, -1
+		for i := range pairs {
+			if used[i] {
+				continue
+			}
+			d := pairs[cur].Weight.HammingDistance(pairs[i].Weight, width) +
+				pairs[cur].Input.HammingDistance(pairs[i].Input, width)
+			if next == -1 || d < bestDist {
+				next, bestDist = i, d
+			}
+		}
+		used[next] = true
+		perm = append(perm, next)
+		cur = next
+	}
+	ordered := make([]Pair, n)
+	for i, p := range perm {
+		ordered[i] = pairs[p]
+	}
+	return ordered, perm
+}
+
+// TestHammingNNOrderTieBreak is the table-driven pin of the documented
+// tie-break contract: the anchor is the FIRST pair attaining the maximum
+// weight popcount, and each greedy step picks the FIRST unused pair
+// attaining the minimum summed Hamming distance. The walk is
+// path-dependent, so these cases would diverge under any other rule.
+func TestHammingNNOrderTieBreak(t *testing.T) {
+	cases := []struct {
+		name     string
+		weights  []uint64
+		inputs   []uint64
+		width    int
+		wantPerm []int
+	}{
+		{
+			// All pairs identical: every anchor candidate and every step
+			// ties; lowest-index resolution yields the identity walk.
+			name:     "all identical",
+			weights:  []uint64{0x0F, 0x0F, 0x0F, 0x0F},
+			inputs:   []uint64{0xAA, 0xAA, 0xAA, 0xAA},
+			width:    8,
+			wantPerm: []int{0, 1, 2, 3},
+		},
+		{
+			// Indices 1 and 3 share the maximum weight popcount (4); the
+			// anchor must be index 1, the first of them. From 0x0F at
+			// distance counting, index 3 (identical pair) is distance 0.
+			name:     "anchor ties to first max popcount",
+			weights:  []uint64{0x01, 0x0F, 0x03, 0x0F},
+			inputs:   []uint64{0x00, 0x00, 0x00, 0x00},
+			width:    8,
+			wantPerm: []int{1, 3, 2, 0},
+		},
+		{
+			// After anchor 0 (popcount 8), candidates 1 and 2 are both at
+			// distance 4 on weights with identical inputs: the tied step
+			// must take index 1 (0xF0). From there 0x00 is distance 4 and
+			// 0x0F distance 8, so the walk ends 3 then 2.
+			name:     "step ties to first min distance",
+			weights:  []uint64{0xFF, 0xF0, 0x0F, 0x00},
+			inputs:   []uint64{0x55, 0x55, 0x55, 0x55},
+			width:    8,
+			wantPerm: []int{0, 1, 3, 2},
+		},
+		{
+			// Same multiset with 0x0F and 0xF0 swapped: the tied first step
+			// now picks 0x0F (index 1), proving the rule reads original
+			// indices, not values.
+			name:     "step ties follow index order not value order",
+			weights:  []uint64{0xFF, 0x0F, 0xF0, 0x00},
+			inputs:   []uint64{0x55, 0x55, 0x55, 0x55},
+			width:    8,
+			wantPerm: []int{0, 1, 3, 2},
+		},
+		{
+			name:     "single pair",
+			weights:  []uint64{0x12},
+			inputs:   []uint64{0x34},
+			width:    8,
+			wantPerm: []int{0},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ws := make([]bitutil.Word, len(tc.weights))
+			ins := make([]bitutil.Word, len(tc.inputs))
+			for i := range ws {
+				ws[i] = bitutil.Word(tc.weights[i])
+				ins[i] = bitutil.Word(tc.inputs[i])
+			}
+			pairs := ZipPairs(ws, ins)
+			ordered, perm := HammingNNOrder(pairs, tc.width)
+			for i := range tc.wantPerm {
+				if perm[i] != tc.wantPerm[i] {
+					t.Fatalf("perm = %v, want %v", perm, tc.wantPerm)
+				}
+				if ordered[i] != pairs[perm[i]] {
+					t.Fatalf("ordered[%d] does not match pairs[perm[%d]]", i, i)
+				}
+			}
+		})
+	}
+}
+
+// TestHammingNNOrderPackedMatchesNaive: the packed-key fast path (2·width ≤
+// 64) must walk exactly like the per-value reference for every width it
+// covers, and the generic path must equal the reference above the packing
+// limit.
+func TestHammingNNOrderPackedMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	for _, width := range []int{4, 8, 16, 32, 64} {
+		for trial := 0; trial < 20; trial++ {
+			n := 1 + rng.Intn(30)
+			pairs := ZipPairs(randWords(n, width, rng), randWords(n, width, rng))
+			gotOrd, gotPerm := HammingNNOrder(pairs, width)
+			wantOrd, wantPerm := naiveHammingNN(pairs, width)
+			for i := range wantPerm {
+				if gotPerm[i] != wantPerm[i] || gotOrd[i] != wantOrd[i] {
+					t.Fatalf("width %d n %d: perm %v, reference %v", width, n, gotPerm, wantPerm)
+				}
+			}
+		}
+	}
+}
+
+// TestAscendingAffiliatedOrderMatchesStableSort pins the packed-key sort to
+// the stable-sort semantics it replaced: ascending weight popcount with
+// original order preserved inside equal-count runs.
+func TestAscendingAffiliatedOrderMatchesStableSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	for trial := 0; trial < 40; trial++ {
+		width := []int{8, 32}[trial%2]
+		n := 1 + rng.Intn(50)
+		// Narrow value range forces many popcount ties.
+		ws := make([]bitutil.Word, n)
+		ins := make([]bitutil.Word, n)
+		for i := range ws {
+			ws[i] = bitutil.Word(rng.Uint64() & 0x7)
+			ins[i] = bitutil.Word(rng.Uint64())
+		}
+		pairs := ZipPairs(ws, ins)
+		counts := make([]int, n)
+		wantPerm := make([]int, n)
+		for i := range wantPerm {
+			wantPerm[i] = i
+			counts[i] = pairs[i].Weight.OnesCount(width)
+		}
+		sort.SliceStable(wantPerm, func(a, b int) bool { return counts[wantPerm[a]] < counts[wantPerm[b]] })
+		ordered, perm := AscendingAffiliatedOrder(pairs, width)
+		for i := range wantPerm {
+			if perm[i] != wantPerm[i] {
+				t.Fatalf("width %d n %d: perm %v, stable reference %v", width, n, perm, wantPerm)
+			}
+			if ordered[i] != pairs[perm[i]] {
+				t.Fatalf("ordered[%d] != pairs[perm[%d]]", i, i)
+			}
+		}
+	}
+}

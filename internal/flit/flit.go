@@ -67,26 +67,41 @@ type Packet struct {
 	ID       uint64
 	Src, Dst int
 	Flits    []*Flit
+
+	// pooled marks packets built by a Pool (Packet/Shell); the source NI
+	// uses it to hand the shell back once every flit has been injected,
+	// without ever recycling caller-owned NewPacket packets.
+	pooled bool
+}
+
+// Pooled reports whether this packet's shell came from a Pool and may be
+// recycled with Pool.ReleaseShell once its flits have all left.
+func (p *Packet) Pooled() bool { return p.pooled }
+
+// packetFlitKind returns the Kind of flit seq in a total-flit packet.
+func packetFlitKind(seq, total int) Kind {
+	switch {
+	case total == 1:
+		return HeadTail
+	case seq == 0:
+		return Head
+	case seq == total-1:
+		return Tail
+	default:
+		return Body
+	}
 }
 
 // NewPacket assembles a packet: a head flit carrying the header payload
 // followed by one flit per payload vector. Kind/Seq/Src/Dst fields are
 // filled in; the caller provides already-built payload bit patterns.
+// Pool.Packet is the recycling equivalent for hot paths.
 func NewPacket(id uint64, src, dst int, header bitutil.Vec, payloads []bitutil.Vec) *Packet {
 	total := 1 + len(payloads)
 	p := &Packet{ID: id, Src: src, Dst: dst, Flits: make([]*Flit, 0, total)}
 	mk := func(seq int, payload bitutil.Vec) *Flit {
-		kind := Body
-		switch {
-		case total == 1:
-			kind = HeadTail
-		case seq == 0:
-			kind = Head
-		case seq == total-1:
-			kind = Tail
-		}
 		return &Flit{
-			Kind:     kind,
+			Kind:     packetFlitKind(seq, total),
 			PacketID: id,
 			Seq:      seq,
 			Src:      src,
@@ -103,11 +118,16 @@ func NewPacket(id uint64, src, dst int, header bitutil.Vec, payloads []bitutil.V
 
 // PayloadVecs returns the payload vectors of the non-header flits.
 func (p *Packet) PayloadVecs() []bitutil.Vec {
-	out := make([]bitutil.Vec, 0, len(p.Flits)-1)
+	return p.AppendPayloadVecs(make([]bitutil.Vec, 0, len(p.Flits)-1))
+}
+
+// AppendPayloadVecs appends the payload vectors of the non-header flits to
+// dst — the reuse-friendly form of PayloadVecs.
+func (p *Packet) AppendPayloadVecs(dst []bitutil.Vec) []bitutil.Vec {
 	for _, f := range p.Flits[1:] {
-		out = append(out, f.Payload)
+		dst = append(dst, f.Payload)
 	}
-	return out
+	return dst
 }
 
 // Len returns the flit count.
@@ -142,6 +162,15 @@ type Header struct {
 // dst:16, src:16, packetID:32, taskID:32, kind:8, pairCount:16, ordering:8.
 func EncodeHeader(g Geometry, h Header) bitutil.Vec {
 	v := bitutil.NewVec(g.LinkBits)
+	EncodeHeaderInto(h, v)
+	return v
+}
+
+// EncodeHeaderInto packs h into v, a link-wide vector typically drawn from a
+// Pool. v is reset first, so a recycled vector encodes identically to a
+// fresh one.
+func EncodeHeaderInto(h Header, v bitutil.Vec) {
+	v.Reset()
 	off := 0
 	put := func(width int, val uint64) {
 		v.SetField(off, width, val)
@@ -154,7 +183,6 @@ func EncodeHeader(g Geometry, h Header) bitutil.Vec {
 	put(8, uint64(h.Kind))
 	put(16, uint64(h.PairCount))
 	put(8, uint64(h.Ordering))
-	return v
 }
 
 // DecodeHeader unpacks a head flit payload built by EncodeHeader.

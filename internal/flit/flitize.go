@@ -49,9 +49,15 @@ type Flitized struct {
 // Payloads returns all flit payloads in transmission order: data flits then
 // index flits.
 func (f Flitized) Payloads() []bitutil.Vec {
-	out := make([]bitutil.Vec, 0, len(f.Data)+len(f.Index))
-	out = append(out, f.Data...)
-	return append(out, f.Index...)
+	return f.AppendPayloads(make([]bitutil.Vec, 0, len(f.Data)+len(f.Index)))
+}
+
+// AppendPayloads appends all flit payloads in transmission order to dst and
+// returns the extended slice — the reuse-friendly form of Payloads for hot
+// paths that keep a scratch slice across calls.
+func (f Flitized) AppendPayloads(dst []bitutil.Vec) []bitutil.Vec {
+	dst = append(dst, f.Data...)
+	return append(dst, f.Index...)
 }
 
 // DataFlitCount returns how many data flits a task of n pairs needs: the
@@ -74,36 +80,51 @@ func (g Geometry) DataFlitCount(n int) int {
 // adjacent-rank values, which is the §III-B optimal interleave generalized
 // from two flits to M.
 func Flitize(g Geometry, t Task, opt Options) (Flitized, error) {
-	if err := g.Validate(); err != nil {
+	var out Flitized
+	if err := FlitizeInto(g, t, opt, nil, &out); err != nil {
 		return Flitized{}, err
+	}
+	return out, nil
+}
+
+// FlitizeInto is the recycling variant of Flitize: payload vectors are drawn
+// from pool (falling back to fresh allocations when pool is nil or serves a
+// different width) and out's Data/Index slice headers are reused across
+// calls. The produced payload vectors themselves are always fresh handles —
+// they become owned by whatever packet carries them — so out can be reused
+// immediately after the packet is built. out.PartnerIndex is whatever the
+// strategy returned and is never drawn from the pool.
+func FlitizeInto(g Geometry, t Task, opt Options, pool *Pool, out *Flitized) error {
+	if err := g.Validate(); err != nil {
+		return err
 	}
 	n := len(t.Weights)
 	if n == 0 {
-		return Flitized{}, fmt.Errorf("flit: empty task")
+		return fmt.Errorf("flit: empty task")
 	}
 	if len(t.Inputs) != n {
-		return Flitized{}, fmt.Errorf("flit: %d inputs vs %d weights", len(t.Inputs), n)
+		return fmt.Errorf("flit: %d inputs vs %d weights", len(t.Inputs), n)
 	}
 	strat, ok := OrderingStrategyByID(opt.Ordering)
 	if !ok {
-		return Flitized{}, fmt.Errorf("flit: unknown ordering %d (registered: %v)", int(opt.Ordering), OrderingNames())
+		return fmt.Errorf("flit: unknown ordering %d (registered: %v)", int(opt.Ordering), OrderingNames())
 	}
 
 	weights, inputs, partner := strat.Order(t.Weights, t.Inputs, g.LaneBits())
 	if len(weights) != n || len(inputs) != n {
-		return Flitized{}, fmt.Errorf("flit: ordering %s returned %d weights and %d inputs for an %d-pair task",
+		return fmt.Errorf("flit: ordering %s returned %d weights and %d inputs for an %d-pair task",
 			strat.Name(), len(weights), len(inputs), n)
 	}
 	if strat.EmitsPartner() != (partner != nil) {
-		return Flitized{}, fmt.Errorf("flit: ordering %s partner table (%d entries) contradicts EmitsPartner=%v",
+		return fmt.Errorf("flit: ordering %s partner table (%d entries) contradicts EmitsPartner=%v",
 			strat.Name(), len(partner), strat.EmitsPartner())
 	}
 
 	half := g.HalfLanes()
 	m := g.DataFlitCount(n)
-	data := make([]bitutil.Vec, m)
-	for i := range data {
-		data[i] = bitutil.NewVec(g.LinkBits)
+	data := out.Data[:0]
+	for i := 0; i < m; i++ {
+		data = append(data, poolVec(pool, g.LinkBits))
 	}
 	lb := g.LaneBits()
 	for r := 0; r < n; r++ {
@@ -120,11 +141,22 @@ func Flitize(g Geometry, t Task, opt Options) (Flitized, error) {
 	// reserved that cell in both placement schemes.
 	data[m-1].SetField((g.Lanes()-1)*lb, lb, uint64(t.Bias))
 
-	out := Flitized{Data: data, PartnerIndex: partner}
+	out.Data = data
+	out.PartnerIndex = partner
+	out.Index = out.Index[:0]
 	if partner != nil && opt.InBandIndex {
-		out.Index = EncodePartnerIndex(g, partner)
+		out.Index = appendPartnerIndex(g, partner, pool, out.Index)
 	}
-	return out, nil
+	return nil
+}
+
+// poolVec returns an all-zero g-wide vector from pool when it serves that
+// width, from the heap otherwise.
+func poolVec(pool *Pool, width int) bitutil.Vec {
+	if pool != nil && pool.Width() == width {
+		return pool.Vec()
+	}
+	return bitutil.NewVec(width)
 }
 
 // Deflitize reconstructs a consistently paired task from data flit
@@ -137,24 +169,36 @@ func Flitize(g Geometry, t Task, opt Options) (Flitized, error) {
 // in the sender's transmission rank order with pairing restored, which is
 // all a conv/linear consumer needs (order invariance, Fig. 5).
 func Deflitize(g Geometry, data []bitutil.Vec, n int, ord Ordering, partner []int) (Task, error) {
-	if err := g.Validate(); err != nil {
+	var out Task
+	if err := DeflitizeInto(g, data, n, ord, partner, &out); err != nil {
 		return Task{}, err
 	}
+	return out, nil
+}
+
+// DeflitizeInto is Deflitize reusing out's Inputs/Weights backing arrays, so
+// a consumer decoding packet after packet (the PE model) stops allocating
+// once its scratch has grown to the largest segment. On error out is left
+// unspecified.
+func DeflitizeInto(g Geometry, data []bitutil.Vec, n int, ord Ordering, partner []int, out *Task) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
 	if n <= 0 {
-		return Task{}, fmt.Errorf("flit: non-positive pair count %d", n)
+		return fmt.Errorf("flit: non-positive pair count %d", n)
 	}
 	strat, ok := OrderingStrategyByID(ord)
 	if !ok {
-		return Task{}, fmt.Errorf("flit: unknown ordering %d (registered: %v)", int(ord), OrderingNames())
+		return fmt.Errorf("flit: unknown ordering %d (registered: %v)", int(ord), OrderingNames())
 	}
 	m := g.DataFlitCount(n)
 	if len(data) != m {
-		return Task{}, fmt.Errorf("flit: %d data flits for %d pairs, want %d", len(data), n, m)
+		return fmt.Errorf("flit: %d data flits for %d pairs, want %d", len(data), n, m)
 	}
 	half := g.HalfLanes()
 	lb := g.LaneBits()
-	inputs := make([]bitutil.Word, n)
-	weights := make([]bitutil.Word, n)
+	inputs := growWords(out.Inputs, n)
+	weights := growWords(out.Weights, n)
 	for r := 0; r < n; r++ {
 		var fl, slot int
 		if strat.Interleave() {
@@ -169,13 +213,23 @@ func Deflitize(g Geometry, data []bitutil.Vec, n int, ord Ordering, partner []in
 
 	if strat.EmitsPartner() {
 		if len(partner) != n {
-			return Task{}, fmt.Errorf("flit: partner table length %d, want %d", len(partner), n)
+			return fmt.Errorf("flit: partner table length %d, want %d", len(partner), n)
 		}
 		sep := core.Separated{Weights: weights, Inputs: inputs, PartnerIndex: partner}
 		pairs := sep.RecoverPairs()
 		weights, inputs = core.SplitPairs(pairs)
 	}
-	return Task{Inputs: inputs, Weights: weights, Bias: bias}, nil
+	*out = Task{Inputs: inputs, Weights: weights, Bias: bias}
+	return nil
+}
+
+// growWords returns s resized to length n, reusing its backing array when
+// the capacity allows. Contents are unspecified.
+func growWords(s []bitutil.Word, n int) []bitutil.Word {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]bitutil.Word, n)
 }
 
 // EncodePartnerIndex packs the separated-ordering partner table into index
@@ -183,25 +237,31 @@ func Deflitize(g Geometry, data []bitutil.Vec, n int, ord Ordering, partner []in
 // across as many link-wide flits as needed. For n == 1 the index is empty
 // and no flits are produced.
 func EncodePartnerIndex(g Geometry, partner []int) []bitutil.Vec {
+	return appendPartnerIndex(g, partner, nil, nil)
+}
+
+// appendPartnerIndex is EncodePartnerIndex with pooled vectors and a
+// reusable destination slice.
+func appendPartnerIndex(g Geometry, partner []int, pool *Pool, dst []bitutil.Vec) []bitutil.Vec {
 	n := len(partner)
 	ib := core.IndexBits(n)
 	if ib == 0 {
-		return nil
+		return dst
 	}
 	perFlit := g.LinkBits / ib
 	if perFlit == 0 {
 		panic(fmt.Sprintf("flit: %d-bit index wider than %d-bit link", ib, g.LinkBits))
 	}
 	numFlits := (n + perFlit - 1) / perFlit
-	vecs := make([]bitutil.Vec, numFlits)
-	for i := range vecs {
-		vecs[i] = bitutil.NewVec(g.LinkBits)
+	base := len(dst)
+	for i := 0; i < numFlits; i++ {
+		dst = append(dst, poolVec(pool, g.LinkBits))
 	}
 	for i, p := range partner {
 		fl, slot := i/perFlit, i%perFlit
-		vecs[fl].SetField(slot*ib, ib, uint64(p))
+		dst[base+fl].SetField(slot*ib, ib, uint64(p))
 	}
-	return vecs
+	return dst
 }
 
 // DecodePartnerIndex reverses EncodePartnerIndex for an n-pair task. A

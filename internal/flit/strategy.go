@@ -334,26 +334,41 @@ func (grayScheme) New(width int) (LinkCoding, error) {
 	if width <= 0 {
 		return nil, fmt.Errorf("flit: gray coding on non-positive width %d", width)
 	}
-	return &grayCoding{wire: bitutil.NewVec(width)}, nil
+	return &grayCoding{wire: bitutil.NewVec(width), enc: bitutil.NewVec(width)}, nil
 }
 
-// grayCoding is the per-link Gray-coded wire state.
+// grayCoding is the per-link Gray-coded wire state. wire holds the pattern
+// currently on the wires, enc is the encode scratch; after each beat the two
+// swap roles, so the per-flit transform allocates nothing (a saturated mesh
+// runs this once per flit per link).
 type grayCoding struct {
-	wire bitutil.Vec
+	wire, enc bitutil.Vec
 }
 
 func (c *grayCoding) Transitions(payload bitutil.Vec) int {
-	enc := GrayEncode(payload)
-	t := c.wire.Transitions(enc)
-	c.wire.CopyFrom(enc)
+	GrayEncodeInto(payload, c.enc)
+	t := c.wire.Transitions(c.enc)
+	c.wire, c.enc = c.enc, c.wire
 	return t
 }
 
 // GrayEncode returns the bitwise Gray transform of v: out[i] = v[i] XOR
 // v[i+1] for i below the MSB, out[msb] = v[msb]. Exported so tests and
-// offline trace recounts can reproduce the on-wire pattern.
+// offline trace recounts can reproduce the on-wire pattern; hot paths use
+// GrayEncodeInto with a reused destination instead.
 func GrayEncode(v bitutil.Vec) bitutil.Vec {
 	out := bitutil.NewVec(v.Width())
+	GrayEncodeInto(v, out)
+	return out
+}
+
+// GrayEncodeInto writes the bitwise Gray transform of v into out, which must
+// have the same width. Word-parallel: each backing word is XORed with the
+// stream shifted right by one, borrowing the next word's low bit.
+func GrayEncodeInto(v, out bitutil.Vec) {
+	if v.Width() != out.Width() {
+		panic(fmt.Sprintf("flit: gray encode %d-bit vector into %d-bit destination", v.Width(), out.Width()))
+	}
 	src := v.Words()
 	dst := out.Words()
 	for k := range src {
@@ -363,7 +378,6 @@ func GrayEncode(v bitutil.Vec) bitutil.Vec {
 		}
 		dst[k] = src[k] ^ w
 	}
-	return out
 }
 
 // businvertScheme wraps internal/businvert as a registered link coding:
@@ -394,6 +408,5 @@ type businvertCoding struct {
 }
 
 func (c businvertCoding) Transitions(payload bitutil.Vec) int {
-	_, _, t := c.enc.Encode(payload)
-	return t
+	return c.enc.Drive(payload)
 }

@@ -241,3 +241,90 @@ func TestGrayCodingTransitions(t *testing.T) {
 		t.Errorf("repeat beat transitions = %d, want 0", got)
 	}
 }
+
+// TestGrayEncodeIntoMatchesGrayEncode pins the scratch path to the exported
+// allocating path: for random vectors of every width class, GrayEncodeInto
+// into a reused (dirty) destination must produce exactly GrayEncode's bits.
+func TestGrayEncodeIntoMatchesGrayEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, width := range []int{1, 16, 63, 64, 65, 128, 512} {
+		scratch := bitutil.NewVec(width)
+		for round := 0; round < 50; round++ {
+			v := bitutil.NewVec(width)
+			for i := 0; i < width; i++ {
+				v.SetBit(i, rng.Intn(2) == 1)
+			}
+			want := GrayEncode(v)
+			// Leave the previous round's bits in scratch: Into must fully
+			// overwrite, not accumulate.
+			GrayEncodeInto(v, scratch)
+			if !scratch.Equal(want) {
+				t.Fatalf("width %d round %d: GrayEncodeInto\n%s\nGrayEncode\n%s", width, round, scratch, want)
+			}
+		}
+	}
+}
+
+// TestGrayEncodeIntoWidthMismatchPanics: the scratch path validates widths
+// like every other two-vector bitutil operation.
+func TestGrayEncodeIntoWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on width mismatch")
+		}
+	}()
+	GrayEncodeInto(bitutil.NewVec(16), bitutil.NewVec(32))
+}
+
+// TestGrayCodingMatchesEncodeReference drives one random stream through the
+// registered scratch-based coder and an explicit GrayEncode reference and
+// requires identical per-beat transition counts — the pin that lets the
+// exported GrayEncode stay allocating while the hot path reuses scratch.
+func TestGrayCodingMatchesEncodeReference(t *testing.T) {
+	gr, _ := LookupLinkCoding("gray")
+	coder, err := gr.New(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := bitutil.NewVec(128)
+	rng := rand.New(rand.NewSource(22))
+	for beat := 0; beat < 200; beat++ {
+		v := bitutil.NewVec(128)
+		v.SetField(0, 64, rng.Uint64())
+		v.SetField(64, 64, rng.Uint64())
+		enc := GrayEncode(v)
+		want := wire.Transitions(enc)
+		wire.CopyFrom(enc)
+		if got := coder.Transitions(v); got != want {
+			t.Fatalf("beat %d: coder transitions %d, GrayEncode reference %d", beat, got, want)
+		}
+	}
+}
+
+// TestGrayCodingAllocFree: after construction the per-link coder must not
+// allocate per beat (one Transitions call per flit per link on the hot path).
+func TestGrayCodingAllocFree(t *testing.T) {
+	gr, _ := LookupLinkCoding("gray")
+	coder, err := gr.New(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	vs := make([]bitutil.Vec, 16)
+	for i := range vs {
+		v := bitutil.NewVec(128)
+		v.SetField(0, 64, rng.Uint64())
+		v.SetField(64, 64, rng.Uint64())
+		vs[i] = v
+	}
+	sink := 0
+	avg := testing.AllocsPerRun(100, func() {
+		for _, v := range vs {
+			sink += coder.Transitions(v)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("gray Transitions allocates %.1f objects per 16-flit run, want 0", avg)
+	}
+	_ = sink
+}

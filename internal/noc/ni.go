@@ -25,7 +25,11 @@ type NI struct {
 	// active mirrors membership in the simulator's active-NI list.
 	active bool
 
-	partial map[uint64][]*flit.Flit
+	// partial maps in-flight packet IDs to their reassembly shells. The
+	// shells come from the simulator's pool, so a recycled packet's Flits
+	// slice is reused instead of re-grown for every reassembly.
+	partial map[uint64]*flit.Packet
+	pool    *flit.Pool
 	// ejected and ejectedPrev are swapped on every popEjected call so the
 	// common pop-each-cycle pattern reuses one backing array instead of
 	// allocating per delivery burst.
@@ -33,8 +37,8 @@ type NI struct {
 	ejectedPrev []*flit.Packet
 }
 
-func newNI(node int, out *outPort) *NI {
-	return &NI{node: node, out: out, curVC: -1, partial: make(map[uint64][]*flit.Flit)}
+func newNI(node int, out *outPort, pool *flit.Pool) *NI {
+	return &NI{node: node, out: out, curVC: -1, partial: make(map[uint64]*flit.Packet), pool: pool}
 }
 
 // enqueue appends a packet to the injection queue.
@@ -93,6 +97,9 @@ func (n *NI) tick() (injected *flit.Flit) {
 	n.curIdx++
 	if f.IsTail() {
 		n.out.vcBusy[n.curVC] = false
+		// Every flit has left: hand the packet shell back so the receive
+		// side's reassembly reuses it (no-op for non-pooled packets).
+		n.pool.ReleaseShell(n.cur)
 		n.cur = nil
 		n.curVC = -1
 	}
@@ -102,24 +109,24 @@ func (n *NI) tick() (injected *flit.Flit) {
 // receive accepts an ejected flit; when the tail arrives the packet is
 // reassembled and appended to the ejected queue.
 func (n *NI) receive(f *flit.Flit) {
-	n.partial[f.PacketID] = append(n.partial[f.PacketID], f)
+	pkt := n.partial[f.PacketID]
+	if pkt == nil {
+		pkt = n.pool.Shell()
+		pkt.ID, pkt.Src, pkt.Dst = f.PacketID, f.Src, f.Dst
+		n.partial[f.PacketID] = pkt
+	}
+	pkt.Flits = append(pkt.Flits, f)
 	if !f.IsTail() {
 		return
 	}
-	flits := n.partial[f.PacketID]
 	delete(n.partial, f.PacketID)
-	for i, fl := range flits {
+	for i, fl := range pkt.Flits {
 		if fl.Seq != i {
 			panic(fmt.Sprintf("noc: packet %d reassembled out of order: flit %d at position %d",
 				f.PacketID, fl.Seq, i))
 		}
 	}
-	n.ejected = append(n.ejected, &flit.Packet{
-		ID:    f.PacketID,
-		Src:   f.Src,
-		Dst:   f.Dst,
-		Flits: flits,
-	})
+	n.ejected = append(n.ejected, pkt)
 }
 
 // popEjected returns and clears the reassembled packets. The returned slice

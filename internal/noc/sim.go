@@ -20,6 +20,12 @@ type Sim struct {
 	nis     []*NI
 	links   []*Link
 
+	// pool recycles flits, payload vectors and packet shells across the
+	// mesh's lifetime. NIs draw reassembly buffers from it; producers and
+	// consumers opt in via Pool/Recycle to make steady-state traffic
+	// allocation-free.
+	pool *flit.Pool
+
 	// busy holds the links carrying a flit this cycle, appended by
 	// Link.transmit and drained by the next Step's delivery phase.
 	busy []*Link
@@ -57,7 +63,7 @@ func New(cfg Config) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Sim{cfg: cfg, packetStart: make(map[uint64]int64)}
+	s := &Sim{cfg: cfg, packetStart: make(map[uint64]int64), pool: flit.NewPool(cfg.LinkBits)}
 	nodes := cfg.Nodes()
 	s.routers = make([]*router, nodes)
 	for id := 0; id < nodes; id++ {
@@ -95,7 +101,7 @@ func New(cfg Config) (*Sim, error) {
 		r.in[Local] = in
 		inj.dstRouter = r
 		inj.dstIn = in
-		s.nis[id] = newNI(id, niOut)
+		s.nis[id] = newNI(id, niOut, s.pool)
 		ej.dstNI = s.nis[id]
 	}
 	// Delivery order of the pre-optimization Step scan (router id → input
@@ -118,6 +124,19 @@ func New(cfg Config) (*Sim, error) {
 
 // Config returns the simulator's configuration.
 func (s *Sim) Config() Config { return s.cfg }
+
+// Pool returns the simulator's flit pool. Producers build packets from it
+// (Pool.Vec, Pool.Packet) and consumers return delivered packets with
+// Recycle; together that makes sustained traffic allocation-free. Using the
+// pool is optional — NewPacket-built packets flow through the mesh exactly
+// as before, they just are not recycled.
+func (s *Sim) Pool() *flit.Pool { return s.pool }
+
+// Recycle returns fully consumed packets (typically from PopEjected) to the
+// simulator's pool. The caller must not retain any reference to the
+// packets, their flits or payload vectors afterwards: the backing stores
+// are reused for future traffic.
+func (s *Sim) Recycle(pkts ...*flit.Packet) { s.pool.Release(pkts...) }
 
 // SetLinkCoding installs fresh per-link coding state from the scheme on
 // every link of the mesh, so all BT recorders count the coded wire

@@ -15,11 +15,19 @@ import (
 // simulated cycle, so ns/op is the per-cycle stepping cost; the paired
 // before/after numbers live in BENCH_noc.json at the repository root.
 
-// benchPacket builds an nflits-flit packet with pseudorandom payloads.
-func benchPacket(id uint64, src, dst, nflits, linkBits int, rng *rand.Rand) *flit.Packet {
-	payloads := make([]bitutil.Vec, nflits-1)
-	for i := range payloads {
-		v := bitutil.NewVec(linkBits)
+// benchScratch is the reusable payload-slice header benchPacket assembles
+// packets through; Pool.Packet copies the vector handles into flits, so one
+// scratch slice serves every packet.
+var benchScratch []bitutil.Vec
+
+// benchPacket builds an nflits-flit packet with pseudorandom payloads,
+// drawing flits and payload backing stores from the simulator's pool — the
+// allocation-free steady state a warm engine runs in.
+func benchPacket(s *Sim, id uint64, src, dst, nflits, linkBits int, rng *rand.Rand) *flit.Packet {
+	pool := s.Pool()
+	benchScratch = benchScratch[:0]
+	for i := 0; i < nflits-1; i++ {
+		v := pool.Vec()
 		for off := 0; off < linkBits; off += 64 {
 			w := 64
 			if linkBits-off < 64 {
@@ -27,17 +35,18 @@ func benchPacket(id uint64, src, dst, nflits, linkBits int, rng *rand.Rand) *fli
 			}
 			v.SetField(off, w, rng.Uint64())
 		}
-		payloads[i] = v
+		benchScratch = append(benchScratch, v)
 	}
-	hdr := bitutil.NewVec(linkBits)
+	hdr := pool.Vec()
 	hdr.SetField(0, 32, uint64(id))
 	hdr.SetField(32, 16, uint64(dst))
-	return flit.NewPacket(id, src, dst, hdr, payloads)
+	return pool.Packet(id, src, dst, hdr, benchScratch)
 }
 
 // benchSim steps a w×h mesh for b.N cycles; inject is called every cycle
-// and may queue new packets, pop drains ejected packets periodically so NI
-// reassembly queues stay bounded.
+// and may queue new packets, pop drains ejected packets periodically —
+// recycling them into the pool, as the accelerator's PE/MC consumers do —
+// so NI reassembly queues stay bounded and flits keep circulating.
 func benchSim(b *testing.B, w, h, linkBits int, inject func(s *Sim, cycle int64)) {
 	b.Helper()
 	s, err := New(Config{Width: w, Height: h, VCs: 4, BufDepth: 4, LinkBits: linkBits})
@@ -52,7 +61,7 @@ func benchSim(b *testing.B, w, h, linkBits int, inject func(s *Sim, cycle int64)
 		s.Step()
 		if i%64 == 63 {
 			for n := 0; n < nodes; n++ {
-				s.PopEjected(n)
+				s.Recycle(s.PopEjected(n)...)
 			}
 		}
 	}
@@ -67,7 +76,7 @@ func BenchmarkStepIdle8x8(b *testing.B) {
 	benchSim(b, 8, 8, 128, func(s *Sim, cycle int64) {
 		if cycle%256 == 0 {
 			id++
-			if err := s.Inject(benchPacket(id, 0, 63, 5, 128, rng)); err != nil {
+			if err := s.Inject(benchPacket(s, id, 0, 63, 5, 128, rng)); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -88,7 +97,7 @@ func BenchmarkStepAccelLike8x8(b *testing.B) {
 		for _, mc := range mcs {
 			id++
 			dst := 1 + int(id)%62
-			if err := s.Inject(benchPacket(id, mc, dst, 5, 128, rng)); err != nil {
+			if err := s.Inject(benchPacket(s, id, mc, dst, 5, 128, rng)); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -112,7 +121,7 @@ func BenchmarkStepSaturated8x8(b *testing.B) {
 				if dst == n {
 					dst = (n + 1) % 64
 				}
-				if err := s.Inject(benchPacket(id, n, dst, 5, 128, rng)); err != nil {
+				if err := s.Inject(benchPacket(s, id, n, dst, 5, 128, rng)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -134,7 +143,7 @@ func BenchmarkStepSaturated4x4Wide(b *testing.B) {
 			for s.nis[mc].Pending() < 4 {
 				id++
 				dst := 1 + int(id)%14
-				if err := s.Inject(benchPacket(id, mc, dst, 5, 512, rng)); err != nil {
+				if err := s.Inject(benchPacket(s, id, mc, dst, 5, 512, rng)); err != nil {
 					b.Fatal(err)
 				}
 			}

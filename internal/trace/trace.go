@@ -36,8 +36,12 @@ type Recorder struct {
 	wires  map[string]bitutil.Vec
 	// payloads holds each event's raw payload pattern (one entry per
 	// event) when payload recording is enabled — the input CodedBT needs
-	// to replay the stream through a link coding.
+	// to replay the stream through a link coding. The vectors alias
+	// regions of arena (one growing []uint64) rather than owning
+	// individual backing stores, so a million-event trace costs a handful
+	// of arena growths instead of one allocation per event.
 	payloads []bitutil.Vec
+	arena    []uint64
 	keep     bool
 }
 
@@ -73,7 +77,14 @@ func (r *Recorder) Hook() noc.TraceFunc {
 			Transitions: t,
 		})
 		if r.keep {
-			r.payloads = append(r.payloads, f.Payload.Clone())
+			// Copy the payload words into the arena; the pool may recycle
+			// f.Payload's own backing store long before CodedBT replays the
+			// stream. Arena growth never moves already-built vectors: they
+			// keep aliasing the old backing array.
+			start := len(r.arena)
+			r.arena = append(r.arena, f.Payload.Words()...)
+			r.payloads = append(r.payloads,
+				bitutil.FromWords(f.Payload.Width(), r.arena[start:len(r.arena):len(r.arena)]))
 		}
 	}
 }
