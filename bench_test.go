@@ -509,11 +509,47 @@ func TestEmitNoCBenchBaseline(t *testing.T) {
 	}
 	st := batchEng.LastBatchStats()
 
+	// Precision axis headline: the same LeNet inference at each fixed lane
+	// width, O0/uncoded so the numbers isolate the width effect. Narrower
+	// lanes pack more values per 128-bit flit, so flits (and link energy)
+	// fall as the width shrinks.
+	precRows, err := nocbt.RunSweep(context.Background(), nocbt.SweepSpec{
+		Platforms:  []nocbt.NamedPlatform{nocbt.DefaultPlatform()},
+		Geometries: []nocbt.Geometry{nocbt.Fixed8()},
+		Orderings:  []nocbt.Ordering{nocbt.O0},
+		Codings:    []string{"none"},
+		Models:     []nocbt.SweepModel{nocbt.LeNetModel},
+		Seeds:      []int64{1},
+		Precisions: nocbt.FixedWidths(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	energy := hwmodel.DefaultEnergyParams()
+	perWidth := map[string]interface{}{}
+	for _, r := range precRows {
+		b := energy.Estimate(hwmodel.Activity{
+			MACBitOps:       r.MACBitOps,
+			WeightRegBits:   r.WeightRegBits,
+			DispatcherBits:  r.FlitBits,
+			LinkTransitions: r.TotalBT,
+		})
+		perWidth[fmt.Sprintf("%d", r.Precision)] = map[string]interface{}{
+			"total_bt":         r.TotalBT,
+			"flits":            r.Flits,
+			"pj_per_inference": b.TotalJ() * 1e12,
+		}
+	}
+
 	updates := map[string]interface{}{
 		"schema": "nocbt-bench-noc/v1",
 		"sim_step_ns_per_cycle": map[string]interface{}{
 			"idle_8x8":      float64(idle.T.Nanoseconds()) / float64(idle.N),
 			"saturated_8x8": float64(busy.T.Nanoseconds()) / float64(busy.N),
+		},
+		"precision": map[string]interface{}{
+			"workload":  "LeNet untrained seed 1, 4x4 MC2, 128-bit links, O0/uncoded, uniform lane width",
+			"per_width": perWidth,
 		},
 		"infer": map[string]interface{}{
 			"workload":                  "micro 8-layer net, 8x8 MC8 fixed-8, PEComputeCycles=64, batch=8",
@@ -577,6 +613,10 @@ func TestBenchBaselineMergePreservesCuratedSections(t *testing.T) {
 		"pooling": map[string]interface{}{
 			"after": map[string]interface{}{"BenchmarkStepSaturated8x8": map[string]interface{}{"allocs_per_op": 1.0}},
 		},
+		"flitize": map[string]interface{}{
+			"allocs_tolerance_per_op": 1.0,
+			"budgets":                 map[string]interface{}{"BenchmarkFlitizeRoundTrip4Bit": map[string]interface{}{"allocs_per_op": 0.0}},
+		},
 		"sim_step_ns_per_cycle": map[string]interface{}{"idle_8x8": 1.0}, // stale: emitter-owned
 	}
 	seed, err := json.Marshal(curated)
@@ -608,7 +648,7 @@ func TestBenchBaselineMergePreservesCuratedSections(t *testing.T) {
 		return got
 	}
 	got := read()
-	for _, curatedKey := range []string{"note", "sim_step_optimization", "pooling"} {
+	for _, curatedKey := range []string{"note", "sim_step_optimization", "pooling", "flitize"} {
 		if !reflect.DeepEqual(got[curatedKey], curated[curatedKey]) {
 			t.Errorf("curated section %q changed by merge:\ngot  %#v\nwant %#v", curatedKey, got[curatedKey], curated[curatedKey])
 		}

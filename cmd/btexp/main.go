@@ -61,6 +61,7 @@ func run(args []string, stdout io.Writer) error {
 	batches := fs.String("batches", "", "sweep: comma-separated inference batch sizes (default: 1)")
 	orderings := fs.String("orderings", "", "sweep: comma-separated ordering strategy names (default: O0,O1,O2; see the strategy registry)")
 	codings := fs.String("codings", "", "sweep: comma-separated link codings from none,gray,businvert (default: none)")
+	precisions := fs.String("precisions", "", "sweep: comma-separated fixed-point lane widths from 2,4,8,16 (default: the geometry's own format)")
 	asJSON := fs.Bool("json", false, "sweep: emit the legacy row-array JSON instead of a table")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -111,7 +112,7 @@ func run(args []string, stdout io.Writer) error {
 		params.Trained = false // fast pass: skip model training
 	}
 	if exp == "sweep" {
-		spec, err := sweepSpec(*platforms, *formats, *models, *seeds, *batches, *orderings, *codings, *seed, params.Trained)
+		spec, err := sweepSpec(*platforms, *formats, *models, *seeds, *batches, *orderings, *codings, *precisions, *seed, params.Trained)
 		if err != nil {
 			return err
 		}
@@ -194,7 +195,7 @@ func atomicWriteFile(path string, data []byte) error {
 
 // sweepSpec assembles a SweepSpec from the command-line subset flags;
 // empty flags keep the paper's full default axis.
-func sweepSpec(platforms, formats, models, seeds, batches, orderings, codings string, seed int64, trained bool) (nocbt.SweepSpec, error) {
+func sweepSpec(platforms, formats, models, seeds, batches, orderings, codings, precisions string, seed int64, trained bool) (nocbt.SweepSpec, error) {
 	spec := nocbt.SweepSpec{Trained: trained, Seeds: []int64{seed}}
 	if platforms != "" {
 		for _, name := range strings.Split(platforms, ",") {
@@ -257,6 +258,18 @@ func sweepSpec(platforms, formats, models, seeds, batches, orderings, codings st
 				return spec, fmt.Errorf("unknown link coding %q (registered: %v)", name, nocbt.LinkCodingNames())
 			}
 			spec.Codings = append(spec.Codings, name)
+		}
+	}
+	if precisions != "" {
+		for _, s := range strings.Split(precisions, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return spec, fmt.Errorf("bad precision %q (want one of %v)", s, nocbt.FixedWidths())
+			}
+			if _, gerr := nocbt.FixedGeometry(v); gerr != nil {
+				return spec, fmt.Errorf("bad precision %q: %w", s, gerr)
+			}
+			spec.Precisions = append(spec.Precisions, v)
 		}
 	}
 	return spec, nil

@@ -186,6 +186,9 @@ type fingerprintSweep struct {
 	// Codings hashes in canonical display form ("" resolves to "none"), so
 	// the two spellings of uncoded links share one address.
 	Codings []string `json:"codings"`
+	// Precisions is the uniform lane-width axis; omitempty keeps every
+	// pre-precision fingerprint byte-identical.
+	Precisions []int `json:"precisions,omitempty"`
 	// Workers is deliberately excluded: sweep results are bit-identical
 	// for any worker count, so it must not split the address space.
 }
@@ -210,7 +213,7 @@ func (p Params) Fingerprint() ([]byte, error) {
 	}
 	if p.Sweep != nil {
 		s := p.Sweep.withDefaults()
-		fs := &fingerprintSweep{Trained: s.Trained, Seeds: s.Seeds, Batches: s.Batches}
+		fs := &fingerprintSweep{Trained: s.Trained, Seeds: s.Seeds, Batches: s.Batches, Precisions: s.Precisions}
 		for _, pl := range s.Platforms {
 			entry := pl.Name
 			for _, g := range s.Geometries {

@@ -47,10 +47,22 @@ type NoCRunResult struct {
 	// direct RunModelOnNoC calls leave it 0 unless the caller sets it).
 	Seed int64
 	// Batch is the inference batch size (1 = serial Infer).
-	Batch   int
-	TotalBT int64
-	Cycles  int64
-	Packets int64
+	Batch int
+	// Precision is the uniform lane-width override the sweep's precision
+	// axis applied (0 when unused — the geometry's own format ran).
+	Precision int
+	TotalBT   int64
+	Cycles    int64
+	Packets   int64
+	// Flits counts total injected flits (headers included) — the traffic
+	// volume a narrower precision shrinks.
+	Flits int64
+	// MACBitOps, WeightRegBits and FlitBits are the engine's per-component
+	// activity counters (accel.EnergyCounters); with TotalBT as the link
+	// transition count they price a per-component energy estimate.
+	MACBitOps     int64
+	WeightRegBits int64
+	FlitBits      int64
 	// Throughput is inferences per thousand simulated cycles and
 	// AvgLatencyCycles the mean per-inference latency; for batch 1 both
 	// degenerate to the single inference's cycle count.
@@ -82,16 +94,21 @@ func RunModelOnNoC(ctx context.Context, name string, cfg Platform, ord Ordering,
 	if _, err := eng.Infer(ctx, input); err != nil {
 		return NoCRunResult{}, err
 	}
+	ec := eng.EnergyCounters()
 	res := NoCRunResult{
-		Platform: name,
-		Model:    model.Name(),
-		Geometry: cfg.Geometry,
-		Ordering: ord,
-		Coding:   codingDisplayName(cfg.LinkCoding),
-		Batch:    1,
-		TotalBT:  eng.TotalBT(),
-		Cycles:   eng.Cycles(),
-		Packets:  eng.TaskPackets() + eng.ResultPackets(),
+		Platform:      name,
+		Model:         model.Name(),
+		Geometry:      cfg.Geometry,
+		Ordering:      ord,
+		Coding:        codingDisplayName(cfg.LinkCoding),
+		Batch:         1,
+		TotalBT:       eng.TotalBT(),
+		Cycles:        eng.Cycles(),
+		Packets:       eng.TaskPackets() + eng.ResultPackets(),
+		Flits:         eng.TotalFlits(),
+		MACBitOps:     ec.MACBitOps,
+		WeightRegBits: ec.WeightRegBits,
+		FlitBits:      ec.FlitBits,
 	}
 	if res.Cycles > 0 {
 		res.Throughput = 1000 / float64(res.Cycles)
@@ -121,6 +138,7 @@ func RunModelBatchOnNoC(ctx context.Context, name string, cfg Platform, ord Orde
 		return NoCRunResult{}, err
 	}
 	st := eng.LastBatchStats()
+	ec := eng.EnergyCounters()
 	return NoCRunResult{
 		Platform:         name,
 		Model:            model.Name(),
@@ -131,6 +149,10 @@ func RunModelBatchOnNoC(ctx context.Context, name string, cfg Platform, ord Orde
 		TotalBT:          eng.TotalBT(),
 		Cycles:           eng.Cycles(),
 		Packets:          eng.TaskPackets() + eng.ResultPackets(),
+		Flits:            eng.TotalFlits(),
+		MACBitOps:        ec.MACBitOps,
+		WeightRegBits:    ec.WeightRegBits,
+		FlitBits:         ec.FlitBits,
 		Throughput:       st.Throughput(),
 		AvgLatencyCycles: st.AvgLatencyCycles,
 	}, nil

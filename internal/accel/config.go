@@ -11,6 +11,7 @@ package accel
 import (
 	"fmt"
 
+	"nocbt/internal/bitutil"
 	"nocbt/internal/flit"
 	"nocbt/internal/noc"
 )
@@ -22,6 +23,19 @@ type Config struct {
 	Mesh noc.Config
 	// Geometry is the flit format (512-bit/float-32 or 128-bit/fixed-8).
 	Geometry flit.Geometry
+	// Precisions is the per-layer lane-width schedule for fixed-point
+	// platforms: entry i is the quantization width (2, 4, 8 or 16 bits) of
+	// the i-th NoC layer (conv/linear, in model order). A single entry
+	// broadcasts one width to every layer; empty keeps Geometry.Format for
+	// all layers. Each layer flitizes at its own width on the shared
+	// physical link, so narrower layers pack more lanes per flit and ship
+	// proportionally fewer flits. The schedule length is validated against
+	// the model in New (Config alone does not know the model).
+	//
+	// The omitempty tag keeps platform fingerprints of precision-free
+	// configurations byte-identical to those minted before this field
+	// existed.
+	Precisions []int `json:",omitempty"`
 	// Ordering selects the transmission-ordering strategy by its registered
 	// wire ID: the paper's O0/O1/O2 or any strategy added through
 	// flit.RegisterOrdering.
@@ -168,6 +182,22 @@ func (c Config) Validate() error {
 	}
 	if _, ok := flit.LookupLinkCoding(c.LinkCoding); !ok {
 		return fmt.Errorf("accel: unknown link coding %q (registered: %v)", c.LinkCoding, flit.LinkCodingNames())
+	}
+	if len(c.Precisions) > 0 {
+		if !c.Geometry.Format.IsFixed() {
+			return fmt.Errorf("accel: per-layer precisions require a fixed-point geometry, got %v", c.Geometry.Format)
+		}
+		for i, bits := range c.Precisions {
+			f, err := bitutil.FixedN(bits)
+			if err != nil {
+				return fmt.Errorf("accel: precision schedule entry %d: %w", i, err)
+			}
+			// Every scheduled width must form a valid flit grid on the
+			// platform's physical link.
+			if err := c.Geometry.WithFormat(f).Validate(); err != nil {
+				return fmt.Errorf("accel: precision schedule entry %d (%d-bit): %w", i, bits, err)
+			}
+		}
 	}
 	return nil
 }

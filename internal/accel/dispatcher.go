@@ -17,12 +17,11 @@ import (
 // every segment is an independent packet whose partial sums the MC
 // accumulates in fixed segment order (keeping float32 results deterministic
 // for a given ordering configuration).
-func (s *scheduler) dispatch(f *flow, nl nocLayer) (*layerRun, error) {
+func (s *scheduler) dispatch(f *flow, nl nocLayer, g flit.Geometry) (*layerRun, error) {
 	if len(nl.tasks) == 0 {
 		return nil, fmt.Errorf("layer produced no tasks")
 	}
 	e := s.e
-	g := e.cfg.Geometry
 	mcs := e.cfg.MCs
 	zeroBias := bitutil.Word(0)
 
@@ -31,6 +30,7 @@ func (s *scheduler) dispatch(f *flow, nl nocLayer) (*layerRun, error) {
 		name:       nl.name,
 		ntasks:     len(nl.tasks),
 		outShape:   nl.outShape,
+		geom:       g,
 		scaleWX:    nl.enc.scaleWX,
 		scaleB:     nl.enc.scaleB,
 		partials:   make([][]float32, len(nl.tasks)),
@@ -97,6 +97,7 @@ func (s *scheduler) dispatch(f *flow, nl nocLayer) (*layerRun, error) {
 			e.taskPackets++
 			run.taskPackets++
 			run.flits += int64(pkt.Len())
+			e.totalFlits += int64(pkt.Len())
 		}
 	}
 	s.activeRuns = append(s.activeRuns, run)

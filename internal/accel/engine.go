@@ -37,12 +37,26 @@ type Engine struct {
 	// fails on unregistered IDs, so it is never nil on a built engine.
 	strategy flit.OrderingStrategy
 
+	// layerFormats[i] is the lane format of the model's i-th NoC layer
+	// (conv/linear, in model order), resolved in New from the platform's
+	// precision schedule (or the geometry format for every layer when no
+	// schedule is set).
+	layerFormats []bitutil.Format
+
 	nextPacketID uint64
 
 	layers []LayerStat
 
 	taskPackets   int64
 	resultPackets int64
+
+	// Energy activity counters, accumulated across every inference like
+	// the BT counters (see EnergyCounters). The accel package records raw
+	// activity only; converting it to joules is hwmodel's business.
+	totalFlits    int64
+	macOps        int64
+	macBitOps     int64
+	weightRegBits int64
 
 	lastBatch BatchStats
 
@@ -160,6 +174,10 @@ func New(cfg Config, model *dnn.Model) (*Engine, error) {
 	if !ok {
 		return nil, fmt.Errorf("accel: unknown ordering %d (registered: %v)", int(cfg.Ordering), flit.OrderingNames())
 	}
+	formats, err := resolveLayerFormats(cfg, model)
+	if err != nil {
+		return nil, err
+	}
 	if scheme, ok := flit.LookupLinkCoding(cfg.LinkCoding); !ok {
 		return nil, fmt.Errorf("accel: unknown link coding %q (registered: %v)", cfg.LinkCoding, flit.LinkCodingNames())
 	} else if scheme != nil {
@@ -168,12 +186,50 @@ func New(cfg Config, model *dnn.Model) (*Engine, error) {
 		}
 	}
 	return &Engine{
-		cfg:      cfg,
-		model:    model,
-		sim:      sim,
-		pes:      cfg.PEs(),
-		strategy: strategy,
+		cfg:          cfg,
+		model:        model,
+		sim:          sim,
+		pes:          cfg.PEs(),
+		strategy:     strategy,
+		layerFormats: formats,
 	}, nil
+}
+
+// resolveLayerFormats expands the platform's precision schedule against
+// the model: one lane format per NoC layer (conv/linear, in model order).
+// A single-entry schedule broadcasts its width to every layer; a
+// multi-entry schedule must match the model's NoC layer count exactly.
+func resolveLayerFormats(cfg Config, model *dnn.Model) ([]bitutil.Format, error) {
+	nocLayers := 0
+	for _, l := range model.Layers {
+		switch l.(type) {
+		case *dnn.Conv2D, *dnn.Linear:
+			nocLayers++
+		}
+	}
+	formats := make([]bitutil.Format, nocLayers)
+	for i := range formats {
+		formats[i] = cfg.Geometry.Format
+	}
+	if len(cfg.Precisions) == 0 {
+		return formats, nil
+	}
+	if len(cfg.Precisions) != 1 && len(cfg.Precisions) != nocLayers {
+		return nil, fmt.Errorf("accel: precision schedule has %d entries but model %q has %d NoC layers (want 1 or %d)",
+			len(cfg.Precisions), model.Name(), nocLayers, nocLayers)
+	}
+	for i := range formats {
+		bits := cfg.Precisions[0]
+		if len(cfg.Precisions) > 1 {
+			bits = cfg.Precisions[i]
+		}
+		f, err := bitutil.FixedN(bits)
+		if err != nil {
+			return nil, fmt.Errorf("accel: precision schedule entry %d: %w", i, err)
+		}
+		formats[i] = f
+	}
+	return formats, nil
 }
 
 // Config returns the engine's configuration (after defaulting).
@@ -186,8 +242,22 @@ func (e *Engine) Config() Config { return e.cfg }
 // (see trace.Recorder.CodedBT).
 func (e *Engine) SetTrace(fn noc.TraceFunc) { e.sim.SetTrace(fn) }
 
-// fixed reports whether the engine runs in fixed-8 mode.
-func (e *Engine) fixed() bool { return e.cfg.Geometry.Format == bitutil.Fixed8 }
+// layerFormat returns the lane format of NoC layer idx (the geometry
+// format for indices beyond the resolved schedule, which cannot happen on
+// a validated engine).
+func (e *Engine) layerFormat(idx int) bitutil.Format {
+	if idx >= 0 && idx < len(e.layerFormats) {
+		return e.layerFormats[idx]
+	}
+	return e.cfg.Geometry.Format
+}
+
+// layerGeometry returns the flit geometry of NoC layer idx: the platform's
+// physical link width with the layer's lane format. Narrower layers pack
+// more lanes into the same link, shipping proportionally fewer flits.
+func (e *Engine) layerGeometry(idx int) flit.Geometry {
+	return e.cfg.Geometry.WithFormat(e.layerFormat(idx))
+}
 
 // nextID allocates a packet ID.
 func (e *Engine) nextID() uint64 {

@@ -71,10 +71,11 @@ func (s *scheduler) pumpPEs() error {
 // peCompute models the PE datapath: deflitize the task segment,
 // multiply-accumulate, and return the real-domain partial sum (including
 // the segment's bias lane, which is zero for non-final segments). The
-// quantization scales come from the packet's layer context, never from
-// engine-global registers.
+// flit geometry and quantization scales come from the packet's layer
+// context, never from engine-global registers — each layer decodes at its
+// own lane width.
 func (s *scheduler) peCompute(pkt *flit.Packet, ctx *taskCtx) (float32, error) {
-	g := s.e.cfg.Geometry
+	g := ctx.run.geom
 	dataFlits := g.DataFlitCount(ctx.pairs)
 	s.e.peScratch = pkt.AppendPayloadVecs(s.e.peScratch[:0])
 	payloads := s.e.peScratch
@@ -98,13 +99,22 @@ func (s *scheduler) peCompute(pkt *flit.Packet, ctx *taskCtx) (float32, error) {
 	}
 	task := &s.e.deflitScratch
 
-	if s.e.fixed() {
+	n := int64(len(task.Weights))
+	lb := g.LaneBits()
+	s.e.macOps += n
+	s.e.macBitOps += n * int64(lb) * int64(lb)
+	s.e.weightRegBits += n * int64(lb)
+
+	if g.Format.IsFixed() {
 		// Exact integer MAC, then one rescale: identical across orderings.
-		var acc int32
+		// The accumulator is int64 so 16-bit lanes (per-pair products up to
+		// 2^30) cannot overflow; for 8-bit lanes the value is identical to
+		// the historical int32 accumulation.
+		var acc int64
 		for i := range task.Weights {
-			acc += int32(bitutil.WordFixed8(task.Weights[i])) * int32(bitutil.WordFixed8(task.Inputs[i]))
+			acc += int64(bitutil.WordFixed(task.Weights[i], lb)) * int64(bitutil.WordFixed(task.Inputs[i], lb))
 		}
-		return float32(acc)*ctx.run.scaleWX + float32(bitutil.WordFixed8(task.Bias))*ctx.run.scaleB, nil
+		return float32(acc)*ctx.run.scaleWX + float32(bitutil.WordFixed(task.Bias, lb))*ctx.run.scaleB, nil
 	}
 	sum := bitutil.WordFloat32(task.Bias)
 	for i := range task.Weights {
@@ -185,3 +195,40 @@ func (e *Engine) ResultPackets() int64 { return e.resultPackets }
 
 // NoCStats returns the raw simulator counters.
 func (e *Engine) NoCStats() noc.Stats { return e.sim.Stats() }
+
+// TotalFlits returns the total flits injected into the mesh (task and
+// result packets, headers included) across every inference — the traffic
+// volume the precision schedule shrinks: a 4-bit layer ships roughly half
+// the data flits of its 8-bit run.
+func (e *Engine) TotalFlits() int64 { return e.totalFlits }
+
+// EnergyCounters is the engine's raw activity record for per-component
+// energy estimation: the accel package counts events, hwmodel prices
+// them. All counters accumulate across inferences, like the BT counters.
+type EnergyCounters struct {
+	// MACOps is the number of multiply-accumulate operations PEs executed.
+	MACOps int64
+	// MACBitOps is Σ weightBits×inputBits over every MAC — the
+	// BitSim/BitVert-style activity measure that makes narrow-lane layers
+	// quadratically cheaper in the PE array.
+	MACBitOps int64
+	// WeightRegBits counts bits latched into PE weight registers (one lane
+	// width per delivered pair).
+	WeightRegBits int64
+	// FlitBits counts bits pushed through the MC dispatchers onto the mesh
+	// (flits × physical link width).
+	FlitBits int64
+	// LinkTransitions is the measured wire-toggle count (TotalBT).
+	LinkTransitions int64
+}
+
+// EnergyCounters returns the engine's accumulated activity counters.
+func (e *Engine) EnergyCounters() EnergyCounters {
+	return EnergyCounters{
+		MACOps:          e.macOps,
+		MACBitOps:       e.macBitOps,
+		WeightRegBits:   e.weightRegBits,
+		FlitBits:        e.totalFlits * int64(e.cfg.Geometry.LinkBits),
+		LinkTransitions: e.sim.TotalBT(),
+	}
+}

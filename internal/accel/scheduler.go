@@ -36,8 +36,11 @@ type flow struct {
 	idx       int // position in the batch
 	act       *tensor.Tensor
 	nextLayer int
-	cur       *layerRun
-	done      bool
+	// nocIdx counts the conv/linear layers already dispatched for this
+	// flow — the index into the engine's per-layer precision schedule.
+	nocIdx int
+	cur    *layerRun
+	done   bool
 
 	startCycle int64
 	endCycle   int64
@@ -53,8 +56,14 @@ type layerRun struct {
 	ntasks   int
 	outShape []int
 
+	// geom is the layer's flit geometry: the platform link width with the
+	// layer's lane format from the precision schedule. It travels with the
+	// run — packet context, not engine state — so concurrently in-flight
+	// layers of different widths flitize and deflitize independently.
+	geom flit.Geometry
+
 	// scaleWX and scaleB are the layer's PE configuration registers
-	// (fixed-8 mode), copied from the layer codec at dispatch.
+	// (fixed-point modes), copied from the layer codec at dispatch.
 	scaleWX float32
 	scaleB  float32
 
@@ -218,13 +227,17 @@ func (s *scheduler) execute(flows []*flow) error {
 func (s *scheduler) advance(f *flow) error {
 	for f.nextLayer < len(s.e.model.Layers) {
 		layer := s.e.model.Layers[f.nextLayer]
+		// The flow's NoC-layer counter indexes the precision schedule:
+		// every packet of this layer is encoded, flitized and decoded at
+		// the layer's own lane width.
+		g := s.e.layerGeometry(f.nocIdx)
 		var nl nocLayer
 		var err error
 		switch l := layer.(type) {
 		case *dnn.Conv2D:
-			nl, err = buildConvTasks(s.e.fixed(), l, f.act)
+			nl, err = buildConvTasks(g.Format, l, f.act)
 		case *dnn.Linear:
-			nl, err = buildLinearTasks(s.e.fixed(), l, f.act)
+			nl, err = buildLinearTasks(g.Format, l, f.act)
 		default:
 			f.layers = append(f.layers, LayerStat{Name: layer.Name(), Inference: f.idx})
 			f.act = layer.Forward(f.act)
@@ -234,7 +247,8 @@ func (s *scheduler) advance(f *flow) error {
 		if err != nil {
 			return fmt.Errorf("accel: layer %s: %w", layer.Name(), err)
 		}
-		run, err := s.dispatch(f, nl)
+		f.nocIdx++
+		run, err := s.dispatch(f, nl, g)
 		if err != nil {
 			return fmt.Errorf("accel: layer %s: %w", layer.Name(), err)
 		}
@@ -324,6 +338,7 @@ func (s *scheduler) injectReady() error {
 			}
 			s.e.resultPackets++
 			pr.run.flits += int64(pr.pkt.Len())
+			s.e.totalFlits += int64(pr.pkt.Len())
 		} else {
 			kept = append(kept, pr)
 		}

@@ -26,14 +26,18 @@ type nocLayer struct {
 	outShape []int
 }
 
-// buildConvTasks decomposes a convolution layer into per-output-pixel tasks.
-func buildConvTasks(fixed bool, l *dnn.Conv2D, x *tensor.Tensor) (nocLayer, error) {
+// buildConvTasks decomposes a convolution layer into per-output-pixel
+// tasks, encoding every value at the layer's lane format.
+func buildConvTasks(format bitutil.Format, l *dnn.Conv2D, x *tensor.Tensor) (nocLayer, error) {
 	if x.Rank() != 3 || x.Dim(0) != l.InC {
 		return nocLayer{}, fmt.Errorf("input shape %v for %s", x.Shape(), l.Name())
 	}
 	h, w := x.Dim(1), x.Dim(2)
 	oh, ow := l.OutSize(h, w)
-	c := newCodec(fixed, l.W.Data, x.Data, l.B.Data)
+	c, err := newCodec(format, l.W.Data, x.Data, l.B.Data)
+	if err != nil {
+		return nocLayer{}, err
+	}
 
 	tasks := make([]taskSpec, 0, l.OutC*oh*ow)
 	for oc := 0; oc < l.OutC; oc++ {
@@ -68,12 +72,16 @@ func buildConvTasks(fixed bool, l *dnn.Conv2D, x *tensor.Tensor) (nocLayer, erro
 	return nocLayer{name: l.Name(), tasks: tasks, enc: c, outShape: []int{l.OutC, oh, ow}}, nil
 }
 
-// buildLinearTasks decomposes a fully-connected layer into per-output tasks.
-func buildLinearTasks(fixed bool, l *dnn.Linear, x *tensor.Tensor) (nocLayer, error) {
+// buildLinearTasks decomposes a fully-connected layer into per-output
+// tasks, encoding every value at the layer's lane format.
+func buildLinearTasks(format bitutil.Format, l *dnn.Linear, x *tensor.Tensor) (nocLayer, error) {
 	if x.Size() != l.In {
 		return nocLayer{}, fmt.Errorf("input size %d for %s", x.Size(), l.Name())
 	}
-	c := newCodec(fixed, l.W.Data, x.Data, l.B.Data)
+	c, err := newCodec(format, l.W.Data, x.Data, l.B.Data)
+	if err != nil {
+		return nocLayer{}, err
+	}
 	tasks := make([]taskSpec, l.Out)
 	for o := 0; o < l.Out; o++ {
 		t := taskSpec{

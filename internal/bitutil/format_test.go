@@ -1,0 +1,160 @@
+package bitutil
+
+import (
+	"strings"
+	"testing"
+)
+
+// The parameterized-format surface: FixedN, ParseFormat and Valid reject
+// every bad input with a descriptive error at construction/config time, so
+// no unknown format can reach lane arithmetic.
+
+func TestFixedWidths(t *testing.T) {
+	want := []int{2, 4, 8, 16}
+	got := FixedWidths()
+	if len(got) != len(want) {
+		t.Fatalf("FixedWidths() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FixedWidths() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFixedNRoundTrip(t *testing.T) {
+	for _, bits := range FixedWidths() {
+		f, err := FixedN(bits)
+		if err != nil {
+			t.Fatalf("FixedN(%d): %v", bits, err)
+		}
+		if f.Bits() != bits {
+			t.Errorf("FixedN(%d).Bits() = %d", bits, f.Bits())
+		}
+		if !f.IsFixed() {
+			t.Errorf("FixedN(%d).IsFixed() = false", bits)
+		}
+		if err := f.Valid(); err != nil {
+			t.Errorf("FixedN(%d).Valid() = %v", bits, err)
+		}
+	}
+	if f, _ := FixedN(8); f != Fixed8 {
+		t.Errorf("FixedN(8) = %v, want the historical Fixed8", f)
+	}
+}
+
+func TestFixedNRejectsUnsupportedWidths(t *testing.T) {
+	// Table-driven rejection: every unsupported width must fail with an
+	// error that names the width and the supported set — never a panic.
+	for _, bits := range []int{-8, -1, 0, 1, 3, 5, 6, 7, 9, 12, 15, 17, 24, 32, 64} {
+		f, err := FixedN(bits)
+		if err == nil {
+			t.Errorf("FixedN(%d) = %v, want error", bits, f)
+			continue
+		}
+		if !strings.Contains(err.Error(), "2 4 8 16") {
+			t.Errorf("FixedN(%d) error %q does not list supported widths", bits, err)
+		}
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Format
+	}{
+		{"float32", Float32},
+		{"float-32", Float32},
+		{"fp32", Float32},
+		{"FLOAT32", Float32},
+		{"fixed2", Fixed2},
+		{"fixed-4", Fixed4},
+		{"fixed8", Fixed8},
+		{"Fixed-8", Fixed8},
+		{"fixed16", Fixed16},
+	}
+	for _, c := range cases {
+		got, err := ParseFormat(c.in)
+		if err != nil {
+			t.Errorf("ParseFormat(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseFormat(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseFormatRejectsUnknownNames(t *testing.T) {
+	for _, name := range []string{"", "fixed", "fixed7", "fixed-32", "float64", "int8", "bf16"} {
+		if f, err := ParseFormat(name); err == nil {
+			t.Errorf("ParseFormat(%q) = %v, want error", name, f)
+		}
+	}
+}
+
+func TestFormatStringParseRoundTrip(t *testing.T) {
+	for _, f := range Formats() {
+		got, err := ParseFormat(f.String())
+		if err != nil {
+			t.Errorf("ParseFormat(%q): %v", f.String(), err)
+			continue
+		}
+		if got != f {
+			t.Errorf("ParseFormat(%q) = %v, want %v", f.String(), got, f)
+		}
+	}
+}
+
+func TestFixedWireIDsStable(t *testing.T) {
+	// Wire/JSON stability: the original two formats keep their values and
+	// the new widths append after them.
+	if Float32 != 1 || Fixed8 != 2 {
+		t.Fatalf("historical format IDs moved: Float32=%d Fixed8=%d", int(Float32), int(Fixed8))
+	}
+	if Fixed2 != 3 || Fixed4 != 4 || Fixed16 != 5 {
+		t.Fatalf("new format IDs = %d/%d/%d, want 3/4/5", int(Fixed2), int(Fixed4), int(Fixed16))
+	}
+}
+
+func TestFixedWordRoundTripAllWidths(t *testing.T) {
+	for _, bits := range FixedWidths() {
+		qmax := int32(1)<<(bits-1) - 1
+		for q := -qmax - 1; q <= qmax; q++ {
+			w := FixedWord(q, bits)
+			if uint64(w)>>uint(bits) != 0 {
+				t.Fatalf("FixedWord(%d, %d) = %#x exceeds %d bits", q, bits, uint64(w), bits)
+			}
+			if got := WordFixed(w, bits); got != q {
+				t.Fatalf("width %d: round trip %d -> %d", bits, q, got)
+			}
+		}
+	}
+}
+
+func TestFixedWordMatchesFixed8(t *testing.T) {
+	// At 8 bits the parameterized words are the historical fixed-8 words —
+	// the bit-identity the goldens rest on.
+	for v := -128; v <= 127; v++ {
+		if FixedWord(int32(v), 8) != Fixed8Word(int8(v)) {
+			t.Fatalf("FixedWord(%d, 8) = %#x, Fixed8Word = %#x",
+				v, uint64(FixedWord(int32(v), 8)), uint64(Fixed8Word(int8(v))))
+		}
+		if got := WordFixed(Fixed8Word(int8(v)), 8); got != int32(v) {
+			t.Fatalf("WordFixed(Fixed8Word(%d), 8) = %d", v, got)
+		}
+	}
+}
+
+func TestFixedWordTwosComplementPopcount(t *testing.T) {
+	// -1 is all-ones at every width: the popcount property the ordering
+	// strategies exploit holds for each supported lane width.
+	for _, bits := range FixedWidths() {
+		if got := FixedWord(-1, bits).OnesCount(bits); got != bits {
+			t.Errorf("width %d: popcount(-1) = %d, want %d", bits, got, bits)
+		}
+		if got := FixedWord(0, bits).OnesCount(bits); got != 0 {
+			t.Errorf("width %d: popcount(0) = %d, want 0", bits, got)
+		}
+	}
+}

@@ -4,11 +4,14 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"strings"
 )
 
-// Format identifies the on-link encoding of one DNN value. The paper
-// evaluates two: IEEE-754 float32 ("float-32") and two's-complement 8-bit
-// fixed point ("fixed-8").
+// Format identifies the on-link encoding of one DNN value: IEEE-754
+// float32 ("float-32") or two's-complement fixed point at a parameterized
+// lane width ("fixed-2" … "fixed-16"). The paper evaluates float-32 and
+// fixed-8; the narrower and wider fixed-point widths are the Bit
+// Fusion-style precision axis.
 type Format int
 
 const (
@@ -18,17 +21,107 @@ const (
 	// number (quantization itself lives in internal/quant; this package
 	// only cares about the raw 8 bits).
 	Fixed8
+	// Fixed2, Fixed4 and Fixed16 are the remaining Bit Fusion-style
+	// composable fixed-point widths. They are appended after the original
+	// pair so the wire/config values of Float32 (1) and Fixed8 (2) never
+	// move.
+	Fixed2
+	Fixed4
+	Fixed16
 )
 
-// Bits returns the lane width in bits of one value in this format.
+// FixedWidths lists the supported fixed-point lane widths in ascending
+// order.
+func FixedWidths() []int { return []int{2, 4, 8, 16} }
+
+// FixedN returns the fixed-point format of the given lane width, or a
+// descriptive error for unsupported widths.
+func FixedN(bits int) (Format, error) {
+	switch bits {
+	case 2:
+		return Fixed2, nil
+	case 4:
+		return Fixed4, nil
+	case 8:
+		return Fixed8, nil
+	case 16:
+		return Fixed16, nil
+	default:
+		return 0, fmt.Errorf("bitutil: unsupported fixed-point width %d (supported: %v)", bits, FixedWidths())
+	}
+}
+
+// Bits returns the lane width in bits of one value in this format, or 0
+// for an unknown format. Callers that accept formats from configuration
+// must reject unknown values with Valid before doing lane arithmetic;
+// Bits itself never panics.
 func (f Format) Bits() int {
 	switch f {
 	case Float32:
 		return 32
 	case Fixed8:
 		return 8
+	case Fixed2:
+		return 2
+	case Fixed4:
+		return 4
+	case Fixed16:
+		return 16
 	default:
-		panic(fmt.Sprintf("bitutil: unknown format %d", int(f)))
+		return 0
+	}
+}
+
+// IsFixed reports whether f is one of the fixed-point formats.
+func (f Format) IsFixed() bool {
+	switch f {
+	case Fixed2, Fixed4, Fixed8, Fixed16:
+		return true
+	default:
+		return false
+	}
+}
+
+// Valid returns nil for a known format and a descriptive error otherwise —
+// the construction/config-time check that keeps unknown formats out of the
+// lane-arithmetic paths.
+func (f Format) Valid() error {
+	if f.Bits() == 0 {
+		return fmt.Errorf("bitutil: unknown format %d (known: %v)", int(f), FormatNames())
+	}
+	return nil
+}
+
+// Formats lists every known format in wire-ID order.
+func Formats() []Format { return []Format{Float32, Fixed8, Fixed2, Fixed4, Fixed16} }
+
+// FormatNames lists the display names of every known format.
+func FormatNames() []string {
+	fs := Formats()
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.String()
+	}
+	return out
+}
+
+// ParseFormat resolves a format display name ("fixed-8", "fixed8",
+// "float-32", "float32", case-insensitive) onto its Format.
+func ParseFormat(name string) (Format, error) {
+	key := strings.ReplaceAll(strings.ToLower(strings.TrimSpace(name)), "-", "")
+	switch key {
+	case "float32", "fp32":
+		return Float32, nil
+	case "fixed2":
+		return Fixed2, nil
+	case "fixed4":
+		return Fixed4, nil
+	case "fixed8":
+		return Fixed8, nil
+	case "fixed16":
+		return Fixed16, nil
+	default:
+		return 0, fmt.Errorf("bitutil: unknown format %q (known: %v)", name, FormatNames())
 	}
 }
 
@@ -39,6 +132,12 @@ func (f Format) String() string {
 		return "float-32"
 	case Fixed8:
 		return "fixed-8"
+	case Fixed2:
+		return "fixed-2"
+	case Fixed4:
+		return "fixed-4"
+	case Fixed16:
+		return "fixed-16"
 	default:
 		return fmt.Sprintf("Format(%d)", int(f))
 	}
@@ -59,6 +158,22 @@ func Fixed8Word(v int8) Word { return Word(uint8(v)) }
 
 // WordFixed8 decodes an int8 from its bit pattern.
 func WordFixed8(w Word) int8 { return int8(uint8(w)) }
+
+// FixedWord returns the width-parameterized two's-complement bit pattern
+// of a quantized integer: the low `bits` bits of q. The value must fit the
+// width (quantization saturates to ±(2^(bits-1)−1), so in-contract callers
+// always fit); out-of-range values are masked, never panicked on.
+func FixedWord(q int32, bits int) Word {
+	return Word(uint64(uint32(q)) & (1<<uint(bits) - 1))
+}
+
+// WordFixed sign-extends the low `bits` bits of w into an int32 — the
+// width-parameterized dual of FixedWord. Wire data outside the lane width
+// is masked off, so a corrupted high bit cannot change the decoded value.
+func WordFixed(w Word, bits int) int32 {
+	shift := uint(64 - bits)
+	return int32(int64(uint64(w)<<shift) >> shift)
+}
 
 // OnesCount returns the number of '1' bits in the low `width` bits of w.
 func (w Word) OnesCount(width int) int {

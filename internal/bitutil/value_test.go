@@ -25,13 +25,17 @@ func TestFormatString(t *testing.T) {
 	}
 }
 
-func TestFormatBitsUnknownPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Format(0).Bits() did not panic")
+func TestFormatBitsUnknownIsZeroNotPanic(t *testing.T) {
+	// Unknown formats are a validation failure, not a crash: Bits reports 0
+	// and Valid carries the descriptive error (the old code panicked here).
+	for _, f := range []Format{0, Format(99), Format(-3)} {
+		if got := f.Bits(); got != 0 {
+			t.Errorf("Format(%d).Bits() = %d, want 0", int(f), got)
 		}
-	}()
-	Format(0).Bits()
+		if err := f.Valid(); err == nil {
+			t.Errorf("Format(%d).Valid() = nil, want descriptive error", int(f))
+		}
+	}
 }
 
 func TestFloat32WordRoundTrip(t *testing.T) {

@@ -21,18 +21,63 @@ type Geometry struct {
 	Format bitutil.Format
 }
 
+// NewGeometry builds a validated geometry from a link width and lane
+// format — the construction path that rejects unknown formats and
+// impossible lane grids with descriptive errors instead of letting them
+// reach lane arithmetic. This is the replacement for the deprecated
+// Float32Geometry/Fixed8Geometry preset helpers.
+func NewGeometry(linkBits int, format bitutil.Format) (Geometry, error) {
+	g := Geometry{LinkBits: linkBits, Format: format}
+	if err := g.Validate(); err != nil {
+		return Geometry{}, err
+	}
+	return g, nil
+}
+
+// FixedGeometry returns the 128-bit-link geometry with `bits`-wide
+// fixed-point lanes: the paper's fixed-8 flit at bits == 8, and the
+// mixed-precision variants that pack 32 (4-bit) or 64 (2-bit) lanes into
+// the same physical link at narrower widths.
+func FixedGeometry(bits int) (Geometry, error) {
+	f, err := bitutil.FixedN(bits)
+	if err != nil {
+		return Geometry{}, fmt.Errorf("flit: %w", err)
+	}
+	return NewGeometry(128, f)
+}
+
 // Float32Geometry is the paper's float-32 configuration: 512-bit links,
 // 16 values per flit.
+//
+// Deprecated: use NewGeometry(512, bitutil.Float32); this helper remains
+// as the paper-preset shim.
 func Float32Geometry() Geometry { return Geometry{LinkBits: 512, Format: bitutil.Float32} }
 
 // Fixed8Geometry is the paper's fixed-8 configuration: 128-bit links,
 // 16 values per flit.
+//
+// Deprecated: use FixedGeometry(8) or NewGeometry(128, bitutil.Fixed8);
+// this helper remains as the paper-preset shim.
 func Fixed8Geometry() Geometry { return Geometry{LinkBits: 128, Format: bitutil.Fixed8} }
 
-// Validate reports whether the geometry is usable: the link must hold a
-// whole, even number of lanes (half-half flitization needs an even count)
-// and enough room for the packet header fields.
+// WithFormat returns the geometry with the lane format swapped and the
+// physical link width kept — how a per-layer precision schedule derives
+// each layer's flit grid from the platform geometry.
+func (g Geometry) WithFormat(f bitutil.Format) Geometry {
+	g.Format = f
+	return g
+}
+
+// Validate reports whether the geometry is usable: the lane format must be
+// known, and the link must hold a whole, even number of lanes (half-half
+// flitization needs an even count) and enough room for the packet header
+// fields. Every failure — an unknown format included — is a descriptive
+// error, never a panic: geometries arrive from configuration and serving
+// requests, not just from code.
 func (g Geometry) Validate() error {
+	if err := g.Format.Valid(); err != nil {
+		return fmt.Errorf("flit: %w", err)
+	}
 	if g.LinkBits <= 0 {
 		return fmt.Errorf("flit: non-positive link width %d", g.LinkBits)
 	}
@@ -49,8 +94,15 @@ func (g Geometry) Validate() error {
 	return nil
 }
 
-// Lanes returns the number of values one flit carries.
-func (g Geometry) Lanes() int { return g.LinkBits / g.Format.Bits() }
+// Lanes returns the number of values one flit carries (0 for an unknown
+// format, which Validate rejects before any lane arithmetic runs).
+func (g Geometry) Lanes() int {
+	lw := g.Format.Bits()
+	if lw == 0 {
+		return 0
+	}
+	return g.LinkBits / lw
+}
 
 // HalfLanes returns the lane count of each half of a half-half flit:
 // inputs occupy the left (low) half, weights the right (high) half.

@@ -31,7 +31,9 @@ type LinkPowerModel struct {
 }
 
 // PaperLinkModel returns the exact §V-C configuration: 128-bit links, 112
-// links in an 8×8 mesh, 125 MHz, half the wires toggling.
+// links in an 8×8 mesh, 125 MHz, half the wires toggling. It is the
+// pinned paper preset of DerivedLinkModel(8, 8, 128, e), which derives
+// the link count from arbitrary mesh dimensions instead.
 func PaperLinkModel(energyPerTransition float64) LinkPowerModel {
 	return LinkPowerModel{
 		EnergyPerTransition: energyPerTransition,

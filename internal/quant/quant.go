@@ -1,12 +1,14 @@
-// Package quant implements the symmetric 8-bit fixed-point ("fixed-8")
-// number format used by the paper's second data-precision configuration.
+// Package quant implements symmetric fixed-point quantization: the 8-bit
+// ("fixed-8") format used by the paper's second data-precision
+// configuration, and its width-parameterized generalization (WidthParams)
+// for the 2/4/16-bit mixed-precision lanes.
 //
-// Values are stored as two's-complement int8 with a per-tensor scale:
+// Values are stored as two's-complement integers with a per-tensor scale:
 //
-//	real ≈ q × Scale, q ∈ [-127, 127]
+//	real ≈ q × Scale, q ∈ [-QMax, QMax], QMax = 2^(bits-1) − 1
 //
 // The scale is chosen so the largest-magnitude value in the tensor maps to
-// ±127 (symmetric quantization, no zero-point). Two's complement matters for
+// ±QMax (symmetric quantization, no zero-point). Two's complement matters for
 // the paper's results: trained weights cluster near zero, so positive values
 // have few '1' bits while negative values have many (sign-extension ones),
 // which makes the popcount distribution bimodal and popcount ordering very
@@ -110,4 +112,119 @@ func DotQ(a, b []int8) int32 {
 // partial sum: exact integer accumulation, one final rescale.
 func DotReal(a, b []int8, pa, pb Params) float32 {
 	return float32(DotQ(a, b)) * pa.Scale * pb.Scale
+}
+
+// Width-parameterized symmetric quantization: the generalization of the
+// int8 path above to any lane width. real ≈ q × Scale with
+// q ∈ [-QMaxFor(bits), QMaxFor(bits)]; at Bits == 8 every operation is
+// bit-identical to the Params path (same scale choice, same rounding, same
+// saturation), which is what keeps the paper's fixed-8 goldens byte-stable
+// through the refactor.
+
+// QMaxFor returns the largest quantized magnitude of a symmetric
+// `bits`-wide two's-complement format: 2^(bits−1) − 1. The negative
+// extreme −2^(bits−1) is never produced, keeping negation exact at every
+// width. Returns 0 for non-positive or >32-bit widths.
+func QMaxFor(bits int) int32 {
+	if bits < 2 || bits > 32 {
+		return 0
+	}
+	return int32(1)<<uint(bits-1) - 1
+}
+
+// WidthParams holds the quantization parameters of one tensor at a
+// parameterized lane width.
+type WidthParams struct {
+	// Scale converts a quantized integer back to the real domain:
+	// real = q * Scale. Always > 0.
+	Scale float32
+	// Bits is the two's-complement lane width (2..32).
+	Bits int
+}
+
+// ChooseWidth returns `bits`-wide quantization parameters covering vals:
+// the scale maps the maximum absolute value onto QMaxFor(bits). An
+// all-zero (or empty) input gets a scale of 1, as in Choose. Unsupported
+// widths are a configuration error, reported descriptively.
+func ChooseWidth(vals []float32, bits int) (WidthParams, error) {
+	qmax := QMaxFor(bits)
+	if qmax == 0 {
+		return WidthParams{}, fmt.Errorf("quant: unsupported lane width %d (want 2..32)", bits)
+	}
+	maxAbs := float32(0)
+	for _, v := range vals {
+		a := float32(math.Abs(float64(v)))
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return WidthParams{Scale: 1, Bits: bits}, nil
+	}
+	return WidthParams{Scale: maxAbs / float32(qmax), Bits: bits}, nil
+}
+
+// QMax returns the largest quantized magnitude at the params' width.
+func (p WidthParams) QMax() int32 { return QMaxFor(p.Bits) }
+
+// Quantize maps a real value to its integer representation under p,
+// rounding to nearest (ties away from zero) and saturating to ±QMax —
+// the same arithmetic as Params.Quantize at any width.
+func (p WidthParams) Quantize(v float32) int32 {
+	if p.Scale <= 0 {
+		panic(fmt.Sprintf("quant: non-positive scale %v", p.Scale))
+	}
+	qmax := float64(p.QMax())
+	q := math.Round(float64(v) / float64(p.Scale))
+	if q > qmax {
+		q = qmax
+	} else if q < -qmax {
+		q = -qmax
+	}
+	return int32(q)
+}
+
+// Dequantize maps a quantized value back to the real domain.
+func (p WidthParams) Dequantize(q int32) float32 {
+	return float32(q) * p.Scale
+}
+
+// QuantizeSlice quantizes every element of vals.
+func (p WidthParams) QuantizeSlice(vals []float32) []int32 {
+	out := make([]int32, len(vals))
+	for i, v := range vals {
+		out[i] = p.Quantize(v)
+	}
+	return out
+}
+
+// DequantizeSlice dequantizes every element of qs.
+func (p WidthParams) DequantizeSlice(qs []int32) []float32 {
+	out := make([]float32, len(qs))
+	for i, q := range qs {
+		out[i] = p.Dequantize(q)
+	}
+	return out
+}
+
+// MaxError returns the worst-case absolute quantization error under p for
+// values inside the covered range: half a quantization step.
+func (p WidthParams) MaxError() float32 {
+	return p.Scale / 2
+}
+
+// DotQW computes the exact integer dot product Σ a[i]*b[i] in an int64
+// accumulator — wide enough for 16-bit lanes, where per-pair products
+// reach 2^30 and an int32 accumulator could overflow. Integer addition is
+// associative, so the result is independent of element order at every
+// width.
+func DotQW(a, b []int32) int64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("quant: dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var acc int64
+	for i := range a {
+		acc += int64(a[i]) * int64(b[i])
+	}
+	return acc
 }

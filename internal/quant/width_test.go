@@ -1,0 +1,167 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Width-parameterized quantization: round-trip accuracy at every supported
+// lane width against the per-bit reference, and bit-identity with the
+// historical 8-bit Params path.
+
+func TestQMaxFor(t *testing.T) {
+	cases := []struct {
+		bits int
+		want int32
+	}{
+		{2, 1}, {4, 7}, {8, 127}, {16, 32767}, {32, math.MaxInt32},
+		{0, 0}, {1, 0}, {-3, 0}, {33, 0},
+	}
+	for _, c := range cases {
+		if got := QMaxFor(c.bits); got != c.want {
+			t.Errorf("QMaxFor(%d) = %d, want %d", c.bits, got, c.want)
+		}
+	}
+}
+
+func TestChooseWidthRejectsBadWidths(t *testing.T) {
+	for _, bits := range []int{-1, 0, 1, 33, 64} {
+		if _, err := ChooseWidth([]float32{1}, bits); err == nil {
+			t.Errorf("ChooseWidth(_, %d) did not fail", bits)
+		}
+	}
+}
+
+func TestChooseWidth8MatchesChoose(t *testing.T) {
+	// The 8-bit parameterized path must reproduce the historical scale
+	// choice exactly — same float32 division, same all-zero fallback.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		vals := make([]float32, 1+rng.Intn(64))
+		for i := range vals {
+			vals[i] = float32(rng.NormFloat64())
+		}
+		p := Choose(vals)
+		wp, err := ChooseWidth(vals, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wp.Scale != p.Scale {
+			t.Fatalf("trial %d: ChooseWidth scale %v != Choose scale %v", trial, wp.Scale, p.Scale)
+		}
+		for _, v := range vals {
+			if int32(p.Quantize(v)) != wp.Quantize(v) {
+				t.Fatalf("trial %d: Quantize(%v) differs: int8 path %d, width path %d",
+					trial, v, p.Quantize(v), wp.Quantize(v))
+			}
+		}
+	}
+	if wp, _ := ChooseWidth(nil, 8); wp.Scale != 1 {
+		t.Errorf("all-zero fallback scale = %v, want 1", wp.Scale)
+	}
+}
+
+// refQuantize is the independent per-bit reference: round-to-nearest (ties
+// away from zero) in float64, saturated to the symmetric range.
+func refQuantize(v, scale float32, bits int) int32 {
+	qmax := float64(int32(1)<<uint(bits-1) - 1)
+	q := math.Round(float64(v) / float64(scale))
+	if q > qmax {
+		q = qmax
+	}
+	if q < -qmax {
+		q = -qmax
+	}
+	return int32(q)
+}
+
+func TestWidthRoundTripAllWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, bits := range []int{2, 4, 8, 16} {
+		vals := make([]float32, 256)
+		for i := range vals {
+			vals[i] = float32(rng.NormFloat64()) * 3
+		}
+		p, err := ChooseWidth(vals, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.QMax() != QMaxFor(bits) {
+			t.Fatalf("bits %d: QMax() = %d", bits, p.QMax())
+		}
+		qs := p.QuantizeSlice(vals)
+		back := p.DequantizeSlice(qs)
+		for i, v := range vals {
+			if got, want := qs[i], refQuantize(v, p.Scale, bits); got != want {
+				t.Fatalf("bits %d: Quantize(%v) = %d, reference %d", bits, v, got, want)
+			}
+			if qs[i] > p.QMax() || qs[i] < -p.QMax() {
+				t.Fatalf("bits %d: q=%d outside ±%d", bits, qs[i], p.QMax())
+			}
+			// Round trip within half a step (values are inside the covered
+			// range by construction of the scale).
+			if err := math.Abs(float64(back[i] - v)); err > float64(p.MaxError())*(1+1e-5) {
+				t.Fatalf("bits %d: round-trip error %v exceeds MaxError %v (v=%v)",
+					bits, err, p.MaxError(), v)
+			}
+		}
+	}
+}
+
+func TestWidthErrorShrinksWithWidth(t *testing.T) {
+	// Same data, increasing width ⇒ strictly finer steps: the quantization
+	// error bound must shrink monotonically from 2-bit to 16-bit lanes.
+	vals := []float32{-2.5, -1, -0.25, 0.125, 0.75, 1.5, 2.5}
+	prev := float32(math.Inf(1))
+	for _, bits := range []int{2, 4, 8, 16} {
+		p, err := ChooseWidth(vals, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.MaxError() >= prev {
+			t.Fatalf("MaxError at %d bits (%v) not below previous width (%v)", bits, p.MaxError(), prev)
+		}
+		prev = p.MaxError()
+	}
+}
+
+func TestDotQWMatchesDotQAt8Bits(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a8 := make([]int8, 128)
+	b8 := make([]int8, 128)
+	a := make([]int32, 128)
+	b := make([]int32, 128)
+	for i := range a8 {
+		a8[i] = int8(rng.Intn(255) - 127)
+		b8[i] = int8(rng.Intn(255) - 127)
+		a[i], b[i] = int32(a8[i]), int32(b8[i])
+	}
+	if got, want := DotQW(a, b), int64(DotQ(a8, b8)); got != want {
+		t.Fatalf("DotQW = %d, DotQ = %d", got, want)
+	}
+}
+
+func TestDotQW16BitNoOverflow(t *testing.T) {
+	// 256 maximal 16-bit products (~2^30 each) overflow int32 but must
+	// accumulate exactly in DotQW's int64.
+	n := 256
+	a := make([]int32, n)
+	b := make([]int32, n)
+	for i := range a {
+		a[i], b[i] = 32767, 32767
+	}
+	want := int64(n) * 32767 * 32767
+	if got := DotQW(a, b); got != want {
+		t.Fatalf("DotQW = %d, want %d", got, want)
+	}
+}
+
+func TestDotQWLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	DotQW([]int32{1}, []int32{1, 2})
+}

@@ -34,6 +34,11 @@ type PlatformSpec struct {
 	MCColumn   int    `json:"mc_column,omitempty"` // column index for placement=column
 	VCs        int    `json:"vcs,omitempty"`
 	BufDepth   int    `json:"buf_depth,omitempty"`
+	// Precisions is the per-layer lane-width schedule for fixed-point
+	// geometries (one entry per Conv/Linear layer, or a single entry
+	// broadcast); entries come from nocbt.FixedWidths(). Empty keeps the
+	// geometry's own format.
+	Precisions []int `json:"precisions,omitempty"`
 }
 
 // withDefaults resolves omitted fields to the serving defaults.
@@ -113,6 +118,9 @@ func (s PlatformSpec) Build() (nocbt.Platform, error) {
 		opts = append(opts, nocbt.WithMCColumn(s.MCColumn))
 	default:
 		return nocbt.Platform{}, fmt.Errorf("serve: unknown MC placement %q (want perimeter, corners or column)", s.Placement)
+	}
+	if len(s.Precisions) > 0 {
+		opts = append(opts, nocbt.WithPrecisions(s.Precisions...))
 	}
 	return nocbt.NewPlatform(opts...)
 }
@@ -246,6 +254,9 @@ type SweepParams struct {
 	Models  []string `json:"models,omitempty"`
 	Seeds   []int64  `json:"seeds,omitempty"`
 	Batches []int    `json:"batches,omitempty"`
+	// Precisions adds a uniform fixed-point lane-width axis (entries from
+	// nocbt.FixedWidths()); empty keeps each geometry's own format.
+	Precisions []int `json:"precisions,omitempty"`
 }
 
 // toParams lowers the wire params onto nocbt.Params.
@@ -261,7 +272,7 @@ func (p ExperimentParams) toParams() (nocbt.Params, error) {
 	if p.Sweep == nil {
 		return out, nil
 	}
-	spec := nocbt.SweepSpec{Trained: p.Trained, Seeds: p.Sweep.Seeds, Batches: p.Sweep.Batches}
+	spec := nocbt.SweepSpec{Trained: p.Trained, Seeds: p.Sweep.Seeds, Batches: p.Sweep.Batches, Precisions: p.Sweep.Precisions}
 	if len(spec.Seeds) == 0 {
 		spec.Seeds = []int64{p.Seed}
 	}

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 
 	"nocbt/internal/flit"
@@ -24,10 +25,22 @@ type Result struct {
 	Coding string `json:"coding"`
 	Seed   int64  `json:"seed"`
 	// Batch is the inference batch size of the run (1 = serial Infer).
-	Batch   int   `json:"batch"`
-	TotalBT int64 `json:"total_bt"`
-	Cycles  int64 `json:"cycles"`
-	Packets int64 `json:"packets"`
+	Batch int `json:"batch"`
+	// Precision is the uniform lane-width override the job swept (0 when
+	// the precision axis was unused — the geometry's own format applied).
+	Precision int   `json:"precision,omitempty"`
+	TotalBT   int64 `json:"total_bt"`
+	Cycles    int64 `json:"cycles"`
+	Packets   int64 `json:"packets"`
+	// Flits counts total injected flits (task and result packets, headers
+	// included) — the traffic volume narrower precisions shrink.
+	Flits int64 `json:"flits,omitempty"`
+	// MACBitOps, WeightRegBits and FlitBits are the engine's per-component
+	// activity counters (see accel.EnergyCounters); together with TotalBT
+	// (= link transitions) they price a per-component energy estimate.
+	MACBitOps     int64 `json:"mac_bit_ops,omitempty"`
+	WeightRegBits int64 `json:"weight_reg_bits,omitempty"`
+	FlitBits      int64 `json:"flit_bits,omitempty"`
 	// Throughput is inferences per thousand simulated cycles;
 	// AvgLatencyCycles is the mean per-inference latency. For batch 1 both
 	// degenerate to the single inference's cycle count.
@@ -48,15 +61,19 @@ func WriteJSON(w io.Writer, results []Result) error {
 // RenderTable renders the results with the repository's standard table
 // formatter, one row per grid point in sweep order.
 func RenderTable(results []Result) string {
-	t := stats.NewTable("Platform", "Model", "Format", "Ordering", "Coding", "Seed", "Batch",
-		"Total BT", "Cycles", "Packets", "Inf/kcycle", "Reduction %")
+	t := stats.NewTable("Platform", "Model", "Format", "Prec", "Ordering", "Coding", "Seed", "Batch",
+		"Total BT", "Flits", "Cycles", "Packets", "Inf/kcycle", "Reduction %")
 	for _, r := range results {
 		coding := r.Coding
 		if coding == "" {
 			coding = "none" // rows predating the coding axis
 		}
-		t.AddRowf(r.Platform, r.Model, r.Format, r.OrderingName, coding, r.Seed, r.Batch,
-			r.TotalBT, r.Cycles, r.Packets, r.Throughput, r.ReductionPct)
+		prec := "-"
+		if r.Precision > 0 {
+			prec = fmt.Sprintf("%d", r.Precision)
+		}
+		t.AddRowf(r.Platform, r.Model, r.Format, prec, r.OrderingName, coding, r.Seed, r.Batch,
+			r.TotalBT, r.Flits, r.Cycles, r.Packets, r.Throughput, r.ReductionPct)
 	}
 	return t.String()
 }

@@ -135,6 +135,13 @@ func (r *runner) runJob(ctx context.Context, job Job) (Result, error) {
 	}
 	cfg := job.Platform.Build(job.Geometry)
 	cfg.Ordering = job.Ordering
+	precision := job.Precision
+	if precision > 0 && cfg.Geometry.Format.IsFixed() {
+		// A uniform lane-width override: every NoC layer flitizes at this
+		// width. Non-fixed geometries skip the axis (precision stays in the
+		// row label, the engine keeps the geometry's own format).
+		cfg.Precisions = []int{precision}
+	}
 	if job.Coding != "" {
 		// A listed coding — "none" included — overrides the platform's own
 		// LinkCoding; an empty axis value keeps it.
@@ -173,6 +180,7 @@ func (r *runner) runJob(ctx context.Context, job Job) (Result, error) {
 		Coding:       codingName(effCoding),
 		Seed:         job.Seed,
 		Batch:        batch,
+		Precision:    job.Precision,
 	}
 	if batch == 1 {
 		if _, err := eng.Infer(ctx, entry.input); err != nil {
@@ -193,6 +201,11 @@ func (r *runner) runJob(ctx context.Context, job Job) (Result, error) {
 	res.TotalBT = eng.TotalBT()
 	res.Cycles = eng.Cycles()
 	res.Packets = eng.TaskPackets() + eng.ResultPackets()
+	res.Flits = eng.TotalFlits()
+	ec := eng.EnergyCounters()
+	res.MACBitOps = ec.MACBitOps
+	res.WeightRegBits = ec.WeightRegBits
+	res.FlitBits = ec.FlitBits
 	return res, nil
 }
 
@@ -210,24 +223,26 @@ func codingName(c string) string {
 // coding is part of the group, so a coded sweep's reductions compare each
 // ordering against the Baseline run under the same coding.
 type groupKey struct {
-	platform string
-	workload string
-	linkBits int
-	format   string
-	coding   string
-	seed     int64
-	batch    int
+	platform  string
+	workload  string
+	linkBits  int
+	format    string
+	coding    string
+	seed      int64
+	batch     int
+	precision int
 }
 
 func (res Result) group() groupKey {
 	return groupKey{
-		platform: res.Platform,
-		workload: res.Workload,
-		linkBits: res.LinkBits,
-		format:   res.Format,
-		coding:   res.Coding,
-		seed:     res.Seed,
-		batch:    res.Batch,
+		platform:  res.Platform,
+		workload:  res.Workload,
+		linkBits:  res.LinkBits,
+		format:    res.Format,
+		coding:    res.Coding,
+		seed:      res.Seed,
+		batch:     res.Batch,
+		precision: res.Precision,
 	}
 }
 

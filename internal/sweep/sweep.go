@@ -23,6 +23,7 @@ import (
 	"math/rand"
 
 	"nocbt/internal/accel"
+	"nocbt/internal/bitutil"
 	"nocbt/internal/dnn"
 	"nocbt/internal/flit"
 	"nocbt/internal/tensor"
@@ -70,6 +71,12 @@ type Spec struct {
 	// uncoded links. Codings stack with the Orderings axis: every
 	// (ordering, coding) combination becomes its own grid point.
 	Codings []string
+	// Precisions lists uniform fixed-point lane widths to measure (2, 4, 8
+	// or 16); each entry becomes its own grid point that overrides the
+	// geometry's lane format on every layer. 0 keeps the geometry's own
+	// format, as does the empty axis. Non-fixed geometries ignore the axis
+	// (a float-32 grid point has no narrower lane to quantize to).
+	Precisions []int
 	// Workers bounds the pool; 0 means runtime.GOMAXPROCS(0).
 	Workers int
 }
@@ -89,6 +96,14 @@ func (s Spec) Validate() error {
 	for _, c := range s.Codings {
 		if _, ok := flit.LookupLinkCoding(c); !ok {
 			return fmt.Errorf("sweep: unknown link coding %q (registered: %v)", c, flit.LinkCodingNames())
+		}
+	}
+	for _, p := range s.Precisions {
+		if p == 0 {
+			continue // geometry default
+		}
+		if _, err := bitutil.FixedN(p); err != nil {
+			return fmt.Errorf("sweep: bad precision: %w", err)
 		}
 	}
 	seen := make(map[string]bool, len(s.Workloads))
@@ -116,8 +131,8 @@ func (s Spec) Validate() error {
 	return nil
 }
 
-// Job is one grid point: a single (platform, geometry, ordering, coding,
-// workload, seed, batch) inference measurement.
+// Job is one grid point: a single (platform, geometry, precision, ordering,
+// coding, workload, seed, batch) inference measurement.
 type Job struct {
 	// Index is the job's position in expansion order; results are returned
 	// in this order.
@@ -130,12 +145,18 @@ type Job struct {
 	Ordering flit.Ordering
 	// Coding is the link coding's registered name ("" = plain binary).
 	Coding string
+	// Precision is the uniform fixed-point lane width override (0 = the
+	// geometry's own format; ignored for non-fixed geometries).
+	Precision int
 }
 
 // Name renders the job's coordinates for error messages.
 func (j Job) Name() string {
 	name := fmt.Sprintf("%s/%s/%s/%s/seed%d/batch%d",
 		j.Platform.Name, j.Geometry.Format, j.Ordering, j.Workload.Name, j.Seed, j.Batch)
+	if j.Precision != 0 {
+		name += fmt.Sprintf("/prec%d", j.Precision)
+	}
 	if j.Coding != "" {
 		name += "/" + j.Coding
 	}
@@ -143,10 +164,11 @@ func (j Job) Name() string {
 }
 
 // Jobs expands the grid in deterministic nesting order — seeds, then
-// batches, then workloads, then geometries, then platforms, then codings,
-// then orderings. Orderings are innermost so each reduction group (a job
-// minus its ordering) is a contiguous run, and the serial reference loops
-// in experiments_noc.go produce rows in exactly this order.
+// batches, then workloads, then geometries, then precisions, then
+// platforms, then codings, then orderings. Orderings are innermost so each
+// reduction group (a job minus its ordering) is a contiguous run, and the
+// serial reference loops in experiments_noc.go produce rows in exactly
+// this order.
 func (s Spec) Jobs() []Job {
 	batches := s.Batches
 	if len(batches) == 0 {
@@ -156,24 +178,31 @@ func (s Spec) Jobs() []Job {
 	if len(codings) == 0 {
 		codings = []string{""}
 	}
-	jobs := make([]Job, 0, len(s.Seeds)*len(batches)*len(s.Workloads)*len(s.Geometries)*len(s.Platforms)*len(codings)*len(s.Orderings))
+	precisions := s.Precisions
+	if len(precisions) == 0 {
+		precisions = []int{0}
+	}
+	jobs := make([]Job, 0, len(s.Seeds)*len(batches)*len(s.Workloads)*len(s.Geometries)*len(precisions)*len(s.Platforms)*len(codings)*len(s.Orderings))
 	for _, seed := range s.Seeds {
 		for _, batch := range batches {
 			for _, w := range s.Workloads {
 				for _, g := range s.Geometries {
-					for _, p := range s.Platforms {
-						for _, coding := range codings {
-							for _, ord := range s.Orderings {
-								jobs = append(jobs, Job{
-									Index:    len(jobs),
-									Seed:     seed,
-									Batch:    batch,
-									Workload: w,
-									Geometry: g,
-									Platform: p,
-									Coding:   coding,
-									Ordering: ord,
-								})
+					for _, prec := range precisions {
+						for _, p := range s.Platforms {
+							for _, coding := range codings {
+								for _, ord := range s.Orderings {
+									jobs = append(jobs, Job{
+										Index:     len(jobs),
+										Seed:      seed,
+										Batch:     batch,
+										Workload:  w,
+										Geometry:  g,
+										Platform:  p,
+										Coding:    coding,
+										Ordering:  ord,
+										Precision: prec,
+									})
+								}
 							}
 						}
 					}

@@ -135,6 +135,17 @@ func Float32() Geometry { return flit.Float32Geometry() }
 // Fixed8 returns the paper's 128-bit link / 16×fixed-8 flit format.
 func Fixed8() Geometry { return flit.Fixed8Geometry() }
 
+// FixedGeometry returns a 128-bit link geometry with fixed-point lanes of
+// the given width: 2, 4, 8 or 16 bits (see FixedWidths). Narrower lanes
+// pack more values per flit — FixedGeometry(4) carries 32 lanes where
+// Fixed8() carries 16 — so low-precision layers ship proportionally fewer
+// flits over the same physical link. FixedGeometry(8) is exactly Fixed8().
+func FixedGeometry(bits int) (Geometry, error) { return flit.FixedGeometry(bits) }
+
+// FixedWidths returns the supported fixed-point lane widths ({2, 4, 8, 16}),
+// the valid entries for FixedGeometry and WithPrecisions.
+func FixedWidths() []int { return bitutil.FixedWidths() }
+
 // Platform is an accelerator platform configuration. Build one with
 // NewPlatform (see platform.go) — arbitrary mesh sizes, MC counts and
 // placement policies — or start from a paper preset option bundle.

@@ -74,6 +74,7 @@ type platformSpec struct {
 	peComputeCycles int
 	inBandIndex     bool
 	linkCoding      string
+	precisions      []int
 }
 
 // PlatformOption configures one aspect of a platform under construction.
@@ -177,6 +178,17 @@ func WithInBandIndex(on bool) PlatformOption {
 	return func(s *platformSpec) { s.inBandIndex = on }
 }
 
+// WithPrecisions sets a per-layer lane-width schedule for fixed-point
+// platforms: one entry per NoC-visible layer (Conv2D/Linear, in model
+// order), or a single entry broadcast to every layer. Each entry must be a
+// supported fixed-point width (2, 4, 8 or 16 — see FixedWidths). Layers at
+// narrower widths pack more lanes per flit and ship proportionally fewer
+// flits. The empty schedule (the default) keeps the platform geometry's
+// format for every layer.
+func WithPrecisions(bits ...int) PlatformOption {
+	return func(s *platformSpec) { s.precisions = append([]int(nil), bits...) }
+}
+
 // NewPlatform builds a validated accelerator platform from functional
 // options. With no options it returns the paper's default platform:
 // a 4×4 mesh, 2 perimeter MCs, fixed-8 geometry, O0 ordering.
@@ -204,12 +216,9 @@ func NewPlatform(opts ...PlatformOption) (Platform, error) {
 	if s.width < 2 || s.height < 2 {
 		return Platform{}, fmt.Errorf("nocbt: mesh %dx%d is smaller than the minimum 2x2", s.width, s.height)
 	}
-	// The lane format gates the geometry checks: Format.Bits panics on
-	// unknown encodings, so an invalid format must fail here, descriptively,
-	// before Geometry.Validate or Geometry.String can touch it.
-	if f := s.geometry.Format; f != Float32().Format && f != Fixed8().Format {
-		return Platform{}, fmt.Errorf("nocbt: bad geometry: unknown lane format %d (use Float32() or Fixed8())", int(f))
-	}
+	// Geometry.Validate rejects unknown lane formats with a descriptive
+	// error (Format.Bits no longer panics), so no separate format gate is
+	// needed here.
 	if err := s.geometry.Validate(); err != nil {
 		return Platform{}, fmt.Errorf("nocbt: bad geometry %v: %w", s.geometry, err)
 	}
@@ -293,6 +302,7 @@ func NewPlatform(opts ...PlatformOption) (Platform, error) {
 		MCs:             mcs,
 		MaxSegmentPairs: s.maxSegmentPairs,
 		PEComputeCycles: s.peComputeCycles,
+		Precisions:      s.precisions,
 	}
 	if err := cfg.Validate(); err != nil {
 		return Platform{}, fmt.Errorf("nocbt: %w", err)

@@ -112,8 +112,8 @@ func TestCustomStrategyEndToEnd(t *testing.T) {
 	if len(rows) != 2 {
 		t.Fatalf("got %d rows, want 2:\n%s", len(rows), out)
 	}
-	// Columns: Platform, Model, Format, Ordering, Coding, ...
-	if rows[1][3] != "reverse" || rows[1][4] != "gray" {
-		t.Errorf("custom row ordering/coding = %v/%v, want reverse/gray", rows[1][3], rows[1][4])
+	// Columns: Platform, Model, Format, Prec, Ordering, Coding, ...
+	if rows[1][4] != "reverse" || rows[1][5] != "gray" {
+		t.Errorf("custom row ordering/coding = %v/%v, want reverse/gray", rows[1][4], rows[1][5])
 	}
 }

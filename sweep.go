@@ -115,6 +115,12 @@ type SweepSpec struct {
 	// grid point, overriding each platform's own LinkCoding. Empty keeps
 	// the platforms' configured codings (usually none).
 	Codings []string
+	// Precisions lists uniform fixed-point lane widths (see FixedWidths) to
+	// measure; each becomes its own grid point overriding the geometry's
+	// lane format on every layer, so narrower widths ship fewer flits. 0
+	// keeps the geometry's own format, as does the empty axis; float-32
+	// geometry points ignore the axis.
+	Precisions []int
 	// Workers bounds the worker pool; 0 means GOMAXPROCS.
 	Workers int
 }
@@ -184,6 +190,7 @@ func (s SweepSpec) toInternal() (sweep.Spec, error) {
 		Seeds:      s.Seeds,
 		Batches:    s.Batches,
 		Codings:    s.Codings,
+		Precisions: s.Precisions,
 		Workers:    s.Workers,
 	}
 	for _, p := range s.Platforms {
@@ -228,9 +235,14 @@ func RunSweep(ctx context.Context, spec SweepSpec) ([]NoCRunResult, error) {
 			Ordering:         r.Ordering,
 			Coding:           r.Coding,
 			Batch:            r.Batch,
+			Precision:        r.Precision,
 			TotalBT:          r.TotalBT,
 			Cycles:           r.Cycles,
 			Packets:          r.Packets,
+			Flits:            r.Flits,
+			MACBitOps:        r.MACBitOps,
+			WeightRegBits:    r.WeightRegBits,
+			FlitBits:         r.FlitBits,
 			Throughput:       r.Throughput,
 			AvgLatencyCycles: r.AvgLatencyCycles,
 			ReductionPct:     r.ReductionPct,
@@ -255,12 +267,16 @@ func sweepResult(ctx context.Context, p Params) (*Result, error) {
 	}
 	table := ResultTable{
 		Name: "sweep",
-		Columns: []string{"Platform", "Model", "Format", "Ordering", "Coding", "Seed", "Batch",
-			"Total BT", "Cycles", "Packets", "Inf/kcycle", "Reduction %"},
+		Columns: []string{"Platform", "Model", "Format", "Prec", "Ordering", "Coding", "Seed", "Batch",
+			"Total BT", "Flits", "Cycles", "Packets", "Inf/kcycle", "Reduction %"},
 	}
 	for _, r := range rows {
-		table.AddRow(r.Platform, r.Model, r.Geometry.Format.String(), r.Ordering.String(),
-			r.Coding, r.Seed, r.Batch, r.TotalBT, r.Cycles, r.Packets, r.Throughput, r.ReductionPct)
+		prec := "-"
+		if r.Precision > 0 {
+			prec = fmt.Sprintf("%d", r.Precision)
+		}
+		table.AddRow(r.Platform, r.Model, r.Geometry.Format.String(), prec, r.Ordering.String(),
+			r.Coding, r.Seed, r.Batch, r.TotalBT, r.Flits, r.Cycles, r.Packets, r.Throughput, r.ReductionPct)
 	}
 	resolved := spec.withDefaults()
 	platformNames := make([]string, len(resolved.Platforms))
@@ -271,12 +287,13 @@ func sweepResult(ctx context.Context, p Params) (*Result, error) {
 		Experiment: "sweep",
 		Title:      "Sweep — ordering × platform × format × model grid",
 		Meta: map[string]any{
-			"rows":      len(rows),
-			"platforms": platformNames,
-			"seeds":     resolved.Seeds,
-			"batches":   resolved.Batches,
-			"codings":   resolved.Codings,
-			"trained":   resolved.Trained,
+			"rows":       len(rows),
+			"platforms":  platformNames,
+			"seeds":      resolved.Seeds,
+			"batches":    resolved.Batches,
+			"codings":    resolved.Codings,
+			"precisions": resolved.Precisions,
+			"trained":    resolved.Trained,
 		},
 		Tables: []ResultTable{table},
 		Sections: []Section{
@@ -323,9 +340,14 @@ func toInternalResults(rows []NoCRunResult) []sweep.Result {
 			Coding:           coding,
 			Seed:             r.Seed,
 			Batch:            batch,
+			Precision:        r.Precision,
 			TotalBT:          r.TotalBT,
 			Cycles:           r.Cycles,
 			Packets:          r.Packets,
+			Flits:            r.Flits,
+			MACBitOps:        r.MACBitOps,
+			WeightRegBits:    r.WeightRegBits,
+			FlitBits:         r.FlitBits,
 			Throughput:       r.Throughput,
 			AvgLatencyCycles: r.AvgLatencyCycles,
 			ReductionPct:     r.ReductionPct,
