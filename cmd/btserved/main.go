@@ -98,6 +98,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	case <-ctx.Done():
 		fmt.Fprintln(stdout, "btserved: shutting down")
+		//nocbtlint:ignore ctxcheck: the parent ctx is already cancelled here; the shutdown grace period needs its own clock
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil {

@@ -1,0 +1,160 @@
+// Command nocbtlint runs the repository's custom analyzers — poolcheck,
+// fingerprintcheck, registrycheck and ctxcheck — over Go package patterns
+// and reports every finding, one per line, in file:line:col order.
+//
+//	go run ./cmd/nocbtlint ./...
+//
+// It exits 0 when the tree is clean, 1 when any analyzer reports a
+// finding, and 2 on usage or load errors. Findings are suppressed per
+// line with a justified marker:
+//
+//	//nocbtlint:ignore <analyzer>: <why, at least 10 characters>
+//
+// on the offending line or the line above. Malformed suppressions are
+// findings themselves, so exclusions cannot rot silently.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"nocbt/internal/lint/analysis"
+	"nocbt/internal/lint/ctxcheck"
+	"nocbt/internal/lint/fingerprintcheck"
+	"nocbt/internal/lint/load"
+	"nocbt/internal/lint/poolcheck"
+	"nocbt/internal/lint/registrycheck"
+)
+
+// analyzers is the registered checker suite, in report order.
+var analyzers = []*analysis.Analyzer{
+	ctxcheck.Analyzer,
+	fingerprintcheck.Analyzer,
+	poolcheck.Analyzer,
+	registrycheck.Analyzer,
+}
+
+// errFindings distinguishes "the tree has findings" (exit 1) from driver
+// failures (exit 2).
+var errFindings = errors.New("findings reported")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errFindings) {
+			os.Exit(1)
+		}
+		if !errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintln(os.Stderr, "nocbtlint:", err)
+		}
+		os.Exit(2)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("nocbtlint", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	listOnly := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintln(stdout, "usage: nocbtlint [-list] [-run a,b] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	selected, err := selectAnalyzers(*only)
+	if err != nil {
+		return err
+	}
+	if *listOnly {
+		for _, a := range selected {
+			fmt.Fprintf(stdout, "%s: %s\n", a.Name, a.Doc)
+		}
+		return nil
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Packages(".", patterns...)
+	if err != nil {
+		return err
+	}
+
+	// Cross-package accumulators are created once per driver run; packages
+	// arrive from the loader in sorted import-path order, so duplicate-ID
+	// diagnostics land deterministically on the later package.
+	states := map[*analysis.Analyzer]any{}
+	for _, a := range selected {
+		if a.NewRunState != nil {
+			states[a] = a.NewRunState()
+		}
+	}
+
+	// The loader shares one FileSet across every package of a run.
+	var fset *token.FileSet
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		fset = pkg.Fset
+		for _, a := range selected {
+			pass := &analysis.Pass{
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				RunState:  states[a],
+			}
+			ds, err := analysis.Run(a, pass)
+			if err != nil {
+				return fmt.Errorf("%s: %w", pkg.PkgPath, err)
+			}
+			diags = append(diags, ds...)
+		}
+	}
+	if len(diags) == 0 {
+		return nil
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	for _, d := range diags {
+		fmt.Fprintf(stdout, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	return fmt.Errorf("%d %w", len(diags), errFindings)
+}
+
+// selectAnalyzers resolves the -run flag onto the registered suite.
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return analyzers, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (use -list)", strings.TrimSpace(name))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

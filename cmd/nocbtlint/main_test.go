@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestListAnalyzers checks that every registered analyzer shows up in -list.
+func TestListAnalyzers(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatalf("run(-list) = %v", err)
+	}
+	for _, name := range []string{"poolcheck", "fingerprintcheck", "registrycheck", "ctxcheck"} {
+		if !strings.Contains(out.String(), name+": ") {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestUnknownAnalyzer checks the -run flag rejects unregistered names.
+func TestUnknownAnalyzer(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "nosuch"}, &out); err == nil || !strings.Contains(err.Error(), "unknown analyzer") {
+		t.Fatalf("run(-run nosuch) = %v, want unknown analyzer error", err)
+	}
+}
+
+// TestCleanPackage drives the full load-and-analyze pipeline over one real
+// repo package that must be finding-free.
+func TestCleanPackage(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"nocbt/internal/bitutil"}, &out); err != nil {
+		t.Fatalf("run(nocbt/internal/bitutil) = %v\n%s", err, out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean package produced output:\n%s", out.String())
+	}
+}

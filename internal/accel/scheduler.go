@@ -225,6 +225,7 @@ func (s *scheduler) execute(flows []*flow) error {
 // conv/linear layer is decomposed and handed to the dispatcher, completion
 // marks the flow done.
 func (s *scheduler) advance(f *flow) error {
+	//nocbtlint:ignore ctxcheck: bounded by the model's layer count; nextLayer advances or the function returns every iteration
 	for f.nextLayer < len(s.e.model.Layers) {
 		layer := s.e.model.Layers[f.nextLayer]
 		// The flow's NoC-layer counter indexes the precision schedule:

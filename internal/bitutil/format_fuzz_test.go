@@ -1,0 +1,37 @@
+package bitutil
+
+import "testing"
+
+// FuzzParseFormat checks the format-name parser's contract on arbitrary
+// input: an accepted name must produce a Valid format whose canonical
+// String spelling parses back to the same format, and a rejected name must
+// return the zero Format. ParseFormat fronts every config and serving
+// request that names a precision, so its accept set must stay closed under
+// its own printer.
+func FuzzParseFormat(f *testing.F) {
+	for _, seed := range []string{
+		"fixed-8", "FLOAT32", " fp32 ", "fixed16", "fixed-2", "Fixed-4",
+		"float-32", "fixed8", "bogus", "", "fixed-3", "-", "fixed--8",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		fm, err := ParseFormat(s)
+		if err != nil {
+			if fm != 0 {
+				t.Fatalf("ParseFormat(%q) = (%v, %v): error with non-zero format", s, fm, err)
+			}
+			return
+		}
+		if verr := fm.Valid(); verr != nil {
+			t.Fatalf("ParseFormat(%q) accepted an invalid format: %v", s, verr)
+		}
+		back, err := ParseFormat(fm.String())
+		if err != nil {
+			t.Fatalf("canonical name %q of accepted input %q does not parse: %v", fm.String(), s, err)
+		}
+		if back != fm {
+			t.Fatalf("round trip %q -> %v -> %q -> %v", s, fm, fm.String(), back)
+		}
+	})
+}

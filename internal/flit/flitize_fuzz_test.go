@@ -1,0 +1,59 @@
+package flit
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzFlitizeDeflitize drives random tasks through every registered
+// ordering strategy on both paper geometries and checks the receiver-side
+// recovery invariants: the bias survives, the (weight, input) pairing is
+// preserved (dot-product identity), and the baseline ordering round-trips
+// the exact sequence. Any ordering whose partner table fails to restore
+// pairing corrupts MAC results silently, which is why this runs under fuzz
+// rather than a fixed size sweep only.
+func FuzzFlitizeDeflitize(f *testing.F) {
+	f.Add(uint64(1), 8, false)
+	f.Add(uint64(2), 25, true) // LeNet conv1 task shape, in-band index
+	f.Add(uint64(3), 1, false) // single pair: bias shares the only data flit
+	f.Add(uint64(4), 150, true)
+	f.Add(uint64(5), 9, false) // one pair past a flit boundary
+	f.Fuzz(func(t *testing.T, seed uint64, n int, inBand bool) {
+		if n < 0 {
+			n = -n
+		}
+		n = n%300 + 1
+		rng := rand.New(rand.NewSource(int64(seed)))
+		task := randTask(n, rng)
+		want := taskDot(task)
+		for _, g := range []Geometry{Fixed8Geometry(), Float32Geometry()} {
+			for _, s := range OrderingStrategies() {
+				ord := s.ID()
+				fz, err := Flitize(g, task, Options{Ordering: ord, InBandIndex: inBand})
+				if err != nil {
+					t.Fatalf("%s %s n=%d: flitize: %v", g, s.Name(), n, err)
+				}
+				got, err := Deflitize(g, fz.Data, n, ord, fz.PartnerIndex)
+				if err != nil {
+					t.Fatalf("%s %s n=%d: deflitize: %v", g, s.Name(), n, err)
+				}
+				if got.Bias != task.Bias {
+					t.Fatalf("%s %s n=%d: bias %#x, want %#x", g, s.Name(), n, got.Bias, task.Bias)
+				}
+				if len(got.Inputs) != n || len(got.Weights) != n {
+					t.Fatalf("%s %s n=%d: recovered %d inputs / %d weights", g, s.Name(), n, len(got.Inputs), len(got.Weights))
+				}
+				if gotDot := taskDot(got); gotDot != want {
+					t.Fatalf("%s %s n=%d: pairing broken, dot %d, want %d", g, s.Name(), n, gotDot, want)
+				}
+				if ord == Baseline {
+					for i := range task.Inputs {
+						if got.Inputs[i] != task.Inputs[i] || got.Weights[i] != task.Weights[i] {
+							t.Fatalf("%s n=%d: baseline order not preserved at %d", g, n, i)
+						}
+					}
+				}
+			}
+		}
+	})
+}

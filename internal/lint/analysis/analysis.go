@@ -1,0 +1,81 @@
+// Package analysis is the minimal analyzer framework nocbtlint's checkers
+// run on: an API-compatible subset of golang.org/x/tools/go/analysis built
+// only on the standard library's go/ast and go/types.
+//
+// The build environment for this repository is hermetic (no module proxy),
+// so the canonical x/tools framework cannot be vendored in. The subset here
+// keeps the same shapes — Analyzer with a Run func, Pass carrying the
+// type-checked package, Report emitting Diagnostics — so migrating a
+// checker onto x/tools is a mechanical import swap, not a rewrite.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in suppression
+	// comments (see suppress.go). Lowercase, no spaces.
+	Name string
+	// Doc is the one-paragraph description shown by `nocbtlint -list`.
+	Doc string
+	// Run applies the check to one package and reports findings through
+	// pass.Report. The returned value is ignored by the driver (it exists
+	// for x/tools API parity).
+	Run func(pass *Pass) (any, error)
+	// NewRunState, when non-nil, is called once per whole driver run (not
+	// per package) and the result is placed in every Pass.RunState for this
+	// analyzer. Checkers use it to accumulate cross-package state, e.g.
+	// registrycheck's repo-wide wire-ID index. The driver visits packages
+	// in sorted import-path order, so cross-package diagnostics are
+	// deterministic.
+	NewRunState func() any
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// RunState is this analyzer's cross-package accumulator (see
+	// Analyzer.NewRunState); nil when the analyzer declares none.
+	RunState any
+
+	diagnostics []Diagnostic
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Report records a finding.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the findings reported so far.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diagnostics }
+
+// Run applies one analyzer to one package and returns its diagnostics
+// after suppression-comment filtering (malformed suppressions surface as
+// diagnostics themselves).
+func Run(a *Analyzer, pass *Pass) ([]Diagnostic, error) {
+	pass.Analyzer = a
+	if _, err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	return ApplySuppressions(pass.Fset, pass.Files, pass.diagnostics), nil
+}

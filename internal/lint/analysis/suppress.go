@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Suppression grammar. A finding is silenced by a comment of the form
+//
+//	//nocbtlint:ignore <analyzer>: <justification>
+//
+// placed either on the flagged line or on the line immediately above it.
+// The justification is mandatory and must say something — at least
+// MinJustification characters after trimming — because an unexplained
+// suppression is exactly the head-knowledge rot this linter exists to
+// stop. Malformed suppression comments (missing colon, empty or too-short
+// justification) are themselves reported, so a suppression cannot decay
+// silently; the analyzer name "all" silences every checker on that line.
+const ignorePrefix = "//nocbtlint:ignore"
+
+// MinJustification is the minimum trimmed length of a suppression
+// justification.
+const MinJustification = 10
+
+var ignoreRE = regexp.MustCompile(`^//nocbtlint:ignore ([a-z]+|all): (.*)$`)
+
+type suppression struct {
+	analyzer string
+	line     int
+	file     string
+}
+
+// ApplySuppressions filters diags through the files' suppression comments
+// and appends a diagnostic for every malformed suppression comment it
+// encounters.
+func ApplySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	var sups []suppression
+	var out []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					out = append(out, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "suppression",
+						Message:  "malformed suppression: want //nocbtlint:ignore <analyzer>: <justification>",
+					})
+					continue
+				}
+				if len(strings.TrimSpace(m[2])) < MinJustification {
+					out = append(out, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "suppression",
+						Message:  "suppression needs a written justification (>= 10 characters) after the colon",
+					})
+					continue
+				}
+				sups = append(sups, suppression{analyzer: m[1], line: pos.Line, file: pos.Filename})
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		suppressed := false
+		for _, s := range sups {
+			if s.file != pos.Filename {
+				continue
+			}
+			if s.analyzer != d.Analyzer && s.analyzer != "all" {
+				continue
+			}
+			if s.line == pos.Line || s.line == pos.Line-1 {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}

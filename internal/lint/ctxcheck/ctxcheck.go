@@ -1,0 +1,205 @@
+// Package ctxcheck enforces context plumbing in the simulation hot paths:
+//
+//   - a function that receives a context.Context must actually consult it
+//     (or rename the parameter to _ to state that it deliberately does not)
+//     — a dropped ctx silently turns a cancellable API into an
+//     uncancellable one;
+//   - a function that receives a ctx must not manufacture a fresh
+//     context.Background()/TODO() — deriving from Background discards the
+//     caller's cancellation and deadline. The nil-guard idiom
+//     `if ctx == nil { ctx = context.Background() }` is recognized and
+//     allowed;
+//   - inside the packages listed in LoopScope, condition-only loops
+//     (`for {}` and `for cond {}` — the shapes that run for millions of
+//     simulated cycles) must poll the context somewhere in the body:
+//     reference a context value, or block on a channel so an external
+//     signal can end the wait. The engine's documented contract is that
+//     cancellation is visible within a few thousand cycles; a cycle loop
+//     with no poll breaks it.
+package ctxcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"nocbt/internal/lint/analysis"
+)
+
+// Analyzer is the ctxcheck entry point.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxcheck",
+	Doc:  "reports dropped ctx parameters, fresh Background contexts inside ctx-taking functions, and unbounded loops that never poll the context",
+	Run:  run,
+}
+
+// LoopScope lists the packages whose condition-only loops must poll ctx —
+// the long-running simulation drivers. Tests may swap it to point at
+// fixture packages.
+var LoopScope = []string{
+	"nocbt/internal/accel",
+	"nocbt/internal/sweep",
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	checkLoops := false
+	for _, p := range LoopScope {
+		if p == pass.Pkg.Path() {
+			checkLoops = true
+		}
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxParams := contextParams(pass, fd)
+			for name, obj := range ctxParams {
+				if !usesObject(pass, fd.Body, obj) {
+					pass.Report(obj.Pos(), "%s receives %s but never uses it; plumb it into the work it starts or rename the parameter to _", fd.Name.Name, name)
+				}
+			}
+			if len(ctxParams) > 0 {
+				checkFreshContext(pass, fd, ctxParams)
+			}
+			if checkLoops {
+				checkLoopPolls(pass, fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// contextParams returns the named context.Context parameters of a function.
+func contextParams(pass *analysis.Pass, fd *ast.FuncDecl) map[string]types.Object {
+	out := map[string]types.Object{}
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil || name.Name == "_" {
+				continue
+			}
+			if isContextType(obj.Type()) {
+				out[name.Name] = obj
+			}
+		}
+	}
+	return out
+}
+
+// usesObject reports whether any identifier in body resolves to obj.
+func usesObject(pass *analysis.Pass, body ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// checkFreshContext reports context.Background()/TODO() calls inside a
+// ctx-taking function, except the nil-guard rebind of the ctx param itself.
+func checkFreshContext(pass *analysis.Pass, fd *ast.FuncDecl, ctxParams map[string]types.Object) {
+	// Collect the exempt calls: RHS of `ctx = context.Background()` where
+	// the LHS is one of the function's own ctx params.
+	exempt := map[ast.Node]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		for _, obj := range ctxParams {
+			if pass.TypesInfo.Uses[id] == obj {
+				exempt[ast.Unparen(as.Rhs[0])] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || exempt[call] {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if fn.Name() == "Background" || fn.Name() == "TODO" {
+			pass.Report(call.Pos(), "%s already receives a ctx; context.%s here discards the caller's cancellation and deadline", fd.Name.Name, fn.Name())
+		}
+		return true
+	})
+}
+
+// checkLoopPolls reports condition-only loops whose bodies never touch a
+// context value or block on a channel.
+func checkLoopPolls(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Init != nil || loop.Post != nil {
+			return true
+		}
+		if !pollsContext(pass, loop.Body) {
+			pass.Report(loop.For, "unbounded loop in %s never polls the context; check ctx.Err() on an interval or select on ctx.Done() so cancellation stays prompt", fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// pollsContext reports whether the loop body references any
+// context.Context-typed expression (ctx, s.ctx, a ctx argument...) or
+// performs a channel operation that an external signal can complete.
+func pollsContext(pass *analysis.Pass, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch nn := n.(type) {
+		case ast.Expr:
+			if tv, ok := pass.TypesInfo.Types[nn]; ok && isContextType(tv.Type) {
+				found = true
+			}
+			if ue, ok := n.(*ast.UnaryExpr); ok && ue.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			// Ranging over a channel blocks on external input too.
+			if tv, ok := pass.TypesInfo.Types[nn.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,15 @@
+package ctxcheck_test
+
+import (
+	"testing"
+
+	"nocbt/internal/lint/ctxcheck"
+	"nocbt/internal/lint/linttest"
+)
+
+func TestCtxcheckFixtures(t *testing.T) {
+	saved := ctxcheck.LoopScope
+	defer func() { ctxcheck.LoopScope = saved }()
+	ctxcheck.LoopScope = []string{"fixture/a"}
+	linttest.Run(t, ctxcheck.Analyzer, "../testdata/ctxcheck/a")
+}

@@ -1,0 +1,148 @@
+// Package linttest runs nocbtlint analyzers over fixture packages and
+// checks their diagnostics against // want comments — the analysistest
+// idiom, rebuilt on the in-repo framework.
+//
+// A fixture is a directory of .go files (conventionally under
+// internal/lint/testdata/<analyzer>/) that is invisible to the go tool, so
+// it may deliberately violate the invariants under test. Expected findings
+// are declared in the fixture source:
+//
+//	pool.Release(pkt)
+//	_ = pkt.ID // want `released`
+//
+// Each backquoted or double-quoted string after "want" is a regular
+// expression that must match one diagnostic reported on that line. Lines
+// without a want comment must produce no diagnostics.
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"nocbt/internal/lint/analysis"
+	"nocbt/internal/lint/load"
+)
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// Run loads each fixture directory as its own package (in order, sharing
+// one RunState so cross-package checks see every fixture) and verifies the
+// analyzer's diagnostics against the fixtures' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dirs ...string) {
+	t.Helper()
+	modRoot, err := findModRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runState any
+	if a.NewRunState != nil {
+		runState = a.NewRunState()
+	}
+	for _, dir := range dirs {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := load.FixtureDir(modRoot, abs, "fixture/"+filepath.Base(abs))
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", dir, err)
+		}
+		pass := &analysis.Pass{
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			RunState:  runState,
+		}
+		diags, err := analysis.Run(a, pass)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+		}
+		compare(t, pkg.Fset, dir, wants(pkg), diags)
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// wants extracts the expectations from the fixture's comments.
+func wants(pkg *load.Package) []*want {
+	var out []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "want ")
+				if !strings.HasPrefix(text, "//") || idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text[idx+len("want "):], -1) {
+					raw := m[1]
+					if raw == "" {
+						raw = m[2]
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						panic(fmt.Sprintf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err))
+					}
+					out = append(out, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func compare(t *testing.T, fset *token.FileSet, dir string, expected []*want, diags []analysis.Diagnostic) {
+	t.Helper()
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range expected {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s: %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range expected {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none (fixture %s)", w.file, w.line, w.raw, dir)
+		}
+	}
+}
+
+// findModRoot walks up from the working directory to the enclosing go.mod.
+func findModRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("linttest: no go.mod above working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,227 @@
+// Package load turns Go package patterns into type-checked syntax trees
+// for nocbtlint's analyzers, using only the standard library plus the go
+// command itself.
+//
+// The mechanism: `go list -export -deps -json` enumerates the requested
+// packages and every dependency, compiling each dependency's export data
+// into the build cache and reporting the file path. Target packages are
+// then parsed with go/parser and type-checked with go/types against a gc
+// importer whose lookup function serves those export files — the same
+// pipeline golang.org/x/tools/go/packages drives, minus the external
+// dependency (unavailable in this hermetic build).
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	GoFiles   []string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Packages loads every package matching the patterns (run from dir, which
+// must sit inside the module). Test files are not part of `go list`'s
+// GoFiles, so _test.go code — including fixtures that deliberately violate
+// invariants — is never analyzed.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	pkgs, exports, importMap, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newImporter(fset, exports, importMap)
+	var out []*Package
+	for _, lp := range pkgs {
+		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		p, err := check(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}
+
+// FixtureDir type-checks the .go files of one directory as a single
+// package under the given import path. The directory may live under
+// testdata/ (invisible to the go tool); its imports resolve against the
+// enclosing module via modRoot, so fixtures can import real repo packages
+// such as nocbt/internal/flit.
+func FixtureDir(modRoot, dir, pkgPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("load: no .go files in %s", dir)
+	}
+	sort.Strings(goFiles)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			imports[strings.Trim(spec.Path.Value, `"`)] = true
+		}
+	}
+	paths := make([]string, 0, len(imports))
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	exports := map[string]string{}
+	importMap := map[string]string{}
+	if len(paths) > 0 {
+		_, exports, importMap, err = goList(modRoot, paths...)
+		if err != nil {
+			return nil, fmt.Errorf("load: resolving fixture imports %v: %w", paths, err)
+		}
+	}
+	imp := newImporter(fset, exports, importMap)
+	lp := &listPkg{ImportPath: pkgPath, Dir: dir, GoFiles: goFiles}
+	return checkFiles(fset, imp, lp, files)
+}
+
+// goList runs `go list -export -deps -json` and returns the direct
+// packages plus the export-data index for every package it mentioned.
+func goList(dir string, patterns ...string) ([]*listPkg, map[string]string, map[string]string, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,ImportMap,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, nil, nil, fmt.Errorf("load: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	exports := map[string]string{}
+	importMap := map[string]string{}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, nil, nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		for from, to := range p.ImportMap {
+			importMap[from] = to
+		}
+		q := p
+		pkgs = append(pkgs, &q)
+	}
+	return pkgs, exports, importMap, nil
+}
+
+// newImporter builds a caching gc-export-data importer over the go list
+// index. The gc importer caches packages internally, so sharing one
+// instance across every target package keeps loads linear.
+func newImporter(fset *token.FileSet, exports, importMap map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+func check(fset *token.FileSet, imp types.Importer, lp *listPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return checkFiles(fset, imp, lp, files)
+}
+
+func checkFiles(fset *token.FileSet, imp types.Importer, lp *listPkg, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", lp.ImportPath, err)
+	}
+	return &Package{
+		PkgPath:   lp.ImportPath,
+		Dir:       lp.Dir,
+		GoFiles:   lp.GoFiles,
+		Fset:      fset,
+		Files:     files,
+		Types:     pkg,
+		TypesInfo: info,
+	}, nil
+}

@@ -1,0 +1,414 @@
+// Package poolcheck enforces the flit.Pool ownership protocol introduced
+// by the allocation-free hot path (PR 6):
+//
+//   - a value handed back to the pool — via (*flit.Pool).Release,
+//     ReleaseShell, ReleaseFlit or PutVec, or (*noc.Sim).Recycle — must not
+//     be referenced afterwards in the same function: its backing store is
+//     on the free-list and will alias the next Vec/Packet caller;
+//   - caller-owned packets built with flit.NewPacket must never be passed
+//     to Release/Recycle/ReleaseFlit — only pool-built packets go back to
+//     the pool (ReleaseShell is exempt: it documents a no-op on
+//     caller-owned packets).
+//
+// The analysis is intra-procedural and statement-ordered: releases inside
+// one branch of an if/switch do not leak into the joined flow (no false
+// positives from early-return cleanup paths), and loop bodies are walked
+// twice so a release at the bottom of an iteration catches a use at the
+// top of the next.
+package poolcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"nocbt/internal/lint/analysis"
+)
+
+// Analyzer is the poolcheck entry point.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolcheck",
+	Doc:  "reports uses of pooled flit/packet values after they were released to their pool, and caller-owned flit.NewPacket values passed to Release/Recycle",
+	Run:  run,
+}
+
+// releaseMethods maps (package path, receiver type, method) to whether the
+// method frees its arguments (true) or only the shell (false — ReleaseShell
+// tolerates caller-owned packets by contract).
+type methodKey struct {
+	pkg, typ, name string
+}
+
+var releaseMethods = map[methodKey]bool{
+	{"nocbt/internal/flit", "Pool", "Release"}:      true,
+	{"nocbt/internal/flit", "Pool", "ReleaseShell"}: true,
+	{"nocbt/internal/flit", "Pool", "ReleaseFlit"}:  true,
+	{"nocbt/internal/flit", "Pool", "PutVec"}:       true,
+	{"nocbt/internal/noc", "Sim", "Recycle"}:        true,
+}
+
+// recycleRejectsCallerOwned marks the methods a caller-owned NewPacket
+// value must never reach.
+var recycleRejectsCallerOwned = map[methodKey]bool{
+	{"nocbt/internal/flit", "Pool", "Release"}:     true,
+	{"nocbt/internal/flit", "Pool", "ReleaseFlit"}: true,
+	{"nocbt/internal/noc", "Sim", "Recycle"}:       true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					c := &checker{pass: pass, reported: map[token.Pos]bool{}}
+					c.walkStmts(fn.Body.List, newState())
+				}
+				return false // nested FuncLits are walked as part of the body
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// relInfo records where an object was released.
+type relInfo struct {
+	pos  token.Pos
+	call string
+}
+
+type state struct {
+	released    map[types.Object]relInfo
+	callerOwned map[types.Object]bool
+}
+
+func newState() *state {
+	return &state{released: map[types.Object]relInfo{}, callerOwned: map[types.Object]bool{}}
+}
+
+func (s *state) clone() *state {
+	c := newState()
+	for k, v := range s.released {
+		c.released[k] = v
+	}
+	for k, v := range s.callerOwned {
+		c.callerOwned[k] = v
+	}
+	return c
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	reported map[token.Pos]bool
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if c.reported[pos] {
+		return // loop bodies are walked twice; report each position once
+	}
+	c.reported[pos] = true
+	c.pass.Report(pos, format, args...)
+}
+
+func (c *checker) walkStmts(stmts []ast.Stmt, st *state) {
+	for _, s := range stmts {
+		c.walkStmt(s, st)
+	}
+}
+
+func (c *checker) walkStmt(stmt ast.Stmt, st *state) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		c.checkUses(s.X, st)
+		c.applyReleases(s.X, st)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			c.checkUses(rhs, st)
+			c.applyReleases(rhs, st)
+		}
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				// Rebinding gives the name a fresh value: it is no longer
+				// the released/caller-owned one.
+				var obj types.Object
+				if s.Tok == token.DEFINE {
+					obj = c.pass.TypesInfo.Defs[id]
+				} else {
+					obj = c.pass.TypesInfo.Uses[id]
+				}
+				if obj != nil {
+					delete(st.released, obj)
+					delete(st.callerOwned, obj)
+				}
+			} else {
+				// Indexing or selecting through a released value is a use.
+				c.checkUses(lhs, st)
+			}
+		}
+		// A plain `x := flit.NewPacket(...)` marks x caller-owned.
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+			if id, ok := s.Lhs[0].(*ast.Ident); ok && isNewPacketCall(c.pass, s.Rhs[0]) {
+				var obj types.Object
+				if s.Tok == token.DEFINE {
+					obj = c.pass.TypesInfo.Defs[id]
+				} else {
+					obj = c.pass.TypesInfo.Uses[id]
+				}
+				if obj != nil {
+					st.callerOwned[obj] = true
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.checkUses(v, st)
+					}
+					if len(vs.Names) == 1 && len(vs.Values) == 1 && isNewPacketCall(c.pass, vs.Values[0]) {
+						if obj := c.pass.TypesInfo.Defs[vs.Names[0]]; obj != nil {
+							st.callerOwned[obj] = true
+						}
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st)
+		}
+		c.checkUses(s.Cond, st)
+		c.walkStmts(s.Body.List, st.clone())
+		if s.Else != nil {
+			c.walkStmt(s.Else, st.clone())
+		}
+	case *ast.BlockStmt:
+		c.walkStmts(s.List, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			c.checkUses(s.Cond, st)
+		}
+		// Two passes over a private copy: the second pass sees releases
+		// from the first, catching loop-carried use-after-release.
+		body := st.clone()
+		c.walkStmts(s.Body.List, body)
+		if s.Post != nil {
+			c.walkStmt(s.Post, body)
+		}
+		c.walkStmts(s.Body.List, body)
+	case *ast.RangeStmt:
+		c.checkUses(s.X, st)
+		body := st.clone()
+		// The key/value variables rebind on every iteration, so they are
+		// cleared before each walk pass — a Release of the value var at
+		// the bottom of the body is not a loop-carried release.
+		rebind := func() {
+			for _, e := range []ast.Expr{s.Key, s.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+					if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+						delete(body.released, obj)
+						delete(body.callerOwned, obj)
+					}
+				}
+			}
+		}
+		rebind()
+		c.walkStmts(s.Body.List, body)
+		rebind()
+		c.walkStmts(s.Body.List, body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			c.checkUses(s.Tag, st)
+		}
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				for _, e := range clause.List {
+					c.checkUses(e, st)
+				}
+				c.walkStmts(clause.Body, st.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st)
+		}
+		c.walkStmt(s.Assign, st.clone())
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CaseClause); ok {
+				c.walkStmts(clause.Body, st.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if clause, ok := cc.(*ast.CommClause); ok {
+				sub := st.clone()
+				if clause.Comm != nil {
+					c.walkStmt(clause.Comm, sub)
+				}
+				c.walkStmts(clause.Body, sub)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.checkUses(e, st)
+		}
+	case *ast.DeferStmt:
+		// `defer pool.Release(pkt)` is the canonical cleanup idiom: the
+		// release happens at function exit, so it neither marks the state
+		// nor counts as a use — but deferring work on an already-released
+		// value is still flagged.
+		c.checkUses(s.Call, st)
+	case *ast.GoStmt:
+		c.checkUses(s.Call, st)
+	case *ast.SendStmt:
+		c.checkUses(s.Chan, st)
+		c.checkUses(s.Value, st)
+	case *ast.IncDecStmt:
+		c.checkUses(s.X, st)
+	case *ast.LabeledStmt:
+		c.walkStmt(s.Stmt, st)
+	case nil, *ast.BranchStmt, *ast.EmptyStmt:
+		// no expressions to check
+	default:
+		// Any statement form not modeled above: check uses, skip releases.
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				c.checkUses(e, st)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// checkUses reports references to released objects inside expr.
+func (c *checker) checkUses(expr ast.Expr, st *state) {
+	if expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := c.pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if rel, released := st.released[obj]; released {
+			pos := c.pass.Fset.Position(rel.pos)
+			c.report(id.Pos(), "use of %s after %s released it to the pool at line %d; the backing store may already alias another packet",
+				id.Name, rel.call, pos.Line)
+		}
+		return true
+	})
+}
+
+// applyReleases marks objects passed to release methods and reports
+// caller-owned packets reaching a recycling method.
+func (c *checker) applyReleases(expr ast.Expr, st *state) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		key, isRelease := c.releaseMethod(call)
+		if !isRelease {
+			return true
+		}
+		callName := key.typ + "." + key.name
+		for _, arg := range call.Args {
+			if isNewPacketCall(c.pass, arg) && recycleRejectsCallerOwned[key] {
+				c.report(arg.Pos(), "caller-owned flit.NewPacket value passed to %s; only pool-built packets may be recycled", callName)
+				continue
+			}
+			id, ok := arg.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := c.pass.TypesInfo.Uses[id]
+			if obj == nil {
+				continue
+			}
+			if st.callerOwned[obj] {
+				if recycleRejectsCallerOwned[key] {
+					c.report(arg.Pos(), "caller-owned flit.NewPacket value %s passed to %s; only pool-built packets may be recycled", id.Name, callName)
+				}
+				// ReleaseShell documents a no-op on caller-owned packets,
+				// so the value stays live.
+				if key.name == "ReleaseShell" {
+					continue
+				}
+			}
+			st.released[obj] = relInfo{pos: call.Pos(), call: callName}
+		}
+		return true
+	})
+}
+
+// releaseMethod resolves whether call is one of the pool release methods.
+func (c *checker) releaseMethod(call *ast.CallExpr) (methodKey, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return methodKey{}, false
+	}
+	selection, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok {
+		return methodKey{}, false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return methodKey{}, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return methodKey{}, false
+	}
+	named := namedOf(recv.Type())
+	if named == nil || named.Obj().Pkg() == nil {
+		return methodKey{}, false
+	}
+	key := methodKey{pkg: named.Obj().Pkg().Path(), typ: named.Obj().Name(), name: fn.Name()}
+	_, ok = releaseMethods[key]
+	return key, ok
+}
+
+// isNewPacketCall reports whether expr is a direct flit.NewPacket call.
+func isNewPacketCall(pass *analysis.Pass, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "nocbt/internal/flit" && fn.Name() == "NewPacket"
+}
+
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}

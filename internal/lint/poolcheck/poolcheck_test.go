@@ -1,0 +1,12 @@
+package poolcheck_test
+
+import (
+	"testing"
+
+	"nocbt/internal/lint/linttest"
+	"nocbt/internal/lint/poolcheck"
+)
+
+func TestPoolcheckFixtures(t *testing.T) {
+	linttest.Run(t, poolcheck.Analyzer, "../testdata/poolcheck/a")
+}

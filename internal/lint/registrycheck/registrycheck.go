@@ -1,0 +1,334 @@
+// Package registrycheck enforces the registration discipline of the
+// strategy and experiment registries (PR 5's flit.RegisterOrdering /
+// RegisterLinkCoding, PR 3's nocbt.Register):
+//
+//   - registrations must happen at init time — inside an init function or
+//     a package-level var initializer — so the registries are complete
+//     before any lookup and never mutate under traffic;
+//   - wire identifiers (strategy names, ordering IDs, experiment names)
+//     must be compile-time constants: an ID computed at runtime cannot be
+//     grepped, diffed, or kept stable across releases;
+//   - ordering IDs must fit the packet header's 8-bit ordering field;
+//   - a wire identifier must be registered exactly once across the whole
+//     tree — the second registration site is reported, with a pointer to
+//     the first (the registries reject duplicates at runtime, but only on
+//     the code path that happens to import both packages).
+//
+// Test files never reach this checker (they are not part of `go list`'s
+// GoFiles), so test-local strategy registrations stay unconstrained.
+package registrycheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"nocbt/internal/lint/analysis"
+)
+
+// Analyzer is the registrycheck entry point.
+var Analyzer = &analysis.Analyzer{
+	Name:        "registrycheck",
+	Doc:         "reports registry registrations outside init, non-constant wire IDs, out-of-range ordering IDs, and duplicate registrations across the tree",
+	Run:         run,
+	NewRunState: func() any { return newIndex() },
+}
+
+// index is the cross-package accumulator of registered identifiers.
+type index struct {
+	seen map[string]string // "kind\x00id" -> first registration position
+}
+
+func newIndex() *index { return &index{seen: map[string]string{}} }
+
+// registerFuncs maps the qualified registration functions to the registry
+// they feed.
+var registerFuncs = map[string]string{
+	"nocbt/internal/flit.RegisterOrdering":       "ordering",
+	"nocbt/internal/flit.MustRegisterOrdering":   "ordering",
+	"nocbt/internal/flit.RegisterLinkCoding":     "linkcoding",
+	"nocbt/internal/flit.MustRegisterLinkCoding": "linkcoding",
+	"nocbt.RegisterOrderingStrategy":             "ordering",
+	"nocbt.RegisterLinkCoding":                   "linkcoding",
+	"nocbt.Register":                             "experiment",
+	"nocbt.MustRegister":                         "experiment",
+}
+
+// Value constructors whose literal arguments carry the wire identity;
+// the root package re-exports the flit constructor.
+var newOrderingStrategy = map[string]bool{
+	"nocbt/internal/flit.NewOrderingStrategy": true,
+	"nocbt.NewOrderingStrategy":               true,
+}
+
+const newExperiment = "nocbt.NewExperiment"
+
+func run(pass *analysis.Pass) (any, error) {
+	idx, _ := pass.RunState.(*index)
+	if idx == nil {
+		idx = newIndex()
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				atInit := d.Recv == nil && d.Name.Name == "init"
+				if d.Body == nil {
+					continue
+				}
+				params := paramObjs(pass, d)
+				ast.Inspect(d.Body, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						checkCall(pass, idx, call, atInit, params)
+					}
+					return true
+				})
+			case *ast.GenDecl:
+				// Package-level var initializers count as init context.
+				ast.Inspect(d, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						checkCall(pass, idx, call, true, nil)
+					}
+					return true
+				})
+			}
+		}
+	}
+	return nil, nil
+}
+
+// paramObjs collects the type objects of a function's parameters, so
+// delegation wrappers can be recognized.
+func paramObjs(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+func checkCall(pass *analysis.Pass, idx *index, call *ast.CallExpr, atInit bool, enclosingParams map[types.Object]bool) {
+	name := qualifiedFunc(pass, call)
+	kind, isRegister := registerFuncs[name]
+	if !isRegister {
+		return
+	}
+	if len(call.Args) == 1 {
+		// Pure delegation — MustRegister(e) forwarding its own parameter to
+		// Register, or the root-package wrappers forwarding to flit. The
+		// registration discipline is enforced at the outer callsite instead.
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && enclosingParams[pass.TypesInfo.Uses[id]] {
+			return
+		}
+	}
+	if !atInit {
+		pass.Report(call.Pos(), "%s must be called from init or a package-level var initializer, so the registry is complete before any lookup", shortName(name))
+	}
+	if len(call.Args) != 1 {
+		return
+	}
+	checkRegisteredValue(pass, idx, kind, call.Args[0])
+}
+
+// checkRegisteredValue extracts and validates the wire identity of the
+// value being registered.
+func checkRegisteredValue(pass *analysis.Pass, idx *index, kind string, arg ast.Expr) {
+	arg = ast.Unparen(arg)
+	switch kind {
+	case "ordering":
+		call, ok := arg.(*ast.CallExpr)
+		if !ok || !newOrderingStrategy[qualifiedFunc(pass, call)] {
+			// A hand-rolled OrderingStrategy implementation: try to read
+			// its Name()/ID() methods when the type is package-local.
+			name, _, nameOK := literalMethodResult(pass, arg, "Name")
+			idStr, _, idOK := literalMethodResult(pass, arg, "ID")
+			if !nameOK || !idOK {
+				pass.Report(arg.Pos(), "cannot statically determine the wire identity of this ordering registration; register a flit.NewOrderingStrategy call or a package-local type whose Name/ID methods return constants")
+				return
+			}
+			var id int64
+			fmt.Sscan(idStr, &id)
+			checkOrderingIdentity(pass, idx, arg.Pos(), name, id)
+			return
+		}
+		if len(call.Args) < 2 {
+			return
+		}
+		name, nameOK := constString(pass, call.Args[0])
+		if !nameOK {
+			pass.Report(call.Args[0].Pos(), "ordering strategy name must be a string literal or constant — wire IDs are grepped and must never be computed")
+			return
+		}
+		id, idOK := constInt(pass, call.Args[1])
+		if !idOK {
+			pass.Report(call.Args[1].Pos(), "ordering strategy ID must be an integer literal or constant — wire IDs must never be computed")
+			return
+		}
+		checkOrderingIdentity(pass, idx, call.Args[0].Pos(), name, id)
+	case "experiment":
+		call, ok := arg.(*ast.CallExpr)
+		if !ok || qualifiedFunc(pass, call) != newExperiment {
+			pass.Report(arg.Pos(), "cannot statically determine the wire name of this experiment registration; register a nocbt.NewExperiment call with a literal name")
+			return
+		}
+		if len(call.Args) < 1 {
+			return
+		}
+		name, ok2 := constString(pass, call.Args[0])
+		if !ok2 {
+			pass.Report(call.Args[0].Pos(), "experiment name must be a string literal or constant — wire IDs are grepped and must never be computed")
+			return
+		}
+		if name == "" {
+			pass.Report(call.Args[0].Pos(), "experiment name must not be empty")
+			return
+		}
+		recordOnce(pass, idx, "experiment", name, call.Args[0].Pos())
+	case "linkcoding":
+		name, _, ok := literalMethodResult(pass, arg, "Name")
+		if !ok {
+			pass.Report(arg.Pos(), "cannot statically determine the wire name of this link-coding registration; the registered type's Name method must be package-local and return a string constant")
+			return
+		}
+		if strings.EqualFold(name, "none") {
+			pass.Report(arg.Pos(), "link-coding name %q is reserved for the uncoded default", name)
+			return
+		}
+		recordOnce(pass, idx, "linkcoding", strings.ToLower(name), arg.Pos())
+	}
+}
+
+func checkOrderingIdentity(pass *analysis.Pass, idx *index, pos token.Pos, name string, id int64) {
+	if name == "" {
+		pass.Report(pos, "ordering strategy name must not be empty")
+		return
+	}
+	if id < 0 || id > 255 {
+		pass.Report(pos, "ordering strategy %q ID %d does not fit the packet header's 8-bit ordering field (0..255)", name, id)
+	}
+	recordOnce(pass, idx, "ordering-name", strings.ToLower(name), pos)
+	recordOnce(pass, idx, "ordering-id", fmt.Sprint(id), pos)
+}
+
+func recordOnce(pass *analysis.Pass, idx *index, kind, id string, pos token.Pos) {
+	key := kind + "\x00" + id
+	where := pass.Fset.Position(pos).String()
+	if first, dup := idx.seen[key]; dup {
+		pass.Report(pos, "duplicate %s registration %q: first registered at %s", kind, id, first)
+		return
+	}
+	idx.seen[key] = where
+}
+
+// constString resolves a compile-time constant string argument.
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// constInt resolves a compile-time constant integer argument.
+func constInt(pass *analysis.Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	return v, ok
+}
+
+// literalMethodResult looks for `func (T) <method>() ... { return <const> }`
+// on the concrete type of e, when that type is declared in this package.
+// It returns the constant's string form for strings (unquoted) and
+// decimal form for integers.
+func literalMethodResult(pass *analysis.Pass, e ast.Expr, method string) (string, token.Pos, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return "", 0, false
+	}
+	obj := namedObj(tv.Type)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg() != pass.Pkg {
+		return "", 0, false
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != method || fd.Body == nil {
+				continue
+			}
+			recvObj := namedObj(pass.TypesInfo.TypeOf(fd.Recv.List[0].Type))
+			if recvObj != obj {
+				continue
+			}
+			if len(fd.Body.List) != 1 {
+				return "", 0, false
+			}
+			ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+			if !ok || len(ret.Results) != 1 {
+				return "", 0, false
+			}
+			rtv, ok := pass.TypesInfo.Types[ret.Results[0]]
+			if !ok || rtv.Value == nil {
+				return "", 0, false
+			}
+			switch rtv.Value.Kind() {
+			case constant.String:
+				return constant.StringVal(rtv.Value), ret.Results[0].Pos(), true
+			case constant.Int:
+				return rtv.Value.ExactString(), ret.Results[0].Pos(), true
+			}
+			return "", 0, false
+		}
+	}
+	return "", 0, false
+}
+
+func namedObj(t types.Type) *types.TypeName {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt.Obj()
+		default:
+			return nil
+		}
+	}
+}
+
+func shortName(qualified string) string {
+	if i := strings.LastIndex(qualified, "/"); i >= 0 {
+		return qualified[i+1:]
+	}
+	return qualified
+}
+
+// qualifiedFunc resolves a call's callee to "pkgpath.FuncName", or "".
+func qualifiedFunc(pass *analysis.Pass, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}

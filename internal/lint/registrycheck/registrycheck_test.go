@@ -1,0 +1,17 @@
+package registrycheck_test
+
+import (
+	"testing"
+
+	"nocbt/internal/lint/linttest"
+	"nocbt/internal/lint/registrycheck"
+)
+
+func TestRegistrycheckFixtures(t *testing.T) {
+	// Both fixture packages run under one shared run state, so package b's
+	// collisions with package a's wire IDs are visible.
+	linttest.Run(t, registrycheck.Analyzer,
+		"../testdata/registrycheck/a",
+		"../testdata/registrycheck/b",
+	)
+}

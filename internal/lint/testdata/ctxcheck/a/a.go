@@ -1,0 +1,87 @@
+// Package a is the ctxcheck fixture: dropped contexts, fresh Background
+// contexts, and unbounded loops with and without polls.
+package a
+
+import "context"
+
+// dropsCtx receives a context it never consults.
+func dropsCtx(ctx context.Context, n int) int { // want `dropsCtx receives ctx but never uses it`
+	return n * 2
+}
+
+// blankCtx states up front that it ignores cancellation.
+func blankCtx(_ context.Context, n int) int { return n }
+
+// usesCtx plumbs the context through.
+func usesCtx(ctx context.Context) error { return ctx.Err() }
+
+// freshCtx discards the caller's cancellation mid-call.
+func freshCtx(ctx context.Context) error {
+	inner := context.Background() // want `freshCtx already receives a ctx; context\.Background here discards the caller's cancellation`
+	_ = inner
+	return ctx.Err()
+}
+
+// freshTODO is the TODO spelling of the same bug.
+func freshTODO(ctx context.Context) error {
+	_ = ctx
+	return context.TODO().Err() // want `freshTODO already receives a ctx; context\.TODO here discards the caller's cancellation`
+}
+
+// nilGuard is the accepted defaulting idiom.
+func nilGuard(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx.Err()
+}
+
+// spinsForever burns cycles with no way to cancel.
+func spinsForever(ctx context.Context, work func() bool) {
+	_ = ctx
+	for work() { // want `unbounded loop in spinsForever never polls the context`
+	}
+}
+
+// pollsInLoop checks Err each iteration.
+func pollsInLoop(ctx context.Context, work func() bool) error {
+	for work() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// selectsDone parks on cancellation.
+func selectsDone(ctx context.Context, c chan int) int {
+	for {
+		select {
+		case v := <-c:
+			return v
+		case <-ctx.Done():
+			return 0
+		}
+	}
+}
+
+// drainsChannel blocks on external input, which an external close ends.
+func drainsChannel(c chan int) int {
+	total := 0
+	for v := range c {
+		total += v
+	}
+	return total
+}
+
+// boundedLoop has induction bounds and needs no poll.
+func boundedLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+var _ = []any{dropsCtx, blankCtx, usesCtx, freshCtx, freshTODO, nilGuard,
+	spinsForever, pollsInLoop, selectsDone, drainsChannel, boundedLoop}

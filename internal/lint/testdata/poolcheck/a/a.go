@@ -1,0 +1,111 @@
+// Package a is the poolcheck fixture: each function is one positive
+// (reported) or negative (clean) case of the pool ownership protocol.
+package a
+
+import (
+	"nocbt/internal/bitutil"
+	"nocbt/internal/flit"
+	"nocbt/internal/noc"
+)
+
+// useAfterRelease is the canonical violation: the packet is read after its
+// backing stores went back on the free-list.
+func useAfterRelease(pool *flit.Pool, pkt *flit.Packet) uint64 {
+	pool.Release(pkt)
+	return pkt.ID // want `use of pkt after Pool\.Release released it to the pool`
+}
+
+// useAfterRecycle covers the Sim.Recycle spelling of the same bug.
+func useAfterRecycle(sim *noc.Sim, pkt *flit.Packet) int {
+	sim.Recycle(pkt)
+	return len(pkt.Flits) // want `use of pkt after Sim\.Recycle released it to the pool`
+}
+
+// doubleRelease hands the same packet back twice.
+func doubleRelease(pool *flit.Pool, pkt *flit.Packet) {
+	pool.Release(pkt)
+	pool.Release(pkt) // want `use of pkt after Pool\.Release released it to the pool`
+}
+
+// useAfterShellRelease reads the shell after ReleaseShell returned it.
+func useAfterShellRelease(pool *flit.Pool, pkt *flit.Packet) uint64 {
+	pool.ReleaseShell(pkt)
+	return pkt.ID // want `use of pkt after Pool\.ReleaseShell released it to the pool`
+}
+
+// vecAfterPut reads a payload vector whose backing store was recycled.
+func vecAfterPut(pool *flit.Pool, v bitutil.Vec) int {
+	pool.PutVec(v)
+	return v.Width() // want `use of v after Pool\.PutVec released it to the pool`
+}
+
+// loopCarried releases at the bottom of an iteration and uses at the top
+// of the next — the wraparound case the two-pass loop walk exists for.
+func loopCarried(pool *flit.Pool, pkt *flit.Packet) {
+	for i := 0; i < 4; i++ {
+		_ = pkt.ID        // want `use of pkt after Pool\.Release released it to the pool`
+		pool.Release(pkt) // want `use of pkt after Pool\.Release released it to the pool`
+	}
+}
+
+// spreadRelease releases a whole slice; iterating it afterwards is a use.
+func spreadRelease(pool *flit.Pool, pkts []*flit.Packet) int {
+	pool.Release(pkts...)
+	return len(pkts) // want `use of pkts after Pool\.Release released it to the pool`
+}
+
+// callerOwnedRecycled builds a caller-owned packet and hands it to the
+// pool — NewPacket values must never be recycled.
+func callerOwnedRecycled(pool *flit.Pool, header bitutil.Vec) {
+	pkt := flit.NewPacket(1, 0, 1, header, nil)
+	pool.Release(pkt) // want `caller-owned flit\.NewPacket value pkt passed to Pool\.Release`
+}
+
+// callerOwnedDirect recycles the NewPacket result without a binding.
+func callerOwnedDirect(sim *noc.Sim, header bitutil.Vec) {
+	sim.Recycle(flit.NewPacket(2, 0, 1, header, nil)) // want `caller-owned flit\.NewPacket value passed to Sim\.Recycle`
+}
+
+// cleanConsume is the protocol followed correctly: read, then release,
+// then never touch again.
+func cleanConsume(sim *noc.Sim, node int) uint64 {
+	var last uint64
+	for _, pkt := range sim.PopEjected(node) {
+		last = pkt.ID
+		sim.Recycle(pkt)
+	}
+	return last
+}
+
+// cleanRebind releases and then rebinds the name to a fresh packet; the
+// new value is unrelated to the released one.
+func cleanRebind(pool *flit.Pool, pkt *flit.Packet, header bitutil.Vec) uint64 {
+	pool.Release(pkt)
+	pkt = pool.Packet(3, 0, 1, header, nil)
+	return pkt.ID
+}
+
+// cleanBranch releases on an early-exit path only; the joined flow still
+// owns the packet.
+func cleanBranch(pool *flit.Pool, pkt *flit.Packet, drop bool) uint64 {
+	if drop {
+		pool.Release(pkt)
+		return 0
+	}
+	return pkt.ID
+}
+
+// cleanDeferredRelease is the cleanup idiom: the deferred release runs at
+// function exit, after every use.
+func cleanDeferredRelease(pool *flit.Pool, pkt *flit.Packet) uint64 {
+	defer pool.Release(pkt)
+	return pkt.ID
+}
+
+// cleanShellNoOp passes a caller-owned packet to ReleaseShell, which
+// documents a no-op for non-pooled packets.
+func cleanShellNoOp(pool *flit.Pool, header bitutil.Vec) *flit.Packet {
+	pkt := flit.NewPacket(4, 0, 1, header, nil)
+	pool.ReleaseShell(pkt)
+	return pkt
+}

@@ -1,0 +1,75 @@
+// Package a is the registrycheck fixture: registrations with constant and
+// computed wire identities, in and out of init context.
+package a
+
+import (
+	"context"
+
+	"nocbt"
+	"nocbt/internal/bitutil"
+	"nocbt/internal/flit"
+)
+
+// handRolled implements OrderingStrategy directly, with constant-returning
+// Name/ID methods the checker can resolve statically.
+type handRolled struct{}
+
+func (handRolled) Name() string       { return "fx-hand" }
+func (handRolled) ID() flit.Ordering  { return 210 }
+func (handRolled) Interleave() bool   { return false }
+func (handRolled) EmitsPartner() bool { return false }
+func (handRolled) Order(w, in []bitutil.Word, laneBits int) ([]bitutil.Word, []bitutil.Word, []int) {
+	return w, in, nil
+}
+
+// opaque hides its wire identity behind a computed Name and an embedded ID.
+type opaque struct{ handRolled }
+
+func (opaque) Name() string {
+	n := dynamic
+	return n + "-opaque"
+}
+
+// fxGray is a well-behaved link coding scheme.
+type fxGray struct{}
+
+func (fxGray) Name() string                           { return "fx-gray" }
+func (fxGray) ExtraLines(width int) int               { return 0 }
+func (fxGray) New(width int) (flit.LinkCoding, error) { return nil, nil }
+
+// fxReserved squats on the reserved uncoded name.
+type fxReserved struct{}
+
+func (fxReserved) Name() string                           { return "none" }
+func (fxReserved) ExtraLines(width int) int               { return 0 }
+func (fxReserved) New(width int) (flit.LinkCoding, error) { return nil, nil }
+
+var dynamic = "fx-dynamic"
+
+func runtimeName() string      { return dynamic }
+func runtimeID() flit.Ordering { return flit.Ordering(len(dynamic)) }
+func expName() string          { return dynamic + "-exp" }
+
+func runExp(ctx context.Context, p nocbt.Params) (*nocbt.Result, error) { return nil, ctx.Err() }
+
+func init() {
+	flit.MustRegisterOrdering(flit.NewOrderingStrategy("fx-clean", 200, false, false, nil))
+	flit.MustRegisterOrdering(flit.NewOrderingStrategy(runtimeName(), 201, false, false, nil))         // want `ordering strategy name must be a string literal or constant`
+	flit.MustRegisterOrdering(flit.NewOrderingStrategy("fx-computed", runtimeID(), false, false, nil)) // want `ordering strategy ID must be an integer literal or constant`
+	flit.MustRegisterOrdering(flit.NewOrderingStrategy("fx-wide", 300, false, false, nil))             // want `does not fit the packet header's 8-bit ordering field`
+	flit.MustRegisterOrdering(handRolled{})
+	flit.MustRegisterOrdering(opaque{}) // want `cannot statically determine the wire identity`
+	flit.MustRegisterLinkCoding(fxGray{})
+	flit.MustRegisterLinkCoding(fxReserved{}) // want `reserved for the uncoded default`
+	nocbt.MustRegister(nocbt.NewExperiment("fx-exp", "fixture experiment", runExp))
+	nocbt.MustRegister(nocbt.NewExperiment(expName(), "computed name", runExp)) // want `experiment name must be a string literal or constant`
+	// Lookup is case-insensitive, so a re-spelled name is still a duplicate.
+	flit.MustRegisterOrdering(flit.NewOrderingStrategy("FX-Clean", 205, false, false, nil)) // want `duplicate ordering-name registration "fx-clean"`
+}
+
+// lateRegistration mutates the registry after init, under traffic.
+func lateRegistration() {
+	flit.MustRegisterOrdering(flit.NewOrderingStrategy("fx-late", 206, false, false, nil)) // want `MustRegisterOrdering must be called from init`
+}
+
+var _ = lateRegistration

@@ -1,0 +1,13 @@
+// Package b collides with package a's wire identifiers: the duplicate
+// checks must work across packages, because the runtime registry only
+// rejects duplicates on code paths that import both.
+package b
+
+import "nocbt/internal/flit"
+
+func init() {
+	// Package a registered "fx-clean"; case differences do not make a new name.
+	flit.MustRegisterOrdering(flit.NewOrderingStrategy("Fx-CLEAN", 220, false, false, nil)) // want `duplicate ordering-name registration "fx-clean"`
+	// Package a's hand-rolled strategy claimed wire ID 210.
+	flit.MustRegisterOrdering(flit.NewOrderingStrategy("fx-b-fresh", 210, false, false, nil)) // want `duplicate ordering-id registration "210"`
+}

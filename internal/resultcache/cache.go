@@ -9,6 +9,13 @@
 // atomically) that survives process restarts and holds entries the LRU
 // evicted. Every simulation in this repository is deterministic in its
 // parameters, so a cache hit is guaranteed byte-identical to a re-run.
+//
+// Disk entries are framed — magic, payload length, payload checksum, then
+// the payload — so a truncated, overwritten or bit-flipped file is
+// detected on read: it counts as a miss in Stats.DiskErrors, is never
+// promoted into the memory tier, and the caller recomputes. Without the
+// frame, a corrupted file would be served as a hit and then pinned in the
+// LRU, poisoning every subsequent lookup of that key.
 package resultcache
 
 import (
@@ -43,10 +50,10 @@ func Key(parts ...string) string {
 // Stats counts cache traffic. DiskHits is the subset of Hits answered by
 // the disk tier after a memory miss. DiskErrors counts disk-tier reads
 // that failed for a reason other than the entry not existing — permission
-// problems, a corrupted tier, a directory where a file should be. Those
-// lookups still report a miss (the caller recomputes and availability is
-// preserved), but they are not cold keys and the counter makes the
-// difference observable.
+// problems, a truncated or corrupted entry, a directory where a file
+// should be. Those lookups still report a miss (the caller recomputes and
+// availability is preserved), but they are not cold keys and the counter
+// makes the difference observable.
 type Stats struct {
 	Hits       int64
 	Misses     int64
@@ -108,20 +115,26 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 
 	diskErr := false
 	if dir != "" {
-		val, err := os.ReadFile(c.path(key))
-		switch {
-		case err == nil:
-			c.mu.Lock()
-			// Another goroutine may have promoted it meanwhile; insert wins
-			// either way because the disk copy is authoritative and equal.
-			c.insertLocked(key, val)
-			c.stats.Hits++
-			c.stats.DiskHits++
-			c.mu.Unlock()
-			return append([]byte(nil), val...), true
-		case !errors.Is(err, fs.ErrNotExist):
-			// A real disk failure, not a cold key: an unreadable or
-			// corrupted tier must not masquerade as a plain miss.
+		raw, err := os.ReadFile(c.path(key))
+		if err == nil {
+			var val []byte
+			if val, err = decodeFrame(raw); err == nil {
+				c.mu.Lock()
+				// Another goroutine may have promoted it meanwhile; insert
+				// wins either way because the disk copy is authoritative and
+				// equal.
+				c.insertLocked(key, val)
+				c.stats.Hits++
+				c.stats.DiskHits++
+				c.mu.Unlock()
+				return append([]byte(nil), val...), true
+			}
+			// A frame that fails to decode is a corrupted entry: count it
+			// and fall through to the miss path without touching the LRU.
+			diskErr = true
+		} else if !errors.Is(err, fs.ErrNotExist) {
+			// A real disk failure, not a cold key: an unreadable tier must
+			// not masquerade as a plain miss.
 			diskErr = true
 		}
 	}
@@ -148,10 +161,52 @@ func (c *Cache) Put(key string, val []byte) error {
 	if dir == "" {
 		return nil
 	}
-	if err := fsutil.WriteFileAtomic(c.path(key), cp, 0o644); err != nil {
+	if err := fsutil.WriteFileAtomic(c.path(key), encodeFrame(cp), 0o644); err != nil {
 		return fmt.Errorf("resultcache: disk put: %w", err)
 	}
 	return nil
+}
+
+// diskMagic opens every disk-tier entry; it doubles as the tier's format
+// version, so a future layout change bumps the trailing digit and old
+// entries age out as recompute-and-rewrite instead of failing to parse.
+var diskMagic = [8]byte{'n', 'b', 't', 'r', 'c', '0', '1', '\n'}
+
+// frameOverhead is the byte count the frame adds around a payload: magic,
+// big-endian payload length, SHA-256 payload checksum.
+const frameOverhead = len(diskMagic) + 8 + sha256.Size
+
+// encodeFrame wraps a payload in the disk-entry frame.
+func encodeFrame(val []byte) []byte {
+	out := make([]byte, frameOverhead+len(val))
+	copy(out, diskMagic[:])
+	binary.BigEndian.PutUint64(out[len(diskMagic):], uint64(len(val)))
+	sum := sha256.Sum256(val)
+	copy(out[len(diskMagic)+8:], sum[:])
+	copy(out[frameOverhead:], val)
+	return out
+}
+
+// decodeFrame validates an on-disk entry and returns its payload. Any
+// mismatch — short file, wrong magic, wrong length, checksum failure — is
+// an error; the caller treats it as a corrupted entry.
+func decodeFrame(data []byte) ([]byte, error) {
+	if len(data) < frameOverhead {
+		return nil, fmt.Errorf("resultcache: entry truncated at %d bytes", len(data))
+	}
+	if [8]byte(data[:len(diskMagic)]) != diskMagic {
+		return nil, errors.New("resultcache: entry has wrong magic")
+	}
+	n := binary.BigEndian.Uint64(data[len(diskMagic):])
+	payload := data[frameOverhead:]
+	if n != uint64(len(payload)) {
+		return nil, fmt.Errorf("resultcache: entry declares %d payload bytes, has %d", n, len(payload))
+	}
+	sum := sha256.Sum256(payload)
+	if [sha256.Size]byte(data[len(diskMagic)+8:frameOverhead]) != sum {
+		return nil, errors.New("resultcache: entry checksum mismatch")
+	}
+	return payload, nil
 }
 
 // insertLocked adds or refreshes a memory entry and evicts past the cap.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -212,4 +213,92 @@ func TestConcurrentAccess(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// TestCorruptDiskEntryIsMissNotPoison covers every corruption shape the
+// frame detects — truncation, garbage, a payload bit-flip, an old-format
+// raw entry — and asserts each one reports a miss, bumps DiskErrors, and
+// never promotes the bad bytes into the memory tier.
+func TestCorruptDiskEntryIsMissNotPoison(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("victim", []byte("good result")); err != nil {
+		t.Fatal(err)
+	}
+
+	good, err := os.ReadFile(c.path("victim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)-1] ^= 0x01 // corrupt the payload, not the header
+
+	corruptions := map[string][]byte{
+		"truncated": good[:len(good)-4],
+		"headless":  good[:frameOverhead-1],
+		"garbage":   []byte("not a cache frame at all"),
+		"bitflip":   flipped,
+		"rawlegacy": []byte("good result"), // pre-frame format
+		"empty":     nil,
+	}
+	names := make([]string, 0, len(corruptions))
+	for name := range corruptions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for i, name := range names {
+		if err := os.WriteFile(c.path(name), corruptions[name], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.Get(name); ok {
+			t.Fatalf("%s entry reported as a hit", name)
+		}
+		if st := c.Stats(); st.DiskErrors != int64(i+1) {
+			t.Fatalf("after %s entry: stats = %+v, want %d disk errors", name, st, i+1)
+		}
+	}
+
+	// The memory tier holds only the one good entry: none of the corrupt
+	// reads were promoted, and the good entry still round-trips.
+	if c.Len() != 1 {
+		t.Fatalf("memory tier holds %d entries after corrupt reads, want 1", c.Len())
+	}
+	if v, ok := c.Get("victim"); !ok || string(v) != "good result" {
+		t.Fatalf("good entry = %q, %v after corrupt neighbors", v, ok)
+	}
+
+	// Recomputing and re-putting a corrupted key repairs it durably.
+	if err := c.Put("bitflip", []byte("recomputed")); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := New(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c2.Get("bitflip"); !ok || string(v) != "recomputed" {
+		t.Fatalf("repaired entry = %q, %v from a fresh cache", v, ok)
+	}
+}
+
+// TestFrameRoundTrip pins the frame encoding: payloads of every small size
+// survive, and the overhead constant matches the layout.
+func TestFrameRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 31, 32, 33, 4096} {
+		payload := bytes.Repeat([]byte{0xA5}, n)
+		framed := encodeFrame(payload)
+		if len(framed) != frameOverhead+n {
+			t.Fatalf("frame of %d-byte payload is %d bytes, want %d", n, len(framed), frameOverhead+n)
+		}
+		back, err := decodeFrame(framed)
+		if err != nil {
+			t.Fatalf("decode of %d-byte payload: %v", n, err)
+		}
+		if !bytes.Equal(back, payload) {
+			t.Fatalf("%d-byte payload did not round-trip", n)
+		}
+	}
 }

@@ -121,7 +121,10 @@ type SweepSpec struct {
 	// keeps the geometry's own format, as does the empty axis; float-32
 	// geometry points ignore the axis.
 	Precisions []int
-	// Workers bounds the worker pool; 0 means GOMAXPROCS.
+	// Workers bounds the worker pool; 0 means GOMAXPROCS. It only changes
+	// wall-clock parallelism, never the deterministic per-job results, so
+	// it is deliberately excluded from the sweep fingerprint.
+	// fingerprint:ignore result-invariant: worker-pool size cannot change deterministic sweep results
 	Workers int
 }
 
