@@ -5,11 +5,14 @@
 // Usage:
 //
 //	btexp -list
-//	btexp [-seed N] [-quick] [-trained=false] [-timeout D] [-format table|json|csv] [-o file] -run <name>
+//	btexp [-seed N] [-quick] [-trained=false] [-timeout D] [-format table|json|csv] [-o file] [-trace out.json] -run <name>
 //	btexp [flags] <experiment>           (positional form of -run)
 //	btexp [flags] all                    (every paper experiment, table format)
 //
-// Run `btexp -list` for the registered experiment names. The sweep
+// With -trace, every simulated packet and accelerator layer phase in the
+// run is exported as Chrome trace-event JSON (load it in
+// https://ui.perfetto.dev; 1 simulated cycle = 1 µs). Run
+// `btexp -list` for the registered experiment names. The sweep
 // experiment runs the full ordering × platform × format × model grid on a
 // bounded worker pool; restrict it with -platforms/-formats/-models/
 // -seeds/-batches, and widen the strategy axes with -orderings (any
@@ -21,6 +24,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -63,6 +67,7 @@ func run(args []string, stdout io.Writer) error {
 	codings := fs.String("codings", "", "sweep: comma-separated link codings from none,gray,businvert (default: none)")
 	precisions := fs.String("precisions", "", "sweep: comma-separated fixed-point lane widths from 2,4,8,16 (default: the geometry's own format)")
 	asJSON := fs.Bool("json", false, "sweep: emit the legacy row-array JSON instead of a table")
+	traceOut := fs.String("trace", "", "write packet/layer spans as Chrome trace-event JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // usage already printed; a help request is not a failure
@@ -127,6 +132,31 @@ func run(args []string, stdout io.Writer) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	// -trace threads a span tracer through the context; every engine the
+	// experiments (or sweep workers) build picks it up and records packet
+	// and layer-phase spans into one shared ring.
+	var tracer *nocbt.Tracer
+	if *traceOut != "" {
+		tracer = nocbt.NewTracer(0)
+		ctx = nocbt.WithTracer(ctx, tracer)
+	}
+	writeTrace := func() error {
+		if tracer == nil {
+			return nil
+		}
+		var buf bytes.Buffer
+		if err := nocbt.WriteChromeTrace(&buf, tracer); err != nil {
+			return err
+		}
+		if err := atomicWriteFile(*traceOut, buf.Bytes()); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "btexp: trace: %d spans -> %s\n", tracer.Len(), *traceOut)
+		if d := tracer.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "btexp: trace: %d spans dropped (ring full; the file holds the earliest spans)\n", d)
+		}
+		return nil
+	}
 
 	if exp == "all" {
 		if renderAs != nocbt.Text {
@@ -146,6 +176,9 @@ func run(args []string, stdout io.Writer) error {
 			sb.WriteString(text)
 			sb.WriteString("\n")
 		}
+		if err := writeTrace(); err != nil {
+			return err
+		}
 		return emit(sb.String())
 	}
 
@@ -158,6 +191,9 @@ func run(args []string, stdout io.Writer) error {
 		}
 		var jb strings.Builder
 		if err := nocbt.WriteSweepJSON(&jb, rows); err != nil {
+			return err
+		}
+		if err := writeTrace(); err != nil {
 			return err
 		}
 		return emit(strings.TrimRight(jb.String(), "\n") + "\n")
@@ -176,6 +212,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if renderAs == nocbt.Text {
 		rendered += "\n" // keep the legacy trailing blank line per report
+	}
+	if err := writeTrace(); err != nil {
+		return err
 	}
 	return emit(rendered)
 }

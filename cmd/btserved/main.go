@@ -7,15 +7,20 @@
 // Usage:
 //
 //	btserved [-addr :8344] [-replicas 2] [-max-batch 8] [-batch-window 2ms]
-//	         [-cache-entries 256] [-cache-dir DIR]
+//	         [-cache-entries 256] [-cache-dir DIR] [-trace-spans 4096] [-pprof]
 //
 // Endpoints (see internal/serve):
 //
 //	GET  /healthz              liveness + uptime
-//	GET  /metrics              Prometheus text counters
+//	GET  /metrics              Prometheus text counters, histograms and gauges
 //	GET  /v1/experiments       registered experiments
 //	POST /v1/experiments/run   {"name":"fig12","params":{"seed":1}}
 //	POST /v1/infer             {"model":"lenet","seed":1,"input_seed":7}
+//	GET  /debug/trace          newest serving spans as Chrome trace-event JSON
+//	GET  /debug/pprof/         net/http/pprof (only with -pprof)
+//
+// Every request is answered with an X-Request-ID header and logged as one
+// structured slog record; error bodies repeat the request ID.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM.
 package main
@@ -26,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -58,6 +64,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	batchWindow := fs.Duration("batch-window", 2*time.Millisecond, "micro-batch flush deadline")
 	cacheEntries := fs.Int("cache-entries", 256, "result cache memory-tier capacity")
 	cacheDir := fs.String("cache-dir", "", "result cache disk tier (empty: memory only)")
+	traceSpans := fs.Int("trace-spans", 4096, "span ring capacity for /debug/trace (negative disables)")
+	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -74,6 +82,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		BatchWindow:  *batchWindow,
 		CacheEntries: *cacheEntries,
 		CacheDir:     *cacheDir,
+		TraceSpans:   *traceSpans,
+		EnablePprof:  *enablePprof,
+		Logger:       slog.New(slog.NewTextHandler(stdout, nil)),
 	})
 	if err != nil {
 		return err

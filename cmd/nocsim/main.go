@@ -5,9 +5,15 @@
 // Usage:
 //
 //	nocsim [-mesh 4x4] [-packets 1000] [-flits 4] [-link 128] [-seed 1] [-v]
+//	       [-trace out.json]
+//
+// With -trace, the full packet lifecycle (inject, per-hop link traversal
+// with per-hop BT, NI reassembly) is exported as Chrome trace-event JSON —
+// load it in https://ui.perfetto.dev (1 cycle = 1 µs).
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
@@ -18,6 +24,7 @@ import (
 	"nocbt/internal/bitutil"
 	"nocbt/internal/flit"
 	"nocbt/internal/noc"
+	"nocbt/internal/obs"
 	"nocbt/internal/stats"
 )
 
@@ -36,6 +43,7 @@ func run(args []string, stdout io.Writer) error {
 	linkBits := fs.Int("link", 128, "link width in bits")
 	seed := fs.Int64("seed", 1, "traffic seed")
 	verbose := fs.Bool("v", false, "print per-link statistics")
+	traceOut := fs.String("trace", "", "write the packet lifecycle as Chrome trace-event JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // usage already printed; a help request is not a failure
@@ -51,6 +59,11 @@ func run(args []string, stdout io.Writer) error {
 	sim, err := noc.New(cfg)
 	if err != nil {
 		return err
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(0)
+		sim.SetSpanTracer(tracer)
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -89,6 +102,20 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if err := sim.Drain(100_000_000); err != nil {
 		return err
+	}
+	if tracer != nil {
+		var buf bytes.Buffer
+		if err := tracer.WriteChrome(&buf); err != nil {
+			return err
+		}
+		if err := os.WriteFile(*traceOut, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "trace: %d spans -> %s", tracer.Len(), *traceOut)
+		if d := tracer.Dropped(); d > 0 {
+			fmt.Fprintf(stdout, " (%d spans dropped; ring full)", d)
+		}
+		fmt.Fprintln(stdout)
 	}
 
 	st := sim.Stats()

@@ -91,6 +91,9 @@ func RunModelOnNoC(ctx context.Context, name string, cfg Platform, ord Ordering,
 	if err != nil {
 		return NoCRunResult{}, err
 	}
+	if t := TracerFromContext(ctx); t != nil {
+		eng.SetSpanTracer(t)
+	}
 	if _, err := eng.Infer(ctx, input); err != nil {
 		return NoCRunResult{}, err
 	}
@@ -133,6 +136,9 @@ func RunModelBatchOnNoC(ctx context.Context, name string, cfg Platform, ord Orde
 	eng, err := NewEngine(cfg, model)
 	if err != nil {
 		return NoCRunResult{}, err
+	}
+	if t := TracerFromContext(ctx); t != nil {
+		eng.SetSpanTracer(t)
 	}
 	if _, err := eng.InferRepeated(ctx, input, batch); err != nil {
 		return NoCRunResult{}, err

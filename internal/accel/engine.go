@@ -8,6 +8,7 @@ import (
 	"nocbt/internal/dnn"
 	"nocbt/internal/flit"
 	"nocbt/internal/noc"
+	"nocbt/internal/obs"
 	"nocbt/internal/tensor"
 )
 
@@ -73,6 +74,12 @@ type Engine struct {
 	// traffic; once set, the mesh state is indeterminate and the engine
 	// refuses further inferences.
 	aborted error
+
+	// spans mirrors the simulator's span tracer (see SetSpanTracer); the
+	// scheduler emits per-layer phase spans onto the same process track the
+	// mesh uses for packet lifecycles. Concrete pointer, nil when disabled.
+	spans   *obs.Tracer
+	spanPID int64
 }
 
 // usable reports whether the engine can run another inference.
@@ -241,6 +248,17 @@ func (e *Engine) Config() Config { return e.cfg }
 // activity, so recounting a coded run's trace needs the matching scheme
 // (see trace.Recorder.CodedBT).
 func (e *Engine) SetTrace(fn noc.TraceFunc) { e.sim.SetTrace(fn) }
+
+// SetSpanTracer installs (or, with nil, removes) an obs span tracer on the
+// engine and its mesh: the simulator records packet lifecycles, the
+// scheduler adds per-layer inference phases (quantize+flitize, route, MAC,
+// collect), all on one process track per engine. Timestamps are simulation
+// cycles. A nil tracer keeps the hot path allocation-free.
+func (e *Engine) SetSpanTracer(t *obs.Tracer) {
+	e.spans = t
+	e.sim.SetSpanTracer(t)
+	e.spanPID = e.sim.SpanPID()
+}
 
 // layerFormat returns the lane format of NoC layer idx (the geometry
 // format for indices beyond the resolved schedule, which cannot happen on

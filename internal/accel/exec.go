@@ -58,11 +58,20 @@ func (s *scheduler) pumpPEs() error {
 			e.payloadScratch = append(e.payloadScratch[:0], body)
 			rpkt := pool.Packet(rid, pe, ctx.mc, rhdr, e.payloadScratch)
 			s.results[rid] = &resultCtx{run: ctx.run, task: ctx.task, seg: ctx.seg}
+			ready := e.sim.Cycle() + int64(e.cfg.PEComputeCycles)
 			s.pending = append(s.pending, pendingResult{
-				ready: e.sim.Cycle() + int64(e.cfg.PEComputeCycles),
+				ready: ready,
 				pkt:   rpkt,
 				run:   ctx.run,
 			})
+			if e.spans != nil {
+				if ctx.run.firstEject == 0 {
+					ctx.run.firstEject = e.sim.Cycle()
+				}
+				if ready > ctx.run.lastReady {
+					ctx.run.lastReady = ready
+				}
+			}
 		}
 	}
 	return nil

@@ -79,6 +79,13 @@ type layerRun struct {
 	startBT     int64
 	flits       int64
 	taskPackets int64
+
+	// Span-tracer phase stamps, written only when the engine has a tracer
+	// installed: the cycle the first task packet ejected at a PE, and the
+	// latest result-ready time (ejection + PE compute latency). finishLayer
+	// derives the route/MAC/collect phase boundaries from them.
+	firstEject int64
+	lastReady  int64
 }
 
 // taskCtx is the dispatch record of one task packet: everything the PE
@@ -279,7 +286,7 @@ func (s *scheduler) finishLayer(run *layerRun) error {
 	f := run.flow
 	f.act = tensor.FromSlice(results, run.outShape...)
 	f.cur = nil
-	f.layers = append(f.layers, LayerStat{
+	st := LayerStat{
 		Name:      run.name,
 		Inference: f.idx,
 		OverNoC:   true,
@@ -288,7 +295,11 @@ func (s *scheduler) finishLayer(run *layerRun) error {
 		Packets:   int64(run.expected) * 2, // task + result per segment
 		Flits:     run.flits,
 		Tasks:     run.ntasks,
-	})
+	}
+	f.layers = append(f.layers, st)
+	if s.e.spans != nil {
+		s.emitLayerSpans(run, st)
+	}
 	s.removeRun(run)
 
 	// Paper-faithful serial mode: between consecutive layers the mesh must
@@ -303,6 +314,54 @@ func (s *scheduler) finishLayer(run *layerRun) error {
 		}
 	}
 	return s.advance(f)
+}
+
+// emitLayerSpans records the finished layer and its inference phases on
+// the flow's track (tid 1+batch index, low so it never collides with
+// packet tracks at noc's packetTIDBase). Phases are contiguous,
+// non-overlapping windows inside the layer span, so Perfetto nests them:
+//
+//	quantize+flitize  [start, start+1]   dispatch encodes and flitizes
+//	route             [start+1, firstEject]  task packets traverse the mesh
+//	mac               [firstEject, lastReady]  PE multiply-accumulate
+//	collect           [lastReady, end]   results return and reduce
+//
+// The boundaries are clamped monotone so degenerate layers (everything in
+// one cycle) still produce a valid containment hierarchy.
+func (s *scheduler) emitLayerSpans(run *layerRun, st LayerStat) {
+	e := s.e
+	t := e.spans
+	tid := int64(1 + run.flow.idx)
+	start := run.startCycle
+	end := e.sim.Cycle()
+	lay := t.Begin("layer:"+run.name, "accel", e.spanPID, tid, start).
+		SetAttrInt("bt", st.BT).
+		SetAttrInt("flits", st.Flits).
+		SetAttrInt("tasks", int64(st.Tasks))
+	t.End(lay, end)
+
+	fz := start + 1
+	if fz > end {
+		fz = end
+	}
+	fe := run.firstEject
+	if fe < fz {
+		fe = fz
+	}
+	if fe > end {
+		fe = end
+	}
+	lr := run.lastReady
+	if lr < fe {
+		lr = fe
+	}
+	if lr > end {
+		lr = end
+	}
+	t.End(t.Begin("quantize+flitize", "accel", e.spanPID, tid, start), fz)
+	t.End(t.Begin("route", "accel", e.spanPID, tid, fz), fe)
+	t.End(t.Begin("mac", "accel", e.spanPID, tid, fe), lr)
+	t.End(t.Begin("collect", "accel", e.spanPID, tid, lr), end)
 }
 
 // removeRun drops a completed run from the deadline list.

@@ -47,6 +47,11 @@ type Link struct {
 	wire bitutil.Vec // current wire state (starts all-zero)
 	bt   int64
 	sent int64
+	// lastBT is the transition count of the most recent crossing. A link
+	// carries at most one flit between transmit and delivery, so the span
+	// tracer can read the delivered flit's per-hop BT from here in Step's
+	// delivery phase.
+	lastBT int64
 
 	// coder, when set, owns the wire state: transitions are whatever the
 	// installed link coding (bus-invert, Gray, …) reports, including any
@@ -86,12 +91,15 @@ func (l *Link) transmit(f *flit.Flit) {
 		panic(fmt.Sprintf("noc: link %s is %d bits, flit payload %d",
 			l.Name, l.wire.Width(), f.Payload.Width()))
 	}
+	var d int64
 	if l.coder != nil {
-		l.bt += int64(l.coder.Transitions(f.Payload))
+		d = int64(l.coder.Transitions(f.Payload))
 	} else {
-		l.bt += int64(l.wire.Transitions(f.Payload))
+		d = int64(l.wire.Transitions(f.Payload))
 		l.wire.CopyFrom(f.Payload)
 	}
+	l.bt += d
+	l.lastBT = d
 	l.sent++
 	l.inFlight = f
 	l.sim.busy = append(l.sim.busy, l)

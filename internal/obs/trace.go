@@ -1,0 +1,268 @@
+// Package obs is the unified telemetry layer: a process-wide metrics
+// registry (counters, gauges, fixed-bucket histograms behind lock-free
+// atomics, rendered in the Prometheus text exposition format) and a span
+// tracer whose records export as Chrome trace-event JSON (loadable in
+// Perfetto or chrome://tracing).
+//
+// The package is built for instrumentation of simulation hot paths, so the
+// disabled state costs nothing: every Tracer method is nil-receiver safe
+// and the instrument handles are concrete types — a nil *Tracer or a
+// zero-value instrument field turns each call site into a single pointer
+// compare, with no interface boxing and no allocation. Enabled tracing
+// recycles span records through a free list and commits them into a
+// bounded ring, so steady-state recording does not grow the heap either.
+//
+// Time domains: the tracer does not read the clock on the hot path. Spans
+// carry whatever int64 tick the caller supplies — simulator cycles for the
+// noc/accel layers (exported as 1 cycle = 1 µs), or Tracer.Ticks
+// (wall-clock µs since the tracer's creation) for the serving layer. PID
+// and TID are plain int64 track coordinates: NextPID hands each engine or
+// subsystem its own process group, and the caller picks TIDs (packet IDs,
+// flow indices, request sequence numbers) so related spans nest on one
+// track.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxAttrs bounds the typed attributes one span can carry; the fixed-size
+// array keeps Span a flat value with no per-span slice allocation.
+const maxAttrs = 4
+
+// Attr is one typed span attribute: a string or an int64, never both.
+type Attr struct {
+	Key   string
+	Str   string
+	Num   int64
+	IsStr bool
+}
+
+// Span is one recorded operation on a (PID, TID) track. Begin hands the
+// caller a pooled *Span to annotate; End copies the value into the
+// tracer's ring and recycles the record.
+type Span struct {
+	Name  string
+	Cat   string
+	PID   int64
+	TID   int64
+	Start int64 // ticks: simulator cycles or Tracer.Ticks µs
+	Dur   int64
+	Attrs [maxAttrs]Attr
+	N     int // attributes in use
+}
+
+// SetAttr attaches a string attribute (dropped beyond maxAttrs). Nil-safe
+// so disabled-tracer call chains cost one compare; returns the span for
+// chaining.
+func (sp *Span) SetAttr(key, val string) *Span {
+	if sp == nil || sp.N >= maxAttrs {
+		return sp
+	}
+	sp.Attrs[sp.N] = Attr{Key: key, Str: val, IsStr: true}
+	sp.N++
+	return sp
+}
+
+// SetAttrInt attaches an integer attribute (dropped beyond maxAttrs).
+func (sp *Span) SetAttrInt(key string, val int64) *Span {
+	if sp == nil || sp.N >= maxAttrs {
+		return sp
+	}
+	sp.Attrs[sp.N] = Attr{Key: key, Num: val}
+	sp.N++
+	return sp
+}
+
+// Tracer records spans into a bounded in-memory ring. The zero state of
+// interest is the nil *Tracer: every method no-ops on a nil receiver, so
+// instrumented code carries one pointer field and never branches further.
+//
+// All methods are safe for concurrent use. An open span (between Begin and
+// End) is owned by exactly one caller.
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []Span
+	head    int // next overwrite position once the ring is full
+	cap     int
+	over    bool // overwrite oldest when full (else drop newest)
+	dropped int64
+	free    []*Span
+
+	sample uint64 // Sampled keeps IDs where id % sample == 0; <=1 keeps all
+
+	pids  atomic.Int64
+	tids  atomic.Int64
+	epoch time.Time
+}
+
+// DefaultCapacity bounds a tracer built with NewTracer(0): one million
+// spans (~a full quick inference trace) before recording stops or wraps.
+const DefaultCapacity = 1 << 20
+
+// NewTracer builds a tracer whose ring holds up to capacity spans
+// (capacity <= 0 selects DefaultCapacity). The ring grows lazily, so a
+// short trace costs only what it records. By default a full ring drops new
+// spans and counts them in Dropped; SetOverwrite(true) turns it into a
+// keep-the-newest ring for always-on endpoints like /debug/trace.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{cap: capacity, epoch: time.Now()}
+}
+
+// SetOverwrite selects full-ring behavior: true overwrites the oldest
+// span, false (the default) drops the new one. Either way Dropped counts
+// the losses.
+func (t *Tracer) SetOverwrite(b bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.over = b
+	t.mu.Unlock()
+}
+
+// SetSample installs a packet-sampling modulus for Sampled: n <= 1 keeps
+// every ID, n > 1 keeps IDs divisible by n. Sampling is by ID, not by
+// coin flip, so a re-run records the identical span set.
+func (t *Tracer) SetSample(n uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sample = n
+	t.mu.Unlock()
+}
+
+// Sampled reports whether the given ID falls inside the sampling modulus.
+// A nil tracer samples nothing.
+func (t *Tracer) Sampled(id uint64) bool {
+	if t == nil {
+		return false
+	}
+	if t.sample <= 1 {
+		return true
+	}
+	return id%t.sample == 0
+}
+
+// NextPID allocates a fresh process-track ID (starting at 1). Each engine
+// or subsystem takes one so concurrently traced meshes cannot collide on
+// packet-ID tracks.
+func (t *Tracer) NextPID() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.pids.Add(1)
+}
+
+// NextTID allocates a fresh thread-track ID for wall-clock span sources
+// that have no natural track key (flushes, engine builds).
+func (t *Tracer) NextTID() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.tids.Add(1)
+}
+
+// Ticks returns microseconds since the tracer's creation — the wall-clock
+// tick domain for serving-layer spans (simulators pass cycles instead).
+func (t *Tracer) Ticks() int64 {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.epoch).Microseconds()
+}
+
+// Begin opens a span at start ticks on the (pid, tid) track and returns a
+// pooled record for attributes; pair with End. Nil tracer returns nil, and
+// every Span method plus End accept that nil, so instrumentation sites
+// need no branches of their own.
+func (t *Tracer) Begin(name, cat string, pid, tid, start int64) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	var sp *Span
+	if k := len(t.free); k > 0 {
+		sp = t.free[k-1]
+		t.free = t.free[:k-1]
+	}
+	t.mu.Unlock()
+	if sp == nil {
+		sp = new(Span)
+	}
+	*sp = Span{Name: name, Cat: cat, PID: pid, TID: tid, Start: start}
+	return sp
+}
+
+// End closes the span at end ticks, commits it into the ring and recycles
+// the record. sp must not be used afterwards. No-op when tracer or span is
+// nil.
+func (t *Tracer) End(sp *Span, end int64) {
+	if t == nil || sp == nil {
+		return
+	}
+	sp.Dur = end - sp.Start
+	if sp.Dur < 0 {
+		sp.Dur = 0
+	}
+	t.mu.Lock()
+	switch {
+	case len(t.ring) < t.cap:
+		t.ring = append(t.ring, *sp)
+	case t.over:
+		t.ring[t.head] = *sp
+		t.head++
+		if t.head == t.cap {
+			t.head = 0
+		}
+		t.dropped++
+	default:
+		t.dropped++
+	}
+	t.free = append(t.free, sp)
+	t.mu.Unlock()
+}
+
+// Len returns the number of committed spans currently held.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// Dropped returns how many spans the bounded ring lost (dropped new spans,
+// or overwritten old ones in overwrite mode).
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Snapshot copies the committed spans, oldest first. Safe to call while
+// recording continues.
+func (t *Tracer) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.ring))
+	if len(t.ring) == t.cap {
+		out = append(out, t.ring[t.head:]...)
+		out = append(out, t.ring[:t.head]...)
+		return out
+	}
+	return append(out, t.ring...)
+}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.SetOverwrite(true)
+	tr.SetSample(8)
+	if tr.Sampled(0) {
+		t.Fatal("nil tracer must sample nothing")
+	}
+	if tr.NextPID() != 0 || tr.NextTID() != 0 || tr.Ticks() != 0 {
+		t.Fatal("nil tracer allocators must return 0")
+	}
+	sp := tr.Begin("x", "y", 1, 2, 3)
+	if sp != nil {
+		t.Fatal("nil tracer Begin must return nil span")
+	}
+	sp.SetAttr("k", "v").SetAttrInt("n", 1) // must not panic
+	tr.End(sp, 10)
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Snapshot() != nil {
+		t.Fatal("nil tracer must hold nothing")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("nil WriteChrome: %v", err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil tracer trace doc invalid: %v", err)
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("nil tracer trace doc has %d events", len(doc.TraceEvents))
+	}
+}
+
+func TestTracerRecordsAndSnapshotsInOrder(t *testing.T) {
+	tr := NewTracer(8)
+	for i := int64(0); i < 5; i++ {
+		sp := tr.Begin("span", "cat", 1, i, i*10)
+		sp.SetAttrInt("i", i)
+		tr.End(sp, i*10+5)
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", tr.Len())
+	}
+	snap := tr.Snapshot()
+	for i, sp := range snap {
+		if sp.TID != int64(i) || sp.Start != int64(i*10) || sp.Dur != 5 {
+			t.Fatalf("span %d out of order or wrong: %+v", i, sp)
+		}
+		if sp.N != 1 || sp.Attrs[0].Key != "i" || sp.Attrs[0].Num != int64(i) {
+			t.Fatalf("span %d attrs wrong: %+v", i, sp)
+		}
+	}
+}
+
+func TestTracerDropModeBoundsRing(t *testing.T) {
+	tr := NewTracer(3)
+	for i := int64(0); i < 5; i++ {
+		tr.End(tr.Begin("s", "c", 1, i, i), i+1)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", tr.Dropped())
+	}
+	snap := tr.Snapshot()
+	// Drop mode keeps the oldest three.
+	for i, sp := range snap {
+		if sp.TID != int64(i) {
+			t.Fatalf("drop mode kept wrong spans: %+v", snap)
+		}
+	}
+}
+
+func TestTracerOverwriteModeKeepsNewest(t *testing.T) {
+	tr := NewTracer(3)
+	tr.SetOverwrite(true)
+	for i := int64(0); i < 5; i++ {
+		tr.End(tr.Begin("s", "c", 1, i, i), i+1)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", tr.Dropped())
+	}
+	snap := tr.Snapshot()
+	// Overwrite mode keeps the newest three, oldest first.
+	want := []int64{2, 3, 4}
+	for i, sp := range snap {
+		if sp.TID != want[i] {
+			t.Fatalf("overwrite snapshot order: got %+v", snap)
+		}
+	}
+}
+
+func TestTracerRecyclesSpanRecords(t *testing.T) {
+	tr := NewTracer(16)
+	sp1 := tr.Begin("a", "c", 1, 1, 0)
+	tr.End(sp1, 1)
+	sp2 := tr.Begin("b", "c", 1, 2, 0)
+	if sp1 != sp2 {
+		t.Fatal("End must recycle the span record through the free list")
+	}
+	if sp2.Name != "b" || sp2.N != 0 {
+		t.Fatalf("recycled span not reset: %+v", sp2)
+	}
+	tr.End(sp2, 1)
+}
+
+func TestSampling(t *testing.T) {
+	tr := NewTracer(16)
+	if !tr.Sampled(7) {
+		t.Fatal("default tracer must sample everything")
+	}
+	tr.SetSample(4)
+	if !tr.Sampled(8) || tr.Sampled(9) {
+		t.Fatal("SetSample(4) must keep multiples of 4 only")
+	}
+}
+
+func TestSpanAttrOverflowDropped(t *testing.T) {
+	tr := NewTracer(4)
+	sp := tr.Begin("s", "c", 1, 1, 0)
+	for i := 0; i < maxAttrs+3; i++ {
+		sp.SetAttrInt("k", int64(i))
+	}
+	if sp.N != maxAttrs {
+		t.Fatalf("N = %d, want %d", sp.N, maxAttrs)
+	}
+	tr.End(sp, 1)
+}
+
+func TestWriteChromeEventShape(t *testing.T) {
+	tr := NewTracer(4)
+	sp := tr.Begin("hop", "noc", 2, 77, 10)
+	sp.SetAttr("link", "r0->r1").SetAttrInt("bt", 42)
+	tr.End(sp, 12)
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			TS   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			PID  int64          `json:"pid"`
+			TID  int64          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 1 {
+		t.Fatalf("want 1 event, got %d", len(doc.TraceEvents))
+	}
+	ev := doc.TraceEvents[0]
+	if ev.Name != "hop" || ev.Cat != "noc" || ev.Ph != "X" ||
+		ev.TS != 10 || ev.Dur != 2 || ev.PID != 2 || ev.TID != 77 {
+		t.Fatalf("event fields wrong: %+v", ev)
+	}
+	if ev.Args["link"] != "r0->r1" || ev.Args["bt"] != float64(42) {
+		t.Fatalf("event args wrong: %+v", ev.Args)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if FromContext(nil) != nil {
+		t.Fatal("FromContext(nil) must be nil")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("FromContext without a tracer must be nil")
+	}
+	tr := NewTracer(4)
+	ctx := NewContext(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("FromContext must return the installed tracer")
+	}
+}

@@ -142,8 +142,22 @@ func (b *Batcher) collect() {
 	}
 }
 
-// flush runs one micro-batch on a warm engine from the shard.
+// flush runs one micro-batch on a warm engine from the shard, recording
+// the flush-latency and achieved-batch-size distributions and a
+// batch.flush span (each flush gets its own trace track: flushes from one
+// shard overlap up to the replica count).
 func (b *Batcher) flush(batch []*inferJob) {
+	t := b.metrics.Spans
+	sp := t.Begin("batch.flush", "serve", servePID, t.NextTID(), t.Ticks()).
+		SetAttrInt("batch_size", int64(len(batch))).
+		SetAttr("shard", b.shard.Key())
+	flushStart := time.Now()
+	defer func() {
+		b.metrics.FlushLatency.Observe(time.Since(flushStart).Seconds())
+		b.metrics.BatchSize.Observe(float64(len(batch)))
+		t.End(sp, t.Ticks())
+	}()
+
 	eng, release, err := b.shard.Acquire(b.ctx)
 	if err != nil {
 		b.fail(batch, err)

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// servePID is the process track serving-layer spans record on; engine
+// tracers allocate their PIDs from their own tracer instances, so the
+// constant cannot collide within the serve ring.
+const servePID int64 = 1
+
+// reqIDPrefix is a per-process random prefix so request IDs from different
+// daemon runs never collide in aggregated logs; reqIDSeq numbers requests
+// within the process.
+var (
+	reqIDPrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "00000000"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	reqIDSeq atomic.Int64
+)
+
+// newRequestID returns a process-unique request identifier.
+func newRequestID() string {
+	return fmt.Sprintf("%s-%06d", reqIDPrefix, reqIDSeq.Add(1))
+}
+
+// reqInfoKey carries the per-request reqInfo through the handler chain.
+type reqInfoKey struct{}
+
+// reqInfo is the middleware's per-request record: the ID echoed in the
+// X-Request-ID header, error bodies and spans, and the span track the
+// request's nested spans (cache lookups) share.
+type reqInfo struct {
+	id  string
+	tid int64
+}
+
+// requestInfo returns the request's reqInfo (zero value outside the
+// middleware, e.g. in direct handler tests).
+func requestInfo(r *http.Request) reqInfo {
+	ri, _ := r.Context().Value(reqInfoKey{}).(reqInfo)
+	return ri
+}
+
+// statusWriter captures the response status so the middleware can count
+// and log it after the handler returns.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// withObservability wraps the route mux with the request-scoped telemetry:
+// request IDs, the request span, status-labeled response counting, the
+// central 4xx/5xx error counter (this is the single place HTTPErrors is
+// incremented, so mux-level 404/405s count too), the /v1/infer latency
+// histogram, and structured access logging when a logger is configured.
+func (s *Server) withObservability(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ri := reqInfo{id: newRequestID(), tid: s.metrics.Spans.NextTID()}
+		w.Header().Set("X-Request-ID", ri.id)
+		r = r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, ri))
+
+		sp := s.metrics.Spans.Begin("http "+r.Method+" "+r.URL.Path, "serve",
+			servePID, ri.tid, s.metrics.Spans.Ticks()).
+			SetAttr("request_id", ri.id)
+
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+
+		sp.SetAttrInt("status", int64(sw.status))
+		s.metrics.Spans.End(sp, s.metrics.Spans.Ticks())
+
+		status := fmt.Sprint(sw.status)
+		s.metrics.HTTPResponses.Add(status, 1)
+		if sw.status >= 400 {
+			s.metrics.HTTPErrors.Add(1)
+		}
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/infer" {
+			s.metrics.InferLatency.Observe(time.Since(start).Seconds())
+		}
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Info("request",
+				"request_id", ri.id,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"duration_ms", float64(time.Since(start).Microseconds())/1000,
+				"remote", r.RemoteAddr,
+			)
+		}
+	})
+}

@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestLegacyPrometheusSeriesByteIdentical pins the migration contract: the
+// eight pre-registry counters must render byte-for-byte what the hand-rolled
+// exposition produced, before any new registry series.
+func TestLegacyPrometheusSeriesByteIdentical(t *testing.T) {
+	m := NewMetrics(0)
+	m.InferRequests.Add(3)
+	m.InferBatches.Add(2)
+	m.InferBatchedRequests.Add(3)
+	m.ExperimentRuns.Add(1)
+	m.EngineBuilds.Add(4)
+	m.EngineRetirements.Add(1)
+	m.HTTPErrors.Add(5)
+	m.CachePutErrors.Add(1)
+
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP nocbt_serve_infer_requests_total Inference requests accepted.\n" +
+		"# TYPE nocbt_serve_infer_requests_total counter\n" +
+		"nocbt_serve_infer_requests_total 3\n" +
+		"# HELP nocbt_serve_infer_batches_total Micro-batched InferBatch calls issued.\n" +
+		"# TYPE nocbt_serve_infer_batches_total counter\n" +
+		"nocbt_serve_infer_batches_total 2\n" +
+		"# HELP nocbt_serve_infer_batched_requests_total Inference requests summed over issued batches.\n" +
+		"# TYPE nocbt_serve_infer_batched_requests_total counter\n" +
+		"nocbt_serve_infer_batched_requests_total 3\n" +
+		"# HELP nocbt_serve_experiment_runs_total Experiment executions (cache misses).\n" +
+		"# TYPE nocbt_serve_experiment_runs_total counter\n" +
+		"nocbt_serve_experiment_runs_total 1\n" +
+		"# HELP nocbt_serve_engine_builds_total Warm-pool engine constructions.\n" +
+		"# TYPE nocbt_serve_engine_builds_total counter\n" +
+		"nocbt_serve_engine_builds_total 4\n" +
+		"# HELP nocbt_serve_engine_retirements_total Engines retired after an aborted run.\n" +
+		"# TYPE nocbt_serve_engine_retirements_total counter\n" +
+		"nocbt_serve_engine_retirements_total 1\n" +
+		"# HELP nocbt_serve_http_errors_total Requests answered with an error status.\n" +
+		"# TYPE nocbt_serve_http_errors_total counter\n" +
+		"nocbt_serve_http_errors_total 5\n" +
+		"# HELP nocbt_serve_cache_put_errors_total Result-cache stores that failed (disk tier unwritable).\n" +
+		"# TYPE nocbt_serve_cache_put_errors_total counter\n" +
+		"nocbt_serve_cache_put_errors_total 1\n"
+	got := buf.String()
+	if !strings.HasPrefix(got, want) {
+		t.Fatalf("legacy block drifted.\n got:\n%s\nwant prefix:\n%s", got, want)
+	}
+}
+
+// TestZeroValueMetricsStillRender covers the batcher/pool test convention
+// of a bare &Metrics{}: counters work and the exposition is the legacy
+// block only (no registry instruments were built).
+func TestZeroValueMetricsStillRender(t *testing.T) {
+	m := &Metrics{}
+	m.InferRequests.Add(1)
+	m.FlushLatency.Observe(0.5) // nil histogram: must no-op
+	m.QueueDepth.Add(1)         // nil gauge: must no-op
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "nocbt_serve_infer_requests_total 1\n") {
+		t.Fatalf("zero-value Metrics lost a counter:\n%s", out)
+	}
+	if strings.Contains(out, "nocbt_serve_infer_latency_seconds") {
+		t.Fatalf("zero-value Metrics rendered registry series:\n%s", out)
+	}
+}
+
+// TestNewSeriesInScrape asserts the registry series the tentpole adds are
+// present and shaped right after real traffic.
+func TestNewSeriesInScrape(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatch: 1})
+	resp, data := postJSON(t, ts.URL+"/v1/infer", InferRequest{Model: "tiny"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("infer failed: %d %s", resp.StatusCode, data)
+	}
+	res, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		`nocbt_serve_infer_latency_seconds_bucket{le="+Inf"} 1`,
+		"nocbt_serve_infer_latency_seconds_sum ",
+		"nocbt_serve_infer_latency_seconds_count 1",
+		`nocbt_serve_batch_flush_latency_seconds_bucket{le="+Inf"} 1`,
+		`nocbt_serve_batch_size_bucket{le="1"} 1`,
+		"# TYPE nocbt_serve_pool_queue_depth gauge",
+		"nocbt_serve_pool_shards 1",
+		"# TYPE nocbt_serve_goroutines gauge",
+		"# TYPE nocbt_serve_heap_bytes gauge",
+		`nocbt_serve_http_responses_total{status="200"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestMuxLevelErrorsCounted pins the HTTPErrors fix: errors produced by the
+// ServeMux itself (unknown path 404, wrong method 405) never reached a
+// handler and were invisible to the old per-handler counting; the
+// middleware counts them from the written status.
+func TestMuxLevelErrorsCounted(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	if resp, err := http.Get(ts.URL + "/nope"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET /nope: %d, want 404", resp.StatusCode)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/v1/infer"); err != nil { // POST-only route
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET /v1/infer: %d, want 405", resp.StatusCode)
+		}
+	}
+	if got := s.Metrics().HTTPErrors.Load(); got != 2 {
+		t.Errorf("HTTPErrors = %d, want 2 (mux-level 404 + 405)", got)
+	}
+	if got := s.Metrics().HTTPResponses.Load("404"); got != 1 {
+		t.Errorf(`HTTPResponses{status="404"} = %d, want 1`, got)
+	}
+	if got := s.Metrics().HTTPResponses.Load("405"); got != 1 {
+		t.Errorf(`HTTPResponses{status="405"} = %d, want 1`, got)
+	}
+}
+
+// TestRequestIDsEchoedAndAttached checks the request-ID satellite: every
+// response carries X-Request-ID, IDs are unique per request, and error
+// bodies name the ID so a client report can be joined with the access log.
+func TestRequestIDsEchoedAndAttached(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp1, data := postJSON(t, ts.URL+"/v1/infer", InferRequest{Model: "resnet"})
+	id1 := resp1.Header.Get("X-Request-ID")
+	if id1 == "" {
+		t.Fatal("response missing X-Request-ID")
+	}
+	var e struct {
+		Error     string `json:"error"`
+		RequestID string `json:"request_id"`
+	}
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatalf("error body not JSON: %q", data)
+	}
+	if e.RequestID != id1 {
+		t.Fatalf("error body request_id %q != header %q", e.RequestID, id1)
+	}
+	resp2, _ := postJSON(t, ts.URL+"/v1/infer", InferRequest{Model: "resnet"})
+	if id2 := resp2.Header.Get("X-Request-ID"); id2 == id1 {
+		t.Fatalf("request IDs not unique: %q twice", id1)
+	}
+}
+
+// TestDebugTraceServesChromeJSON checks the /debug/trace ring: after one
+// inference it must return valid trace-event JSON containing the request
+// span and its nested cache lookup.
+func TestDebugTraceServesChromeJSON(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatch: 1})
+	if resp, data := postJSON(t, ts.URL+"/v1/infer", InferRequest{Model: "tiny"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("infer failed: %d %s", resp.StatusCode, data)
+	}
+	res, err := http.Get(ts.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("/debug/trace is not valid trace JSON: %v\n%s", err, body)
+	}
+	names := make(map[string]int)
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name]++
+		if ev.Name == "http POST /v1/infer" {
+			if _, ok := ev.Args["request_id"]; !ok {
+				t.Errorf("request span missing request_id attr: %+v", ev.Args)
+			}
+		}
+	}
+	for _, want := range []string{"http POST /v1/infer", "cache.lookup", "batch.flush", "engine.build"} {
+		if names[want] == 0 {
+			t.Errorf("trace missing %q span; got %v", want, names)
+		}
+	}
+}
+
+// TestTraceSpansDisabled checks TraceSpans < 0: no ring, but /debug/trace
+// still answers a valid empty document.
+func TestTraceSpansDisabled(t *testing.T) {
+	s, ts := newTestServer(t, Config{TraceSpans: -1})
+	if s.Metrics().Spans != nil {
+		t.Fatal("TraceSpans < 0 must disable the span ring")
+	}
+	res, err := http.Get(ts.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil || len(doc.TraceEvents) != 0 {
+		t.Fatalf("disabled trace endpoint returned %q (err %v), want empty doc", body, err)
+	}
+}
+
+// TestPprofGated checks the pprof satellite: absent by default, mounted
+// with EnablePprof.
+func TestPprofGated(t *testing.T) {
+	_, off := newTestServer(t, Config{})
+	resp, err := http.Get(off.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof reachable without EnablePprof: %d", resp.StatusCode)
+	}
+
+	_, on := newTestServer(t, Config{EnablePprof: true})
+	resp, err = http.Get(on.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof not served with EnablePprof: %d", resp.StatusCode)
+	}
+}

@@ -67,6 +67,7 @@ func (p *Pool) Shard(key string, build BuildFunc) *Shard {
 			s.slots <- &slot{} // empty slot: built on first acquire
 		}
 		p.shards[key] = s
+		p.metrics.PoolShards.Set(int64(len(p.shards)))
 	}
 	return s
 }
@@ -102,20 +103,26 @@ func (s *Shard) Key() string { return s.key }
 // its slot rebuilt on the next acquire, so one bad run costs one rebuild,
 // never a stuck replica.
 func (s *Shard) Acquire(ctx context.Context) (Engine, func(), error) {
+	// The queue-depth gauge covers the whole hold: waiting for a slot,
+	// building if the slot is cold, and running until release.
+	s.metrics.QueueDepth.Add(1)
 	var sl *slot
 	select {
 	case sl = <-s.slots:
 	case <-ctx.Done():
+		s.metrics.QueueDepth.Add(-1)
 		return nil, nil, ctx.Err()
 	}
 	if sl.eng == nil {
-		eng, err := s.build()
+		eng, err := s.buildTraced()
 		if err != nil {
 			s.slots <- sl // keep the slot; a later acquire retries the build
+			s.metrics.QueueDepth.Add(-1)
 			return nil, nil, fmt.Errorf("serve: building engine for shard %s: %w", s.key, err)
 		}
 		if eng == nil {
 			s.slots <- sl
+			s.metrics.QueueDepth.Add(-1)
 			return nil, nil, fmt.Errorf("serve: shard %s builder returned a nil engine", s.key)
 		}
 		s.metrics.EngineBuilds.Add(1)
@@ -130,7 +137,20 @@ func (s *Shard) Acquire(ctx context.Context) (Engine, func(), error) {
 				sl.eng = nil
 			}
 			s.slots <- sl
+			s.metrics.QueueDepth.Add(-1)
 		})
 	}
 	return eng, release, nil
+}
+
+// buildTraced wraps the shard's build func in an engine.build span — cold
+// shard construction (model training included) is the serving tier's
+// biggest latency cliff, so it gets its own track in /debug/trace.
+func (s *Shard) buildTraced() (Engine, error) {
+	t := s.metrics.Spans
+	sp := t.Begin("engine.build", "serve", servePID, t.NextTID(), t.Ticks()).
+		SetAttr("shard", s.key)
+	eng, err := s.build()
+	t.End(sp, t.Ticks())
+	return eng, err
 }

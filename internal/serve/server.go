@@ -18,7 +18,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
@@ -53,6 +55,19 @@ type Config struct {
 	// Models registers the servable model families. Default:
 	// DefaultModels() (lenet + darknet).
 	Models map[string]ModelProvider
+	// TraceSpans bounds the always-on serving span ring exposed at
+	// /debug/trace (the ring overwrites its oldest spans, so the endpoint
+	// returns the newest window). Default 4096; negative disables serving
+	// spans entirely.
+	TraceSpans int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: the profiler exposes stack and heap internals, so it is
+	// opt-in (btserved's -pprof flag).
+	EnablePprof bool
+	// Logger, when set, receives one structured access-log record per
+	// request (request ID, method, path, status, duration). Default nil:
+	// no access logging.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +89,9 @@ func (c Config) withDefaults() Config {
 	if c.Models == nil {
 		c.Models = DefaultModels()
 	}
+	if c.TraceSpans == 0 {
+		c.TraceSpans = 4096
+	}
 	return c
 }
 
@@ -85,6 +103,7 @@ type Server struct {
 	cache   *resultcache.Cache
 	metrics *Metrics
 	mux     *http.ServeMux
+	handler http.Handler
 	start   time.Time
 
 	ctx    context.Context
@@ -124,7 +143,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		cache:    cache,
-		metrics:  &Metrics{},
+		metrics:  NewMetrics(cfg.TraceSpans),
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
 		ctx:      ctx,
@@ -137,11 +156,21 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("POST /v1/experiments/run", s.handleExperimentRun)
 	s.mux.HandleFunc("POST /v1/infer", s.handleInfer)
+	s.mux.HandleFunc("GET /debug/trace", s.handleDebugTrace)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	s.handler = s.withObservability(s.mux)
 	return s, nil
 }
 
-// Handler returns the HTTP surface.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP surface (the route mux behind the
+// request-telemetry middleware).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Metrics returns the server's counters.
 func (s *Server) Metrics() *Metrics { return s.metrics }
@@ -156,12 +185,17 @@ func (s *Server) Close() { s.cancel() }
 // errTooManyShards refuses new shard materialization past Config.MaxShards.
 var errTooManyShards = fmt.Errorf("serve: shard capacity exhausted; retry an existing (platform, model, seed) combination")
 
-// httpError answers with a JSON error body and counts it.
-func (s *Server) httpError(w http.ResponseWriter, status int, err error) {
-	s.metrics.HTTPErrors.Add(1)
+// httpError answers with a JSON error body carrying the request ID. Every
+// error response flows through here (or through the mux's own 404/405),
+// and the middleware counts them all from the written status — handlers no
+// longer touch the error counter, so no exit path can be missed.
+func (s *Server) httpError(w http.ResponseWriter, r *http.Request, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	json.NewEncoder(w).Encode(map[string]string{
+		"error":      err.Error(),
+		"request_id": requestInfo(r).id,
+	})
 }
 
 // writeJSON marshals v with indentation (the rendering every cacheable
@@ -187,6 +221,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.WritePrometheus(w, s.cache)
 }
 
+// handleDebugTrace serves the span ring as Chrome trace-event JSON —
+// paste into https://ui.perfetto.dev to see the newest window of request,
+// cache-lookup, batch-flush and engine-build spans. With TraceSpans < 0
+// the document is empty but still valid.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.metrics.Spans.WriteChrome(w)
+}
+
+// cacheLookup wraps a result-cache read in a serving span on the request's
+// track, recording whether it hit.
+func (s *Server) cacheLookup(r *http.Request, key string) ([]byte, bool) {
+	t := s.metrics.Spans
+	sp := t.Begin("cache.lookup", "serve", servePID, requestInfo(r).tid, t.Ticks())
+	body, ok := s.cache.Get(key)
+	if ok {
+		sp.SetAttr("result", "hit")
+	} else {
+		sp.SetAttr("result", "miss")
+	}
+	t.End(sp, t.Ticks())
+	return body, ok
+}
+
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	type item struct {
 		Name        string `json:"name"`
@@ -206,26 +264,26 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 	var req ExperimentRunRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	if _, ok := nocbt.LookupExperiment(req.Name); !ok {
-		s.httpError(w, http.StatusNotFound,
+		s.httpError(w, r, http.StatusNotFound,
 			fmt.Errorf("unknown experiment %q (available: %v)", req.Name, nocbt.ExperimentNames()))
 		return
 	}
 	params, err := req.Params.toParams()
 	if err != nil {
-		s.httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	key, err := nocbt.ExperimentCacheKey(req.Name, params)
 	if err != nil {
-		s.httpError(w, http.StatusInternalServerError, err)
+		s.httpError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	if !req.NoCache {
-		if body, ok := s.cache.Get(key); ok {
+		if body, ok := s.cacheLookup(r, key); ok {
 			w.Header().Set("Content-Type", "application/json")
 			w.Header().Set("X-Cache", "hit")
 			w.WriteHeader(http.StatusOK)
@@ -235,13 +293,13 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := nocbt.RunExperiment(r.Context(), req.Name, params)
 	if err != nil {
-		s.httpError(w, http.StatusInternalServerError, err)
+		s.httpError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	s.metrics.ExperimentRuns.Add(1)
 	body, err := nocbt.Render(res, nocbt.JSON)
 	if err != nil {
-		s.httpError(w, http.StatusInternalServerError, err)
+		s.httpError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	if !req.NoCache {
@@ -261,7 +319,7 @@ func (s *Server) handleExperimentRun(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	var req InferRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		s.httpError(w, r, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	if req.Model == "" {
@@ -269,23 +327,23 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	provider, ok := s.cfg.Models[req.Model]
 	if !ok {
-		s.httpError(w, http.StatusNotFound, fmt.Errorf("unknown model %q", req.Model))
+		s.httpError(w, r, http.StatusNotFound, fmt.Errorf("unknown model %q", req.Model))
 		return
 	}
 	platform, err := req.Platform.Build()
 	if err != nil {
-		s.httpError(w, http.StatusBadRequest, err)
+		s.httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	fp, err := nocbt.PlatformFingerprint(platform)
 	if err != nil {
-		s.httpError(w, http.StatusInternalServerError, err)
+		s.httpError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	key := resultcache.Key("infer", fp, req.Model,
 		fmt.Sprint(req.Seed), fmt.Sprint(req.Trained), fmt.Sprint(req.InputSeed))
 	if !req.NoCache {
-		if body, ok := s.cache.Get(key); ok {
+		if body, ok := s.cacheLookup(r, key); ok {
 			w.Header().Set("Content-Type", "application/json")
 			w.Header().Set("X-Cache", "hit")
 			w.WriteHeader(http.StatusOK)
@@ -301,12 +359,12 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, errTooManyShards) {
 			status = http.StatusServiceUnavailable
 		}
-		s.httpError(w, status, err)
+		s.httpError(w, r, status, err)
 		return
 	}
 	out, stat, batchSize, err := h.batcher.Do(r.Context(), provider.Input(h.model, req.InputSeed))
 	if err != nil {
-		s.httpError(w, http.StatusInternalServerError, err)
+		s.httpError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	resp := InferResponse{
@@ -319,7 +377,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	body, err := json.MarshalIndent(resp, "", "  ")
 	if err != nil {
-		s.httpError(w, http.StatusInternalServerError, err)
+		s.httpError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	body = append(body, '\n')

@@ -11,6 +11,7 @@ import (
 	"nocbt/internal/accel"
 	"nocbt/internal/dnn"
 	"nocbt/internal/flit"
+	"nocbt/internal/obs"
 	"nocbt/internal/stats"
 	"nocbt/internal/tensor"
 )
@@ -167,6 +168,9 @@ func (r *runner) runJob(ctx context.Context, job Job) (Result, error) {
 	eng, err := accel.New(cfg, model)
 	if err != nil {
 		return Result{}, err
+	}
+	if t := obs.FromContext(ctx); t != nil {
+		eng.SetSpanTracer(t)
 	}
 	res := Result{
 		Platform:     job.Platform.Name,

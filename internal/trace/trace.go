@@ -2,6 +2,12 @@
 // of the NOC-DNA platform outputs in the paper's Fig. 7 — and re-derives
 // bit-transition statistics from them, giving an independent cross-check of
 // the simulator's in-line BT recorders.
+//
+// This is the analysis-grade flit-level record (every crossing, exact
+// payloads, CSV). For the human-facing timeline view — packet lifecycle and
+// layer-phase spans rendered in a Chrome trace viewer — see the span
+// tracer in nocbt/internal/obs and noc.Sim.SetSpanTracer; the two attach
+// to the simulator independently.
 package trace
 
 import (
