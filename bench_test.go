@@ -433,8 +433,15 @@ func BenchmarkInferBatch(b *testing.B) {
 
 // stepBenchSim replicates internal/noc's Step benchmark workloads through
 // the package API so the baseline emitter can measure them from here.
-func stepBenchSim(b *testing.B, idle bool) {
-	s, err := noc.New(noc.Config{Width: 8, Height: 8, VCs: 4, BufDepth: 4, LinkBits: 128})
+// topology/concentration select the interconnect scheme ("" = mesh); the
+// traffic pattern is identical across schemes so the per-topology section
+// compares stepping cost, not workload shape.
+func stepBenchSim(b *testing.B, idle bool, topology string, concentration int) {
+	s, err := noc.New(noc.Config{
+		Width: 8, Height: 8,
+		Topology: topology, Concentration: concentration,
+		VCs: 4, BufDepth: 4, LinkBits: 128,
+	})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -486,8 +493,21 @@ func TestEmitNoCBenchBaseline(t *testing.T) {
 	if path == "" {
 		t.Skip("set BENCH_NOC_JSON=<path> to emit the benchmark baseline")
 	}
-	idle := testing.Benchmark(func(b *testing.B) { stepBenchSim(b, true) })
-	busy := testing.Benchmark(func(b *testing.B) { stepBenchSim(b, false) })
+	idle := testing.Benchmark(func(b *testing.B) { stepBenchSim(b, true, "", 0) })
+	busy := testing.Benchmark(func(b *testing.B) { stepBenchSim(b, false, "", 0) })
+
+	// Per-topology saturated stepping cost on the same 8×8 terminal grid and
+	// traffic pattern; "mesh" repeats the busy number so the section is
+	// self-contained.
+	perTopo := map[string]interface{}{}
+	for _, tc := range []struct {
+		name          string
+		topology      string
+		concentration int
+	}{{"mesh", "", 0}, {"torus", "torus", 0}, {"cmesh", "cmesh", 4}} {
+		r := testing.Benchmark(func(b *testing.B) { stepBenchSim(b, false, tc.topology, tc.concentration) })
+		perTopo[tc.name] = float64(r.T.Nanoseconds()) / float64(r.N)
+	}
 
 	cfg, model, inputs := batchBenchWorkload()
 	serialEng, err := nocbt.NewEngine(cfg, model)
@@ -546,6 +566,10 @@ func TestEmitNoCBenchBaseline(t *testing.T) {
 		"sim_step_ns_per_cycle": map[string]interface{}{
 			"idle_8x8":      float64(idle.T.Nanoseconds()) / float64(idle.N),
 			"saturated_8x8": float64(busy.T.Nanoseconds()) / float64(busy.N),
+		},
+		"sim_step_topology": map[string]interface{}{
+			"workload":               "saturated 8x8 terminal grid, 128-bit links, fixed-stride traffic",
+			"saturated_ns_per_cycle": perTopo,
 		},
 		"precision": map[string]interface{}{
 			"workload":  "LeNet untrained seed 1, 4x4 MC2, 128-bit links, O0/uncoded, uniform lane width",
@@ -630,6 +654,7 @@ func TestBenchBaselineMergePreservesCuratedSections(t *testing.T) {
 	updates := map[string]interface{}{
 		"schema":                "nocbt-bench-noc/v1",
 		"sim_step_ns_per_cycle": map[string]interface{}{"idle_8x8": 2.0, "saturated_8x8": 3.0},
+		"sim_step_topology":     map[string]interface{}{"saturated_ns_per_cycle": map[string]interface{}{"torus": 5.0}},
 		"infer":                 map[string]interface{}{"serial_cycles": 7.0},
 	}
 	if err := mergeBenchBaseline(path, updates); err != nil {

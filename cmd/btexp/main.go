@@ -66,6 +66,7 @@ func run(args []string, stdout io.Writer) error {
 	orderings := fs.String("orderings", "", "sweep: comma-separated ordering strategy names (default: O0,O1,O2; see the strategy registry)")
 	codings := fs.String("codings", "", "sweep: comma-separated link codings from none,gray,businvert (default: none)")
 	precisions := fs.String("precisions", "", "sweep: comma-separated fixed-point lane widths from 2,4,8,16 (default: the geometry's own format)")
+	topologies := fs.String("topology", "", "sweep: comma-separated interconnect topologies from mesh,torus,cmesh (default: the platform's own mesh)")
 	asJSON := fs.Bool("json", false, "sweep: emit the legacy row-array JSON instead of a table")
 	traceOut := fs.String("trace", "", "write packet/layer spans as Chrome trace-event JSON to this file")
 	if err := fs.Parse(args); err != nil {
@@ -117,7 +118,7 @@ func run(args []string, stdout io.Writer) error {
 		params.Trained = false // fast pass: skip model training
 	}
 	if exp == "sweep" {
-		spec, err := sweepSpec(*platforms, *formats, *models, *seeds, *batches, *orderings, *codings, *precisions, *seed, params.Trained)
+		spec, err := sweepSpec(*platforms, *formats, *models, *seeds, *batches, *orderings, *codings, *precisions, *topologies, *seed, params.Trained)
 		if err != nil {
 			return err
 		}
@@ -234,7 +235,7 @@ func atomicWriteFile(path string, data []byte) error {
 
 // sweepSpec assembles a SweepSpec from the command-line subset flags;
 // empty flags keep the paper's full default axis.
-func sweepSpec(platforms, formats, models, seeds, batches, orderings, codings, precisions string, seed int64, trained bool) (nocbt.SweepSpec, error) {
+func sweepSpec(platforms, formats, models, seeds, batches, orderings, codings, precisions, topologies string, seed int64, trained bool) (nocbt.SweepSpec, error) {
 	spec := nocbt.SweepSpec{Trained: trained, Seeds: []int64{seed}}
 	if platforms != "" {
 		for _, name := range strings.Split(platforms, ",") {
@@ -309,6 +310,15 @@ func sweepSpec(platforms, formats, models, seeds, batches, orderings, codings, p
 				return spec, fmt.Errorf("bad precision %q: %w", s, gerr)
 			}
 			spec.Precisions = append(spec.Precisions, v)
+		}
+	}
+	if topologies != "" {
+		for _, name := range strings.Split(topologies, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := nocbt.CanonicalTopologyName(name); !ok {
+				return spec, fmt.Errorf("unknown topology %q (registered: %v)", name, nocbt.TopologyNames())
+			}
+			spec.Topologies = append(spec.Topologies, name)
 		}
 	}
 	return spec, nil

@@ -301,29 +301,29 @@ func TestRunErrors(t *testing.T) {
 }
 
 func TestSweepSpecParsing(t *testing.T) {
-	spec, err := sweepSpec("8x8mc4,8x8mc8", "float32", "lenet,darknet", "3,4", "1,4", "o0,hamming-nn", "none,businvert", "4,8", 1, false)
+	spec, err := sweepSpec("8x8mc4,8x8mc8", "float32", "lenet,darknet", "3,4", "1,4", "o0,hamming-nn", "none,businvert", "4,8", "mesh,torus", 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(spec.Batches) != 2 || spec.Batches[0] != 1 || spec.Batches[1] != 4 {
 		t.Errorf("batches parsed wrong: %+v", spec.Batches)
 	}
-	if _, err := sweepSpec("", "", "", "", "0", "", "", "", 1, false); err == nil {
+	if _, err := sweepSpec("", "", "", "", "0", "", "", "", "", 1, false); err == nil {
 		t.Error("batch size 0 not rejected")
 	}
-	if _, err := sweepSpec("", "", "", "", "2x", "", "", "", 1, false); err == nil {
+	if _, err := sweepSpec("", "", "", "", "2x", "", "", "", "", 1, false); err == nil {
 		t.Error("malformed batch size not rejected")
 	}
-	if _, err := sweepSpec("", "", "", "", "", "o9", "", "", 1, false); err == nil {
+	if _, err := sweepSpec("", "", "", "", "", "o9", "", "", "", 1, false); err == nil {
 		t.Error("unknown ordering not rejected")
 	}
-	if _, err := sweepSpec("", "", "", "", "", "", "huffman", "", 1, false); err == nil {
+	if _, err := sweepSpec("", "", "", "", "", "", "huffman", "", "", 1, false); err == nil {
 		t.Error("unknown link coding not rejected")
 	}
-	if _, err := sweepSpec("", "", "", "", "", "", "", "7", 1, false); err == nil {
+	if _, err := sweepSpec("", "", "", "", "", "", "", "7", "", 1, false); err == nil {
 		t.Error("unsupported precision not rejected")
 	}
-	if _, err := sweepSpec("", "", "", "", "", "", "", "4x", 1, false); err == nil {
+	if _, err := sweepSpec("", "", "", "", "", "", "", "4x", "", 1, false); err == nil {
 		t.Error("malformed precision not rejected")
 	}
 	if len(spec.Precisions) != 2 || spec.Precisions[0] != 4 || spec.Precisions[1] != 8 {
@@ -346,5 +346,11 @@ func TestSweepSpecParsing(t *testing.T) {
 	}
 	if len(spec.Seeds) != 2 || spec.Seeds[0] != 3 || spec.Seeds[1] != 4 {
 		t.Errorf("seeds parsed wrong: %+v", spec.Seeds)
+	}
+	if len(spec.Topologies) != 2 || spec.Topologies[0] != "mesh" || spec.Topologies[1] != "torus" {
+		t.Errorf("topologies parsed wrong: %+v", spec.Topologies)
+	}
+	if _, err := sweepSpec("", "", "", "", "", "", "", "", "hypercube", 1, false); err == nil {
+		t.Error("unknown topology not rejected")
 	}
 }

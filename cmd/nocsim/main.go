@@ -1,11 +1,12 @@
 // Command nocsim runs the standalone NoC simulator under a synthetic
 // uniform-random traffic pattern and reports per-link bit transition
-// statistics — useful for exploring the mesh without a DNN workload.
+// statistics — useful for exploring the interconnect without a DNN
+// workload.
 //
 // Usage:
 //
-//	nocsim [-mesh 4x4] [-packets 1000] [-flits 4] [-link 128] [-seed 1] [-v]
-//	       [-trace out.json]
+//	nocsim [-mesh 4x4] [-topology mesh] [-packets 1000] [-flits 4]
+//	       [-link 128] [-seed 1] [-v] [-trace out.json]
 //
 // With -trace, the full packet lifecycle (inject, per-hop link traversal
 // with per-hop BT, NI reassembly) is exported as Chrome trace-event JSON —
@@ -37,7 +38,9 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("nocsim", flag.ContinueOnError)
-	mesh := fs.String("mesh", "4x4", "mesh size WxH")
+	mesh := fs.String("mesh", "4x4", "terminal grid size WxH")
+	topology := fs.String("topology", "", "interconnect topology: mesh (default), torus or cmesh")
+	concentration := fs.Int("concentration", 0, "cmesh terminals per router (2 or 4; 0 = the topology default)")
 	packets := fs.Int("packets", 1000, "packets to inject")
 	flits := fs.Int("flits", 4, "payload flits per packet")
 	linkBits := fs.Int("link", 128, "link width in bits")
@@ -55,7 +58,11 @@ func run(args []string, stdout io.Writer) error {
 	if _, err := fmt.Sscanf(*mesh, "%dx%d", &w, &h); err != nil {
 		return fmt.Errorf("bad -mesh %q: %w", *mesh, err)
 	}
-	cfg := noc.Config{Width: w, Height: h, VCs: 4, BufDepth: 4, LinkBits: *linkBits}
+	topo, ok := noc.CanonicalTopologyName(*topology)
+	if !ok {
+		return fmt.Errorf("unknown -topology %q (registered: %v)", *topology, noc.TopologyNames())
+	}
+	cfg := noc.Config{Width: w, Height: h, Topology: topo, Concentration: *concentration, VCs: 4, BufDepth: 4, LinkBits: *linkBits}
 	sim, err := noc.New(cfg)
 	if err != nil {
 		return err
@@ -119,7 +126,8 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	st := sim.Stats()
-	fmt.Fprintf(stdout, "mesh %dx%d, %d packets x %d flits, %d-bit links\n", w, h, *packets, *flits+1, *linkBits)
+	fmt.Fprintf(stdout, "%s %dx%d, %d packets x %d flits, %d-bit links\n",
+		noc.TopologyDisplayName(topo), w, h, *packets, *flits+1, *linkBits)
 	fmt.Fprintf(stdout, "cycles:            %d\n", st.Cycles)
 	fmt.Fprintf(stdout, "delivered packets: %d\n", st.PacketsDelivered)
 	fmt.Fprintf(stdout, "router-link BT:    %d\n", st.RouterBT)

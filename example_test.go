@@ -49,7 +49,7 @@ func ExampleLookupExperiment() {
 // figure plus the open sweep and strategy-comparison grids.
 func ExampleExperimentNames() {
 	fmt.Println(nocbt.ExperimentNames())
-	// Output: [codings fig1 fig10 fig11 fig12 fig13 fig9 power precision sweep table1 table2]
+	// Output: [codings fig1 fig10 fig11 fig12 fig13 fig9 power precision sweep table1 table2 topology]
 }
 
 // ExampleRender_json runs the §V-C link-power experiment and renders its

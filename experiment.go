@@ -189,6 +189,10 @@ type fingerprintSweep struct {
 	// Precisions is the uniform lane-width axis; omitempty keeps every
 	// pre-precision fingerprint byte-identical.
 	Precisions []int `json:"precisions,omitempty"`
+	// Topologies hashes in canonical display form ("" resolves to "mesh"),
+	// so every accepted spelling of the default interconnect shares one
+	// address; omitempty keeps pre-topology fingerprints byte-identical.
+	Topologies []string `json:"topologies,omitempty"`
 	// Workers is deliberately excluded: sweep results are bit-identical
 	// for any worker count, so it must not split the address space.
 }
@@ -246,6 +250,18 @@ func (p Params) Fingerprint() ([]byte, error) {
 				}
 			}
 			fs.Codings = append(fs.Codings, c)
+		}
+		for _, tn := range s.Topologies {
+			// Same canonicalization contract as Codings: accepted spellings
+			// share an address, unknown names hash as written.
+			if canonical, ok := CanonicalTopologyName(tn); ok {
+				if canonical == "" {
+					tn = "mesh"
+				} else {
+					tn = canonical
+				}
+			}
+			fs.Topologies = append(fs.Topologies, tn)
 		}
 		fp.Sweep = fs
 	}

@@ -13,7 +13,7 @@ import (
 // TestRegistryListsEveryPaperExperiment pins the registered set: every
 // table and figure of the paper plus the open sweep grid.
 func TestRegistryListsEveryPaperExperiment(t *testing.T) {
-	want := []string{"codings", "fig1", "fig10", "fig11", "fig12", "fig13", "fig9", "power", "precision", "sweep", "table1", "table2"}
+	want := []string{"codings", "fig1", "fig10", "fig11", "fig12", "fig13", "fig9", "power", "precision", "sweep", "table1", "table2", "topology"}
 	if got := ExperimentNames(); !reflect.DeepEqual(got, want) {
 		t.Errorf("registered experiments = %v, want %v", got, want)
 	}

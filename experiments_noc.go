@@ -43,6 +43,9 @@ type NoCRunResult struct {
 	// Coding is the link coding's display name; empty and "none" both mean
 	// the paper's plain binary links.
 	Coding string
+	// Topology is the canonical interconnect name; empty means the default
+	// mesh, the paper's platform.
+	Topology string
 	// Seed is the weight/input seed of the run (sweep paths fill it in;
 	// direct RunModelOnNoC calls leave it 0 unless the caller sets it).
 	Seed int64
@@ -57,6 +60,10 @@ type NoCRunResult struct {
 	// Flits counts total injected flits (headers included) — the traffic
 	// volume a narrower precision shrinks.
 	Flits int64
+	// RouterFlits counts router-to-router link traversals; RouterFlits /
+	// Flits is the mean hop count, which torus wrap links and cmesh
+	// concentration shrink.
+	RouterFlits int64
 	// MACBitOps, WeightRegBits and FlitBits are the engine's per-component
 	// activity counters (accel.EnergyCounters); with TotalBT as the link
 	// transition count they price a per-component energy estimate.
@@ -98,17 +105,20 @@ func RunModelOnNoC(ctx context.Context, name string, cfg Platform, ord Ordering,
 		return NoCRunResult{}, err
 	}
 	ec := eng.EnergyCounters()
+	topology, _ := CanonicalTopologyName(cfg.Mesh.Topology)
 	res := NoCRunResult{
 		Platform:      name,
 		Model:         model.Name(),
 		Geometry:      cfg.Geometry,
 		Ordering:      ord,
 		Coding:        codingDisplayName(cfg.LinkCoding),
+		Topology:      topology,
 		Batch:         1,
 		TotalBT:       eng.TotalBT(),
 		Cycles:        eng.Cycles(),
 		Packets:       eng.TaskPackets() + eng.ResultPackets(),
 		Flits:         eng.TotalFlits(),
+		RouterFlits:   eng.NoCStats().RouterFlits,
 		MACBitOps:     ec.MACBitOps,
 		WeightRegBits: ec.WeightRegBits,
 		FlitBits:      ec.FlitBits,

@@ -143,6 +143,11 @@ func (c Config) withDefaults() Config {
 		// Unknown names stay as written for Validate to reject.
 		c.LinkCoding = canonical
 	}
+	if canonical, ok := noc.CanonicalTopologyName(c.Mesh.Topology); ok {
+		// Same contract for the interconnect: "mesh", "MESH" and "" all
+		// canonicalize to "", keeping pre-topology fingerprints unchanged.
+		c.Mesh.Topology = canonical
+	}
 	return c
 }
 
@@ -222,6 +227,10 @@ func (c Config) PEs() []int {
 // Fig. 6 attaches MCs (with their ordering units and off-chip memory) at
 // the mesh edge. Deterministic: the same (w, h, count) always yields the
 // same placement.
+//
+// Placement is on the terminal (NI) grid, which every topology preserves:
+// torus and cmesh re-map terminals onto routers internally, so MC node IDs
+// remain valid unchanged under any registered topology.
 func PerimeterMCs(w, h, count int) []int {
 	cfg := noc.Config{Width: w, Height: h}
 	perimeter := perimeterWalk(w, h)

@@ -90,6 +90,11 @@ func (p EnergyParams) Estimate(a Activity) EnergyBreakdown {
 // each bidirectional neighbor connection once: w(h−1) vertical plus
 // h(w−1) horizontal. For the paper's 8×8 mesh this is the 112 that §V-C
 // hard-codes.
+//
+// Deprecated shim: this is the mesh formula only. Topology-aware callers
+// derive the count from noc's Topology.Links() (which counts unidirectional
+// links — halve it for this package's bidirectional-pair convention) and
+// build the model with DerivedLinkModelFromLinks.
 func MeshLinks(w, h int) int {
 	if w < 1 || h < 1 {
 		return 0
@@ -97,16 +102,28 @@ func MeshLinks(w, h int) int {
 	return w*(h-1) + h*(w-1)
 }
 
-// DerivedLinkModel builds the §V-C link power model from the actual
+// DerivedLinkModel builds the §V-C link power model from a plain-mesh
 // platform: mesh dimensions and link width in, link count out — the
 // general form of PaperLinkModel's hard-coded 128-bit/112-link constants
 // (which remain as the pinned paper preset). Frequency and toggle fraction
-// keep the paper's 125 MHz / one-half assumptions.
+// keep the paper's 125 MHz / one-half assumptions. For non-mesh topologies
+// use DerivedLinkModelFromLinks with the topology's own link count.
 func DerivedLinkModel(meshW, meshH, linkBits int, energyPerTransition float64) LinkPowerModel {
+	return DerivedLinkModelFromLinks(MeshLinks(meshW, meshH), linkBits, energyPerTransition)
+}
+
+// DerivedLinkModelFromLinks builds the §V-C link power model from an
+// explicit inter-router link count — bidirectional pairs counted once,
+// the paper's convention (112 for 8×8 mesh). This is the topology-generic
+// entry point: pass Topology.Links()/2 from the noc package, so torus
+// wrap links and cmesh's reduced grid price their actual wire budget.
+// Frequency and toggle fraction keep the paper's 125 MHz / one-half
+// assumptions.
+func DerivedLinkModelFromLinks(links, linkBits int, energyPerTransition float64) LinkPowerModel {
 	return LinkPowerModel{
 		EnergyPerTransition: energyPerTransition,
 		LinkBits:            linkBits,
-		Links:               MeshLinks(meshW, meshH),
+		Links:               links,
 		FreqHz:              125e6,
 		ToggleFraction:      0.5,
 	}

@@ -1,6 +1,6 @@
 // Package registrycheck enforces the registration discipline of the
 // strategy and experiment registries (PR 5's flit.RegisterOrdering /
-// RegisterLinkCoding, PR 3's nocbt.Register):
+// RegisterLinkCoding, PR 3's nocbt.Register, and noc.RegisterTopology):
 //
 //   - registrations must happen at init time — inside an init function or
 //     a package-level var initializer — so the registries are complete
@@ -9,6 +9,8 @@
 //     must be compile-time constants: an ID computed at runtime cannot be
 //     grepped, diffed, or kept stable across releases;
 //   - ordering IDs must fit the packet header's 8-bit ordering field;
+//   - topology names must not squat on "" or "mesh", which the registry
+//     reserves for the built-in default;
 //   - a wire identifier must be registered exactly once across the whole
 //     tree — the second registration site is reported, with a pointer to
 //     the first (the registries reject duplicates at runtime, but only on
@@ -51,8 +53,11 @@ var registerFuncs = map[string]string{
 	"nocbt/internal/flit.MustRegisterOrdering":   "ordering",
 	"nocbt/internal/flit.RegisterLinkCoding":     "linkcoding",
 	"nocbt/internal/flit.MustRegisterLinkCoding": "linkcoding",
+	"nocbt/internal/noc.RegisterTopology":        "topology",
+	"nocbt/internal/noc.MustRegisterTopology":    "topology",
 	"nocbt.RegisterOrderingStrategy":             "ordering",
 	"nocbt.RegisterLinkCoding":                   "linkcoding",
+	"nocbt.RegisterTopology":                     "topology",
 	"nocbt.Register":                             "experiment",
 	"nocbt.MustRegister":                         "experiment",
 }
@@ -123,10 +128,17 @@ func checkCall(pass *analysis.Pass, idx *index, call *ast.CallExpr, atInit bool,
 	if !isRegister {
 		return
 	}
-	if len(call.Args) == 1 {
-		// Pure delegation — MustRegister(e) forwarding its own parameter to
-		// Register, or the root-package wrappers forwarding to flit. The
-		// registration discipline is enforced at the outer callsite instead.
+	// The wire identity is the sole argument for the strategy and experiment
+	// registries, and the first of (name, builder) for the topology registry.
+	wantArgs := 1
+	if kind == "topology" {
+		wantArgs = 2
+	}
+	if len(call.Args) == wantArgs {
+		// Pure delegation — MustRegister(e) or MustRegisterTopology(name, b)
+		// forwarding its own parameter to Register, or the root-package
+		// wrappers forwarding to the internal package. The registration
+		// discipline is enforced at the outer callsite instead.
 		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && enclosingParams[pass.TypesInfo.Uses[id]] {
 			return
 		}
@@ -134,7 +146,7 @@ func checkCall(pass *analysis.Pass, idx *index, call *ast.CallExpr, atInit bool,
 	if !atInit {
 		pass.Report(call.Pos(), "%s must be called from init or a package-level var initializer, so the registry is complete before any lookup", shortName(name))
 	}
-	if len(call.Args) != 1 {
+	if len(call.Args) != wantArgs {
 		return
 	}
 	checkRegisteredValue(pass, idx, kind, call.Args[0])
@@ -205,6 +217,18 @@ func checkRegisteredValue(pass *analysis.Pass, idx *index, kind string, arg ast.
 			return
 		}
 		recordOnce(pass, idx, "linkcoding", strings.ToLower(name), arg.Pos())
+	case "topology":
+		name, ok := constString(pass, arg)
+		if !ok {
+			pass.Report(arg.Pos(), "topology name must be a string literal or constant — wire IDs are grepped and must never be computed")
+			return
+		}
+		key := strings.ToLower(strings.TrimSpace(name))
+		if key == "" || key == "mesh" {
+			pass.Report(arg.Pos(), "topology name %q is reserved for the built-in mesh default", name)
+			return
+		}
+		recordOnce(pass, idx, "topology", key, arg.Pos())
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"nocbt"
 	"nocbt/internal/bitutil"
 	"nocbt/internal/flit"
+	"nocbt/internal/noc"
 )
 
 // handRolled implements OrderingStrategy directly, with constant-returning
@@ -49,6 +50,18 @@ var dynamic = "fx-dynamic"
 func runtimeName() string      { return dynamic }
 func runtimeID() flit.Ordering { return flit.Ordering(len(dynamic)) }
 func expName() string          { return dynamic + "-exp" }
+func topoName() string         { return dynamic + "-topo" }
+
+// fxTopoBuild stands in for a topology scheme constructor.
+func fxTopoBuild(cfg noc.Config) (noc.Topology, error) { return nil, nil }
+
+// registerTopoWrapper is pure delegation — it forwards its own parameters,
+// so the registration discipline is enforced at its callers instead.
+func registerTopoWrapper(name string, build noc.TopologyBuilder) {
+	noc.MustRegisterTopology(name, build)
+}
+
+var _ = registerTopoWrapper
 
 func runExp(ctx context.Context, p nocbt.Params) (*nocbt.Result, error) { return nil, ctx.Err() }
 
@@ -65,11 +78,16 @@ func init() {
 	nocbt.MustRegister(nocbt.NewExperiment(expName(), "computed name", runExp)) // want `experiment name must be a string literal or constant`
 	// Lookup is case-insensitive, so a re-spelled name is still a duplicate.
 	flit.MustRegisterOrdering(flit.NewOrderingStrategy("FX-Clean", 205, false, false, nil)) // want `duplicate ordering-name registration "fx-clean"`
+	noc.MustRegisterTopology("fx-ring", fxTopoBuild)
+	noc.MustRegisterTopology(topoName(), fxTopoBuild) // want `topology name must be a string literal or constant`
+	noc.MustRegisterTopology("mesh", fxTopoBuild)     // want `topology name "mesh" is reserved for the built-in mesh default`
+	_ = nocbt.RegisterTopology("", fxTopoBuild)       // want `topology name "" is reserved for the built-in mesh default`
 }
 
 // lateRegistration mutates the registry after init, under traffic.
 func lateRegistration() {
 	flit.MustRegisterOrdering(flit.NewOrderingStrategy("fx-late", 206, false, false, nil)) // want `MustRegisterOrdering must be called from init`
+	noc.MustRegisterTopology("fx-late-topo", fxTopoBuild)                                  // want `MustRegisterTopology must be called from init`
 }
 
 var _ = lateRegistration

@@ -3,11 +3,18 @@
 // rejects duplicates on code paths that import both.
 package b
 
-import "nocbt/internal/flit"
+import (
+	"nocbt/internal/flit"
+	"nocbt/internal/noc"
+)
+
+func bTopoBuild(cfg noc.Config) (noc.Topology, error) { return nil, nil }
 
 func init() {
 	// Package a registered "fx-clean"; case differences do not make a new name.
 	flit.MustRegisterOrdering(flit.NewOrderingStrategy("Fx-CLEAN", 220, false, false, nil)) // want `duplicate ordering-name registration "fx-clean"`
 	// Package a's hand-rolled strategy claimed wire ID 210.
 	flit.MustRegisterOrdering(flit.NewOrderingStrategy("fx-b-fresh", 210, false, false, nil)) // want `duplicate ordering-id registration "210"`
+	// Package a registered the topology "fx-ring"; lookup is case-insensitive.
+	noc.MustRegisterTopology("FX-Ring", bTopoBuild) // want `duplicate topology registration "fx-ring"`
 }

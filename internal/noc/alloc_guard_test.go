@@ -40,10 +40,12 @@ func TestAllocRegressionGuard(t *testing.T) {
 	}
 
 	benches := map[string]func(*testing.B){
-		"BenchmarkStepIdle8x8":          BenchmarkStepIdle8x8,
-		"BenchmarkStepAccelLike8x8":     BenchmarkStepAccelLike8x8,
-		"BenchmarkStepSaturated8x8":     BenchmarkStepSaturated8x8,
-		"BenchmarkStepSaturated4x4Wide": BenchmarkStepSaturated4x4Wide,
+		"BenchmarkStepIdle8x8":           BenchmarkStepIdle8x8,
+		"BenchmarkStepAccelLike8x8":      BenchmarkStepAccelLike8x8,
+		"BenchmarkStepSaturated8x8":      BenchmarkStepSaturated8x8,
+		"BenchmarkStepSaturatedTorus8x8": BenchmarkStepSaturatedTorus8x8,
+		"BenchmarkStepSaturatedCMesh8x8": BenchmarkStepSaturatedCMesh8x8,
+		"BenchmarkStepSaturated4x4Wide":  BenchmarkStepSaturated4x4Wide,
 	}
 	for name, budget := range baseline.Pooling.After {
 		fn, ok := benches[name]

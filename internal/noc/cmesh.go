@@ -1,0 +1,155 @@
+package noc
+
+import "fmt"
+
+// cmeshTopology is a concentrated mesh: Concentration terminals share one
+// router, each through its own local port, shrinking the router grid (and
+// hop counts) while the terminal grid — node IDs, MC placement, dispatch —
+// stays exactly the Config's Width × Height. Concentration 2 merges 2×1
+// terminal blocks, concentration 4 merges 2×2 blocks; router-to-router
+// routing is plain X-Y on the reduced grid, so one VC class suffices.
+//
+// Ports are numbered locals first (0..c-1, block row-major), then the four
+// directions — the same local-then-directions convention as the mesh, which
+// the generic Sim construction relies on.
+type cmeshTopology struct {
+	w, h   int // terminal grid
+	c      int // terminals per router
+	bx, by int // terminal block merged into one router
+	rw, rh int // router grid
+	locals [][]int
+}
+
+func init() {
+	MustRegisterTopology("cmesh", newCMeshTopology)
+}
+
+// DefaultConcentration is the cmesh terminals-per-router factor used when
+// Config.Concentration is zero.
+const DefaultConcentration = 4
+
+// newCMeshTopology validates and builds the concentrated mesh. Supported
+// concentration factors are 2 (2×1 terminal blocks) and 4 (2×2 blocks);
+// the block shape must tile the terminal grid exactly.
+func newCMeshTopology(cfg Config) (Topology, error) {
+	c := cfg.Concentration
+	if c == 0 {
+		c = DefaultConcentration
+	}
+	var bx, by int
+	switch c {
+	case 2:
+		bx, by = 2, 1
+	case 4:
+		bx, by = 2, 2
+	default:
+		return nil, fmt.Errorf("noc: cmesh supports concentration 2 or 4, got %d", c)
+	}
+	if cfg.Width%bx != 0 || cfg.Height%by != 0 {
+		return nil, fmt.Errorf("noc: cmesh concentration %d merges %dx%d terminal blocks, which do not tile a %dx%d grid",
+			c, bx, by, cfg.Width, cfg.Height)
+	}
+	t := &cmeshTopology{
+		w: cfg.Width, h: cfg.Height,
+		c: c, bx: bx, by: by,
+		rw: cfg.Width / bx, rh: cfg.Height / by,
+	}
+	if t.rw < 2 || t.rh < 2 {
+		return nil, fmt.Errorf("noc: cmesh router grid %dx%d is smaller than the minimum 2x2 (terminal grid %dx%d at concentration %d)",
+			t.rw, t.rh, cfg.Width, cfg.Height, c)
+	}
+	t.locals = make([][]int, t.rw*t.rh)
+	ports := make([]int, c)
+	for p := 0; p < c; p++ {
+		ports[p] = p
+	}
+	for r := range t.locals {
+		t.locals[r] = ports
+	}
+	return t, nil
+}
+
+func (t *cmeshTopology) Name() string           { return "cmesh" }
+func (t *cmeshTopology) Routers() int           { return t.rw * t.rh }
+func (t *cmeshTopology) Nodes() int             { return t.w * t.h }
+func (t *cmeshTopology) Ports() int             { return t.c + 4 }
+func (t *cmeshTopology) LocalPorts(r int) []int { return t.locals[r] }
+func (t *cmeshTopology) VCClasses() int         { return 1 }
+func (t *cmeshTopology) Diameter() int          { return (t.rw - 1) + (t.rh - 1) }
+
+// Concentration returns the terminals-per-router factor.
+func (t *cmeshTopology) Concentration() int { return t.c }
+
+// Links counts two unidirectional links per adjacent router pair on the
+// reduced grid.
+func (t *cmeshTopology) Links() int {
+	horizontal := (t.rw - 1) * t.rh
+	vertical := t.rw * (t.rh - 1)
+	return 2 * (horizontal + vertical)
+}
+
+// PortName labels locals "local0".."local{c-1}" and the directions by
+// compass name.
+func (t *cmeshTopology) PortName(p int) string {
+	if p >= 0 && p < t.c {
+		return fmt.Sprintf("local%d", p)
+	}
+	return dirPortName(p, t.c)
+}
+
+// dirPort maps a mesh-style direction constant offset onto this topology's
+// port index: North..West sit at t.c..t.c+3.
+func (t *cmeshTopology) dirPort(d int) int { return t.c + d - North }
+
+// NodeRouter maps a terminal onto its block's router and its local port
+// within the block (block row-major).
+func (t *cmeshTopology) NodeRouter(node int) (router, port int) {
+	x, y := node%t.w, node/t.w
+	router = (y/t.by)*t.rw + (x / t.bx)
+	port = (y%t.by)*t.bx + (x % t.bx)
+	return router, port
+}
+
+// Neighbor pairs direction ports across adjacent routers of the reduced
+// grid; local ports and edge-facing ports have no link.
+func (t *cmeshTopology) Neighbor(r, port int) (nb, inPort int, ok bool) {
+	if port < t.c || port >= t.c+4 {
+		return 0, 0, false
+	}
+	d := port - t.c + North
+	x, y := r%t.rw, r/t.rw
+	switch d {
+	case North:
+		y--
+	case South:
+		y++
+	case East:
+		x++
+	case West:
+		x--
+	}
+	if x < 0 || x >= t.rw || y < 0 || y >= t.rh {
+		return 0, 0, false
+	}
+	return y*t.rw + x, t.dirPort(oppositeDir(d)), true
+}
+
+// Route is X-Y dimension-order routing on the router grid; at the
+// destination router it ejects through the terminal's own local port.
+func (t *cmeshTopology) Route(cur, dst int) (port, vcClass int) {
+	dr, dp := t.NodeRouter(dst)
+	cx, cy := cur%t.rw, cur/t.rw
+	dx, dy := dr%t.rw, dr/t.rw
+	switch {
+	case dx > cx:
+		return t.dirPort(East), 0
+	case dx < cx:
+		return t.dirPort(West), 0
+	case dy > cy:
+		return t.dirPort(South), 0
+	case dy < cy:
+		return t.dirPort(North), 0
+	default:
+		return dp, 0
+	}
+}

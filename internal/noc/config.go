@@ -1,7 +1,10 @@
-// Package noc implements the cycle-driven 2D-mesh Network-on-Chip simulator
-// the paper's with-NoC experiments run on: X-Y dimension-order routing,
-// wormhole switching, virtual channels with credit-based flow control, and
-// per-link bit-transition recording (Fig. 8).
+// Package noc implements the cycle-driven Network-on-Chip simulator the
+// paper's with-NoC experiments run on: dimension-order routing, wormhole
+// switching, virtual channels with credit-based flow control, and per-link
+// bit-transition recording (Fig. 8). The interconnect itself is pluggable:
+// the Topology interface (see topology.go) abstracts routing, link pairing
+// and NI attachment behind a registry, with the paper's 2D mesh as the
+// reserved default and torus/cmesh schemes built in.
 //
 // The simulator reproduces the NocDAS configuration the paper states:
 // 4 virtual channels with 4-flit buffers per VC, 512-bit links for float-32
@@ -44,10 +47,22 @@ func portName(p int) string {
 	}
 }
 
-// Config describes a mesh NoC instance.
+// Config describes one NoC instance.
 type Config struct {
-	// Width and Height are the mesh dimensions in routers.
+	// Width and Height are the terminal (NI) grid dimensions. For the mesh
+	// and torus topologies this is also the router grid; a concentrated
+	// mesh shares each router between several terminals of the grid.
 	Width, Height int
+	// Topology names a registered interconnect scheme ("mesh", "torus",
+	// "cmesh"); empty means the built-in 2D mesh, the paper's platform.
+	// The omitempty tag keeps platform fingerprints of topology-free
+	// configurations byte-identical to those minted before this field
+	// existed.
+	Topology string `json:",omitempty"`
+	// Concentration is the terminals-per-router factor of the cmesh
+	// topology (2 or 4; 0 selects the cmesh default of 4). Topologies that
+	// do not concentrate reject a non-zero value.
+	Concentration int `json:",omitempty"`
 	// VCs is the virtual channel count per input port (paper: 4).
 	VCs int
 	// BufDepth is the flit capacity of each VC buffer (paper: 4).
@@ -84,10 +99,21 @@ func (c Config) Validate() error {
 	if c.LinkBits < 1 {
 		return fmt.Errorf("noc: bad link width %d", c.LinkBits)
 	}
+	topo, err := c.BuildTopology()
+	if err != nil {
+		return err
+	}
+	// Every VC class of the topology's deadlock-avoidance scheme needs at
+	// least one virtual channel to allocate from.
+	if classes := topo.VCClasses(); c.VCs < classes {
+		return fmt.Errorf("noc: topology %q needs VCs >= %d for its deadlock-avoidance VC classes, got %d",
+			topo.Name(), classes, c.VCs)
+	}
 	return nil
 }
 
-// Nodes returns the router count.
+// Nodes returns the terminal (NI) count — the packet address space. For
+// the mesh and torus topologies this is also the router count.
 func (c Config) Nodes() int { return c.Width * c.Height }
 
 // XY converts a node ID to mesh coordinates: x = column, y = row.
@@ -96,71 +122,15 @@ func (c Config) XY(node int) (x, y int) { return node % c.Width, node / c.Width 
 // Node converts coordinates to a node ID.
 func (c Config) Node(x, y int) int { return y*c.Width + x }
 
-// InterRouterLinks returns the number of unidirectional router-to-router
-// links: 2 per adjacent pair. The paper quotes 112 links for an 8×8 mesh,
-// counting each adjacent pair once (bidirectional pairs): that is
-// InterRouterLinks()/2.
+// InterRouterLinks returns the mesh topology's unidirectional
+// router-to-router link count: 2 per adjacent pair. The paper quotes 112
+// links for an 8×8 mesh, counting each adjacent pair once (bidirectional
+// pairs): that is InterRouterLinks()/2.
+//
+// Deprecated shim: this is the mesh formula regardless of Config.Topology;
+// topology-aware callers should use BuildTopology().Links() instead.
 func (c Config) InterRouterLinks() int {
 	horizontal := (c.Width - 1) * c.Height
 	vertical := c.Width * (c.Height - 1)
 	return 2 * (horizontal + vertical)
-}
-
-// route computes X-Y dimension-order routing: correct X (East/West) first,
-// then Y (North/South), then eject at Local. Deterministic and, with
-// credit-based wormhole flow control, deadlock-free.
-func (c Config) route(cur, dst int) int {
-	cx, cy := c.XY(cur)
-	dx, dy := c.XY(dst)
-	switch {
-	case dx > cx:
-		return East
-	case dx < cx:
-		return West
-	case dy > cy:
-		return South
-	case dy < cy:
-		return North
-	default:
-		return Local
-	}
-}
-
-// neighbor returns the node adjacent to `node` through the given port, or
-// -1 if the port faces the mesh edge.
-func (c Config) neighbor(node, port int) int {
-	x, y := c.XY(node)
-	switch port {
-	case North:
-		y--
-	case South:
-		y++
-	case East:
-		x++
-	case West:
-		x--
-	default:
-		return -1
-	}
-	if x < 0 || x >= c.Width || y < 0 || y >= c.Height {
-		return -1
-	}
-	return c.Node(x, y)
-}
-
-// opposite returns the port on the far router that a link through `port`
-// arrives at.
-func opposite(port int) int {
-	switch port {
-	case North:
-		return South
-	case South:
-		return North
-	case East:
-		return West
-	case West:
-		return East
-	default:
-		panic(fmt.Sprintf("noc: port %s has no opposite", portName(port)))
-	}
 }

@@ -61,6 +61,10 @@ func TestInterRouterLinksPaperCount(t *testing.T) {
 
 func TestRouteXYOrder(t *testing.T) {
 	c := Config{Width: 4, Height: 4}
+	topo, err := c.BuildTopology()
+	if err != nil {
+		t.Fatal(err)
+	}
 	tests := []struct {
 		name     string
 		cur, dst int
@@ -75,56 +79,48 @@ func TestRouteXYOrder(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if got := c.route(tt.cur, tt.dst); got != tt.want {
-				t.Errorf("route(%d,%d) = %s, want %s", tt.cur, tt.dst, portName(got), portName(tt.want))
+			got, class := topo.Route(tt.cur, tt.dst)
+			if got != tt.want {
+				t.Errorf("Route(%d,%d) = %s, want %s", tt.cur, tt.dst, portName(got), portName(tt.want))
+			}
+			if class != 0 {
+				t.Errorf("Route(%d,%d) VC class = %d, want 0 (mesh is single-class)", tt.cur, tt.dst, class)
 			}
 		})
 	}
 }
 
-func TestNeighbor(t *testing.T) {
+func TestMeshNeighborPairing(t *testing.T) {
 	c := Config{Width: 3, Height: 3}
+	topo, err := c.BuildTopology()
+	if err != nil {
+		t.Fatal(err)
+	}
 	center := c.Node(1, 1)
-	if got := c.neighbor(center, North); got != c.Node(1, 0) {
-		t.Errorf("north neighbor = %d", got)
+	pairs := map[int]struct{ nb, inPort int }{
+		North: {c.Node(1, 0), South},
+		South: {c.Node(1, 2), North},
+		East:  {c.Node(2, 1), West},
+		West:  {c.Node(0, 1), East},
 	}
-	if got := c.neighbor(center, South); got != c.Node(1, 2) {
-		t.Errorf("south neighbor = %d", got)
-	}
-	if got := c.neighbor(center, East); got != c.Node(2, 1) {
-		t.Errorf("east neighbor = %d", got)
-	}
-	if got := c.neighbor(center, West); got != c.Node(0, 1) {
-		t.Errorf("west neighbor = %d", got)
-	}
-	// Edges.
-	if got := c.neighbor(c.Node(0, 0), West); got != -1 {
-		t.Errorf("west of corner = %d, want -1", got)
-	}
-	if got := c.neighbor(c.Node(2, 2), South); got != -1 {
-		t.Errorf("south of corner = %d, want -1", got)
-	}
-	if got := c.neighbor(center, Local); got != -1 {
-		t.Errorf("local neighbor = %d, want -1", got)
-	}
-}
-
-func TestOpposite(t *testing.T) {
-	pairs := map[int]int{North: South, South: North, East: West, West: East}
-	for p, want := range pairs {
-		if got := opposite(p); got != want {
-			t.Errorf("opposite(%s) = %s", portName(p), portName(got))
+	for port, want := range pairs {
+		nb, inPort, ok := topo.Neighbor(center, port)
+		if !ok || nb != want.nb || inPort != want.inPort {
+			t.Errorf("Neighbor(center, %s) = (%d, %d, %v), want (%d, %d, true)",
+				portName(port), nb, inPort, ok, want.nb, want.inPort)
 		}
 	}
-}
-
-func TestOppositeLocalPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("opposite(Local) did not panic")
-		}
-	}()
-	opposite(Local)
+	// Edges and the local port have no link — formerly a panic path in
+	// opposite(); the topology simply reports no pairing.
+	if _, _, ok := topo.Neighbor(c.Node(0, 0), West); ok {
+		t.Error("west of corner should have no link")
+	}
+	if _, _, ok := topo.Neighbor(c.Node(2, 2), South); ok {
+		t.Error("south of corner should have no link")
+	}
+	if _, _, ok := topo.Neighbor(center, Local); ok {
+		t.Error("local port should have no router link")
+	}
 }
 
 func TestPortNames(t *testing.T) {

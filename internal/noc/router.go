@@ -16,6 +16,10 @@ type inVC struct {
 	// route is the output port of the packet at the queue head (-1 until
 	// route computation runs on its head flit).
 	route int
+	// vcLo/vcHi bound the downstream VCs the packet may be allocated —
+	// the topology's VC class for this hop, set alongside route. A
+	// single-class topology (and any sink port) spans the full VC range.
+	vcLo, vcHi int
 	// outVC is the downstream VC granted to that packet (-1 until VC
 	// allocation succeeds).
 	outVC int
@@ -98,21 +102,29 @@ func newOutPort(link *Link, vcs, depth int, sink bool) *outPort {
 	return p
 }
 
-// freeVC returns the lowest-index free downstream VC, or -1.
-func (p *outPort) freeVC() int {
-	for v, busy := range p.vcBusy {
-		if !busy {
+// freeVCIn returns the lowest-index free downstream VC in [lo, hi), or -1.
+func (p *outPort) freeVCIn(lo, hi int) int {
+	for v := lo; v < hi; v++ {
+		if !p.vcBusy[v] {
 			return v
 		}
 	}
 	return -1
 }
 
-// router is one mesh node's switch.
+// router is one topology node's switch. Port slices are sized to the
+// topology's per-router port count at construction; nil entries mark ports
+// with no link (mesh edges).
 type router struct {
 	id  int
-	in  [numPorts]*inPort
-	out [numPorts]*outPort
+	in  []*inPort
+	out []*outPort
+	// vcs is the per-input-port VC count, cached for the allocator's
+	// requester-index arithmetic.
+	vcs int
+	// usedIn is the switch allocator's per-call crossbar-row scratch,
+	// allocated once so sa stays allocation-free on the hot path.
+	usedIn []bool
 	// buffered counts flits resident in input buffers, letting the
 	// simulator skip idle routers.
 	buffered int
@@ -120,10 +132,22 @@ type router struct {
 	active bool
 }
 
+func newRouter(id, ports, vcs int) *router {
+	return &router{
+		id:     id,
+		in:     make([]*inPort, ports),
+		out:    make([]*outPort, ports),
+		vcs:    vcs,
+		usedIn: make([]bool, ports),
+	}
+}
+
 // rc runs route computation: every head flit at a VC front with no route
-// yet gets its output port from X-Y routing.
-func (r *router) rc(cfg *Config) {
-	for pi := 0; pi < numPorts; pi++ {
+// yet gets its output port — and the VC class of the hop — from the
+// topology. Sink (ejection) ports ignore the class: the NI consumes
+// unconditionally, so restricting ejection VCs would only throttle.
+func (r *router) rc(topo Topology) {
+	for pi := range r.in {
 		in := r.in[pi]
 		if in == nil {
 			continue
@@ -136,25 +160,34 @@ func (r *router) rc(cfg *Config) {
 			if !vc.front().IsHead() {
 				continue
 			}
-			vc.route = cfg.route(r.id, vc.front().Dst)
+			port, class := topo.Route(r.id, vc.front().Dst)
+			vc.route = port
+			vc.vcLo, vc.vcHi = 0, r.vcs
+			if out := r.out[port]; out != nil && !out.sink {
+				if classes := topo.VCClasses(); classes > 1 {
+					vc.vcLo = class * r.vcs / classes
+					vc.vcHi = (class + 1) * r.vcs / classes
+				}
+			}
 		}
 	}
 }
 
 // va runs VC allocation: head packets with a route but no downstream VC
-// request one from their output port; each output port grants free VCs in
-// round-robin requester order.
+// request one from their output port; each output port grants free VCs —
+// within the requester's VC class — in round-robin requester order.
 func (r *router) va() {
-	for po := 0; po < numPorts; po++ {
+	ports := len(r.out)
+	for po := 0; po < ports; po++ {
 		out := r.out[po]
 		if out == nil {
 			continue
 		}
-		n := numPorts * len(r.in[Local].vcs)
+		n := ports * r.vcs
 		granted := false
 		for k := 0; k < n; k++ {
 			idx := (out.rrVA + k) % n
-			pi, v := idx/len(r.in[Local].vcs), idx%len(r.in[Local].vcs)
+			pi, v := idx/r.vcs, idx%r.vcs
 			in := r.in[pi]
 			if in == nil {
 				continue
@@ -163,9 +196,9 @@ func (r *router) va() {
 			if vc.route != po || vc.outVC != -1 || vc.n == 0 || !vc.front().IsHead() {
 				continue
 			}
-			free := out.freeVC()
+			free := out.freeVCIn(vc.vcLo, vc.vcHi)
 			if free == -1 {
-				break
+				continue
 			}
 			vc.outVC = free
 			out.vcBusy[free] = true
@@ -182,18 +215,21 @@ func (r *router) va() {
 // available, crossbar input row free) in round-robin order and forwards
 // its flit onto the link. Returns the number of flits forwarded.
 func (r *router) sa() int {
-	var usedIn [numPorts]bool
+	ports := len(r.out)
+	for i := range r.usedIn {
+		r.usedIn[i] = false
+	}
 	moved := 0
-	for po := 0; po < numPorts; po++ {
+	for po := 0; po < ports; po++ {
 		out := r.out[po]
 		if out == nil || out.link.inFlight != nil {
 			continue
 		}
-		n := numPorts * len(r.in[Local].vcs)
+		n := ports * r.vcs
 		for k := 0; k < n; k++ {
 			idx := (out.rrSA + k) % n
-			pi, v := idx/len(r.in[Local].vcs), idx%len(r.in[Local].vcs)
-			if usedIn[pi] {
+			pi, v := idx/r.vcs, idx%r.vcs
+			if r.usedIn[pi] {
 				continue
 			}
 			in := r.in[pi]
@@ -210,7 +246,7 @@ func (r *router) sa() int {
 			f := vc.front()
 			vc.pop()
 			r.buffered--
-			usedIn[pi] = true
+			r.usedIn[pi] = true
 			moved++
 
 			f.VC = vc.outVC

@@ -17,6 +17,7 @@ import (
 // An idle mesh cycle therefore costs O(1) instead of O(routers × ports).
 type Sim struct {
 	cfg     Config
+	topo    Topology
 	routers []*router
 	nis     []*NI
 	links   []*Link
@@ -112,72 +113,114 @@ type TraceFunc func(cycle int64, linkName string, class LinkClass, f *flit.Flit)
 // router/port scan order (the pre-optimization Step order).
 func (s *Sim) SetTrace(fn TraceFunc) { s.trace = fn }
 
-// New builds the mesh, its links and NIs.
+// New builds the topology's routers, links and NIs. Structural problems in
+// a topology's wiring — an out-of-range neighbor, a port paired twice, an
+// NI attachment colliding with a router link — are reported as descriptive
+// errors here, not as panics under traffic.
 func New(cfg Config) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Sim{cfg: cfg, packetStart: make(map[uint64]int64), pool: flit.NewPool(cfg.LinkBits)}
-	nodes := cfg.Nodes()
-	s.routers = make([]*router, nodes)
-	for id := 0; id < nodes; id++ {
-		s.routers[id] = &router{id: id}
+	topo, err := cfg.BuildTopology()
+	if err != nil {
+		return nil, err
 	}
-	// Mesh links: an output port on each side of every adjacent pair.
-	for id := 0; id < nodes; id++ {
+	if topo.Nodes() != cfg.Nodes() {
+		return nil, fmt.Errorf("noc: topology %q has %d terminals for a %dx%d grid of %d",
+			topo.Name(), topo.Nodes(), cfg.Width, cfg.Height, cfg.Nodes())
+	}
+	s := &Sim{cfg: cfg, topo: topo, packetStart: make(map[uint64]int64), pool: flit.NewPool(cfg.LinkBits)}
+	routers, ports := topo.Routers(), topo.Ports()
+	s.routers = make([]*router, routers)
+	for id := 0; id < routers; id++ {
+		s.routers[id] = newRouter(id, ports, cfg.VCs)
+	}
+	// Router links: the topology owns port pairing — Neighbor names the far
+	// router and the input port each output port's link lands on.
+	for id := 0; id < routers; id++ {
 		r := s.routers[id]
-		for port := North; port <= West; port++ {
-			nb := cfg.neighbor(id, port)
-			if nb == -1 {
+		for port := 0; port < ports; port++ {
+			nb, inPort, ok := topo.Neighbor(id, port)
+			if !ok {
 				continue
 			}
-			link := newLink(s, fmt.Sprintf("r%d.%s->r%d", id, portName(port), nb), RouterLink, cfg.LinkBits)
+			if nb < 0 || nb >= routers || inPort < 0 || inPort >= ports {
+				return nil, fmt.Errorf("noc: topology %q wires router %d port %s to router %d port %d, outside the %d-router %d-port fabric",
+					topo.Name(), id, topo.PortName(port), nb, inPort, routers, ports)
+			}
+			if r.out[port] != nil {
+				return nil, fmt.Errorf("noc: topology %q wires output port %s of router %d twice",
+					topo.Name(), topo.PortName(port), id)
+			}
+			if s.routers[nb].in[inPort] != nil {
+				return nil, fmt.Errorf("noc: topology %q wires input port %s of router %d twice (second feed from router %d port %s)",
+					topo.Name(), topo.PortName(inPort), nb, id, topo.PortName(port))
+			}
+			link := newLink(s, fmt.Sprintf("r%d.%s->r%d", id, topo.PortName(port), nb), RouterLink, cfg.LinkBits)
 			s.links = append(s.links, link)
 			r.out[port] = newOutPort(link, cfg.VCs, cfg.BufDepth, false)
 			in := newInPort(cfg.VCs, cfg.BufDepth, r.out[port])
-			s.routers[nb].in[opposite(port)] = in
+			s.routers[nb].in[inPort] = in
 			link.dstRouter = s.routers[nb]
 			link.dstIn = in
 		}
 	}
-	// Local ports: ejection link to the NI, injection link from the NI.
+	// Local ports: an ejection link to each terminal's NI, an injection
+	// link back. NodeRouter owns the attachment.
+	nodes := topo.Nodes()
 	s.nis = make([]*NI, nodes)
-	for id := 0; id < nodes; id++ {
-		r := s.routers[id]
-		ej := newLink(s, fmt.Sprintf("r%d.local->ni%d", id, id), EjectionLink, cfg.LinkBits)
+	for node := 0; node < nodes; node++ {
+		rid, lp := topo.NodeRouter(node)
+		if rid < 0 || rid >= routers || lp < 0 || lp >= ports {
+			return nil, fmt.Errorf("noc: topology %q attaches terminal %d to router %d port %d, outside the %d-router %d-port fabric",
+				topo.Name(), node, rid, lp, routers, ports)
+		}
+		r := s.routers[rid]
+		if r.out[lp] != nil || r.in[lp] != nil {
+			return nil, fmt.Errorf("noc: topology %q attaches terminal %d to port %s of router %d, which is already wired",
+				topo.Name(), node, topo.PortName(lp), rid)
+		}
+		ej := newLink(s, fmt.Sprintf("r%d.%s->ni%d", rid, topo.PortName(lp), node), EjectionLink, cfg.LinkBits)
 		s.links = append(s.links, ej)
-		r.out[Local] = newOutPort(ej, cfg.VCs, cfg.BufDepth, true)
+		r.out[lp] = newOutPort(ej, cfg.VCs, cfg.BufDepth, true)
 
-		inj := newLink(s, fmt.Sprintf("ni%d->r%d.local", id, id), InjectionLink, cfg.LinkBits)
+		inj := newLink(s, fmt.Sprintf("ni%d->r%d.%s", node, rid, topo.PortName(lp)), InjectionLink, cfg.LinkBits)
 		s.links = append(s.links, inj)
 		niOut := newOutPort(inj, cfg.VCs, cfg.BufDepth, false)
 		in := newInPort(cfg.VCs, cfg.BufDepth, niOut)
-		r.in[Local] = in
+		r.in[lp] = in
 		inj.dstRouter = r
 		inj.dstIn = in
-		s.nis[id] = newNI(id, niOut, s.pool)
-		ej.dstNI = s.nis[id]
+		s.nis[node] = newNI(node, niOut, s.pool)
+		ej.dstNI = s.nis[node]
 	}
 	// Delivery order of the pre-optimization Step scan (router id → input
-	// ports Local..West → ejection), so traced runs report same-cycle
-	// events in the identical sequence.
+	// ports in port order → ejections in local-port order), so traced runs
+	// report same-cycle events in the identical sequence.
 	order := 0
-	for id := 0; id < nodes; id++ {
+	for id := 0; id < routers; id++ {
 		r := s.routers[id]
-		for port := 0; port < numPorts; port++ {
+		for port := 0; port < ports; port++ {
 			if r.in[port] != nil {
 				r.in[port].feeder.link.order = order
 				order++
 			}
 		}
-		r.out[Local].link.order = order
-		order++
+		for _, lp := range topo.LocalPorts(id) {
+			if r.out[lp] != nil && r.out[lp].sink {
+				r.out[lp].link.order = order
+				order++
+			}
+		}
 	}
 	return s, nil
 }
 
 // Config returns the simulator's configuration.
 func (s *Sim) Config() Config { return s.cfg }
+
+// Topology returns the interconnect scheme the simulator was built on.
+func (s *Sim) Topology() Topology { return s.topo }
 
 // Pool returns the simulator's flit pool. Producers build packets from it
 // (Pool.Vec, Pool.Packet) and consumers return delivered packets with
@@ -359,7 +402,7 @@ func (s *Sim) Step() {
 		}
 		keep := s.activeRouters[:0]
 		for _, r := range s.activeRouters {
-			r.rc(&s.cfg)
+			r.rc(s.topo)
 			r.va()
 			r.sa()
 			if r.buffered > 0 {
@@ -386,7 +429,9 @@ func (s *Sim) Busy() bool {
 }
 
 // Drain steps until the network is empty, failing after maxCycles to guard
-// against protocol bugs (X-Y wormhole routing itself cannot deadlock).
+// against protocol bugs (every built-in topology's routing is deadlock-free
+// by construction: dimension order on the open grids, dateline VC classes
+// on the torus).
 func (s *Sim) Drain(maxCycles int64) error {
 	for i := int64(0); s.Busy(); i++ {
 		if i >= maxCycles {

@@ -1,0 +1,304 @@
+package noc
+
+// The pluggable topology layer: the Topology interface abstracts every mesh
+// assumption the simulator used to hard-code — router/port enumeration,
+// routing, link pairing, NI attachment and the deadlock-avoidance
+// declaration — behind a process-wide registry in the style of the flit
+// package's OrderingStrategy/LinkCodingScheme registries.
+//
+// Three schemes ship built in:
+//
+//   - "mesh" (the reserved default, spelled "" or "mesh"): the paper's 2D
+//     mesh with X-Y dimension-order routing — the extracted form of the
+//     original simulator, byte-identical on every golden output;
+//   - "torus": the mesh with wraparound links, shortest-direction X-Y
+//     routing and dateline virtual-channel classes for deadlock freedom
+//     (requires VCs >= 2, see torus.go);
+//   - "cmesh": a concentrated mesh where Concentration terminals share one
+//     router through per-node local ports (see cmesh.go).
+//
+// Terminal-grid convention: Config.Width × Config.Height always describes
+// the terminal (NI) grid, so node IDs, MC placement policies and dispatch
+// round-robins are topology-independent. Routers() may be smaller than
+// Nodes() (cmesh); for mesh and torus the two coincide and router IDs equal
+// node IDs.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Topology describes one NoC interconnect scheme, built for a concrete
+// Config by its registered TopologyBuilder. Implementations must be
+// immutable after construction and safe for concurrent use: one Topology
+// instance serves every router of a Sim, and sweeps share nothing else.
+type Topology interface {
+	// Name is the registry key ("mesh", "torus", "cmesh").
+	Name() string
+	// Routers is the router count. Router IDs are 0..Routers()-1.
+	Routers() int
+	// Nodes is the terminal (NI) count — the packet address space. Equal to
+	// Config.Nodes() for every built-in topology.
+	Nodes() int
+	// Ports is the uniform per-router port count: local (NI-facing) ports
+	// first, then the direction ports.
+	Ports() int
+	// LocalPorts lists the local port indices of router r, in port order.
+	LocalPorts(r int) []int
+	// NodeRouter maps a terminal node ID onto its router and the local port
+	// its NI attaches through.
+	NodeRouter(node int) (router, port int)
+	// Neighbor resolves the link out of (r, port): the router it reaches
+	// and the input port it arrives at. ok is false when no such link
+	// exists — local ports and, on open topologies, edge-facing ports.
+	// Port pairing is owned here, not by a global opposite() table, so an
+	// inconsistent pairing surfaces as a descriptive Sim construction error
+	// instead of a runtime panic.
+	Neighbor(r, port int) (nb, inPort int, ok bool)
+	// Route computes the output port at router cur for a packet addressed
+	// to terminal dst, plus the virtual-channel class the hop must use for
+	// deadlock avoidance (always 0 for single-class topologies). Reaching
+	// dst's router it returns dst's local port.
+	Route(cur, dst int) (port, vcClass int)
+	// VCClasses declares the deadlock-avoidance scheme: how many disjoint
+	// VC classes Route assigns. Sim construction requires
+	// Config.VCs >= VCClasses() so every class owns at least one VC.
+	VCClasses() int
+	// Links is the unidirectional router→router link count. The paper's
+	// bidirectional-pair convention (112 links for an 8×8 mesh) is
+	// Links()/2.
+	Links() int
+	// Diameter is the maximum minimal router-to-router hop count; property
+	// tests bound route convergence by it.
+	Diameter() int
+	// PortName labels a port index for link names and diagnostics.
+	PortName(p int) string
+}
+
+// TopologyBuilder constructs a Topology for a validated-geometry Config,
+// returning a descriptive error when the Config cannot host the scheme
+// (e.g. a torus smaller than 2×2, a cmesh whose grid the concentration
+// factor does not divide).
+type TopologyBuilder func(cfg Config) (Topology, error)
+
+// topoRegistry is the process-global topology index. Registration happens
+// in init (the built-ins) or test setup; lookups run per Sim construction.
+var topoRegistry = struct {
+	sync.RWMutex
+	builders map[string]TopologyBuilder
+	names    map[string]string // lower-case key -> registered spelling
+}{
+	builders: make(map[string]TopologyBuilder),
+	names:    make(map[string]string),
+}
+
+// RegisterTopology adds a topology scheme to the registry under name.
+// Lookup is case-insensitive; display uses the registered spelling. The
+// names "" and "mesh" are reserved for the built-in default.
+func RegisterTopology(name string, build TopologyBuilder) error {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if key == "" || key == "mesh" {
+		return fmt.Errorf("noc: topology name %q is reserved for the built-in mesh default", name)
+	}
+	if build == nil {
+		return fmt.Errorf("noc: topology %q registered with nil builder", name)
+	}
+	topoRegistry.Lock()
+	defer topoRegistry.Unlock()
+	if first, ok := topoRegistry.names[key]; ok {
+		return fmt.Errorf("noc: topology %q already registered (as %q)", name, first)
+	}
+	topoRegistry.builders[key] = build
+	topoRegistry.names[key] = name
+	return nil
+}
+
+// MustRegisterTopology is RegisterTopology for init-time use; panics on
+// error.
+func MustRegisterTopology(name string, build TopologyBuilder) {
+	if err := RegisterTopology(name, build); err != nil {
+		panic(err)
+	}
+}
+
+// LookupTopology resolves a topology name, case-insensitively. The empty
+// name and "mesh" both mean the built-in 2D mesh and always resolve.
+func LookupTopology(name string) (TopologyBuilder, bool) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if key == "" || key == "mesh" {
+		return newMeshTopology, true
+	}
+	topoRegistry.RLock()
+	defer topoRegistry.RUnlock()
+	b, ok := topoRegistry.builders[key]
+	return b, ok
+}
+
+// CanonicalTopologyName maps any accepted spelling of a topology name onto
+// its canonical form: "" for the mesh default (covering "mesh" in any case)
+// and the registered spelling otherwise. ok is false for unknown names.
+// Platform fingerprints go through this, so configurations minted before
+// the topology axis existed hash identically to an explicit "mesh".
+func CanonicalTopologyName(name string) (canonical string, ok bool) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if key == "" || key == "mesh" {
+		return "", true
+	}
+	topoRegistry.RLock()
+	defer topoRegistry.RUnlock()
+	spelling, ok := topoRegistry.names[key]
+	return spelling, ok
+}
+
+// TopologyDisplayName renders a canonical topology name for reports:
+// "mesh" for the empty default, the registered spelling otherwise.
+func TopologyDisplayName(name string) string {
+	if canonical, ok := CanonicalTopologyName(name); ok {
+		if canonical == "" {
+			return "mesh"
+		}
+		return canonical
+	}
+	return name
+}
+
+// TopologyNames returns the registered topology names, sorted, with "mesh"
+// first.
+func TopologyNames() []string {
+	topoRegistry.RLock()
+	names := make([]string, 0, len(topoRegistry.names)+1)
+	for _, spelling := range topoRegistry.names {
+		names = append(names, spelling)
+	}
+	topoRegistry.RUnlock()
+	sort.Strings(names)
+	return append([]string{"mesh"}, names...)
+}
+
+// BuildTopology resolves and builds the Config's topology: the registered
+// scheme named by Config.Topology, or the built-in mesh when the field is
+// empty.
+func (c Config) BuildTopology() (Topology, error) {
+	build, ok := LookupTopology(c.Topology)
+	if !ok {
+		return nil, fmt.Errorf("noc: unknown topology %q (registered: %v)", c.Topology, TopologyNames())
+	}
+	return build(c)
+}
+
+// dirPortName labels the four direction ports shared by the grid-based
+// topologies, given the index of the first direction port.
+func dirPortName(p, dirBase int) string {
+	switch p - dirBase {
+	case 0:
+		return "north"
+	case 1:
+		return "east"
+	case 2:
+		return "south"
+	case 3:
+		return "west"
+	default:
+		return fmt.Sprintf("port%d", p)
+	}
+}
+
+// meshTopology is the paper's 2D mesh, extracted from the original
+// simulator: five ports per router (local + N/E/S/W), X-Y dimension-order
+// routing, one VC class (X-Y wormhole routing on an open mesh is
+// deadlock-free without classes). Router IDs equal terminal node IDs.
+type meshTopology struct {
+	w, h int
+}
+
+// newMeshTopology builds the reserved default topology.
+func newMeshTopology(cfg Config) (Topology, error) {
+	if cfg.Concentration != 0 {
+		return nil, fmt.Errorf("noc: mesh topology does not use a concentration factor (got %d); use the cmesh topology", cfg.Concentration)
+	}
+	return &meshTopology{w: cfg.Width, h: cfg.Height}, nil
+}
+
+func (t *meshTopology) Name() string                   { return "mesh" }
+func (t *meshTopology) Routers() int                   { return t.w * t.h }
+func (t *meshTopology) Nodes() int                     { return t.w * t.h }
+func (t *meshTopology) Ports() int                     { return numPorts }
+func (t *meshTopology) LocalPorts(r int) []int         { return localPortOnly }
+func (t *meshTopology) VCClasses() int                 { return 1 }
+func (t *meshTopology) Diameter() int                  { return (t.w - 1) + (t.h - 1) }
+func (t *meshTopology) PortName(p int) string          { return portName(p) }
+func (t *meshTopology) NodeRouter(node int) (int, int) { return node, Local }
+
+// Links counts two unidirectional links per adjacent router pair.
+func (t *meshTopology) Links() int {
+	horizontal := (t.w - 1) * t.h
+	vertical := t.w * (t.h - 1)
+	return 2 * (horizontal + vertical)
+}
+
+// localPortOnly is the shared single-local-port slice of the mesh and torus
+// topologies; LocalPorts returns it without allocating.
+var localPortOnly = []int{Local}
+
+func (t *meshTopology) xy(r int) (x, y int) { return r % t.w, r / t.w }
+func (t *meshTopology) node(x, y int) int   { return y*t.w + x }
+
+// Neighbor pairs each direction port with the opposite port on the
+// adjacent router; edge-facing ports and the local port have no link.
+func (t *meshTopology) Neighbor(r, port int) (nb, inPort int, ok bool) {
+	x, y := t.xy(r)
+	switch port {
+	case North:
+		y--
+	case South:
+		y++
+	case East:
+		x++
+	case West:
+		x--
+	default:
+		return 0, 0, false
+	}
+	if x < 0 || x >= t.w || y < 0 || y >= t.h {
+		return 0, 0, false
+	}
+	return t.node(x, y), oppositeDir(port), true
+}
+
+// oppositeDir maps a direction port onto the far router's input port. Only
+// the four direction ports have opposites; callers reach here through
+// Neighbor, which has already rejected local ports.
+func oppositeDir(port int) int {
+	switch port {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	default: // West
+		return East
+	}
+}
+
+// Route computes X-Y dimension-order routing: correct X (East/West) first,
+// then Y (North/South), then eject at Local. Deterministic and, with
+// credit-based wormhole flow control, deadlock-free in a single VC class.
+func (t *meshTopology) Route(cur, dst int) (port, vcClass int) {
+	cx, cy := t.xy(cur)
+	dx, dy := t.xy(dst)
+	switch {
+	case dx > cx:
+		return East, 0
+	case dx < cx:
+		return West, 0
+	case dy > cy:
+		return South, 0
+	case dy < cy:
+		return North, 0
+	default:
+		return Local, 0
+	}
+}

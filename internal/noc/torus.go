@@ -1,0 +1,114 @@
+package noc
+
+import "fmt"
+
+// torusTopology is the 2D mesh with wraparound links in both dimensions:
+// every router has all four direction links, routing picks the shorter way
+// around each ring (ties go East/South, deterministically), and deadlock
+// freedom comes from dateline virtual-channel classes.
+//
+// Dateline scheme, stateless per hop: each ring places its dateline on the
+// wraparound link (between coordinate k-1 and 0). A packet traveling East
+// uses class 0 while it still has the dateline ahead (cur > dst — the path
+// must wrap) and class 1 once it does not (cur < dst); West travel mirrors
+// the comparison. Class-0 channel chains therefore end at the wrap link and
+// class-1 chains never contain it, packets only ever move from class 0 to
+// class 1, and X completes before Y (dimension order), so the channel
+// dependency graph is acyclic. The two classes partition the VC space,
+// which is why the torus declares VCClasses() == 2 and Sim construction
+// rejects VCs < 2.
+type torusTopology struct {
+	w, h int
+}
+
+func init() {
+	MustRegisterTopology("torus", newTorusTopology)
+}
+
+// newTorusTopology validates and builds the torus. Rings need at least two
+// routers per dimension — a 1-wide ring would wrap a router onto itself.
+func newTorusTopology(cfg Config) (Topology, error) {
+	if cfg.Concentration != 0 {
+		return nil, fmt.Errorf("noc: torus topology does not use a concentration factor (got %d); use the cmesh topology", cfg.Concentration)
+	}
+	if cfg.Width < 2 || cfg.Height < 2 {
+		return nil, fmt.Errorf("noc: torus needs rings of at least 2 routers per dimension, got %dx%d", cfg.Width, cfg.Height)
+	}
+	return &torusTopology{w: cfg.Width, h: cfg.Height}, nil
+}
+
+func (t *torusTopology) Name() string           { return "torus" }
+func (t *torusTopology) Routers() int           { return t.w * t.h }
+func (t *torusTopology) Nodes() int             { return t.w * t.h }
+func (t *torusTopology) Ports() int             { return numPorts }
+func (t *torusTopology) LocalPorts(r int) []int { return localPortOnly }
+func (t *torusTopology) VCClasses() int         { return 2 }
+func (t *torusTopology) PortName(p int) string  { return portName(p) }
+
+func (t *torusTopology) NodeRouter(node int) (int, int) { return node, Local }
+
+// Links counts four outgoing links per router: wraparound gives every
+// router a neighbor in every direction.
+func (t *torusTopology) Links() int { return 4 * t.w * t.h }
+
+// Diameter is the sum of the per-ring half-lengths — shortest-direction
+// routing never travels more than half a ring per dimension.
+func (t *torusTopology) Diameter() int { return t.w/2 + t.h/2 }
+
+func (t *torusTopology) xy(r int) (x, y int) { return r % t.w, r / t.w }
+func (t *torusTopology) node(x, y int) int   { return y*t.w + x }
+
+// Neighbor wraps coordinates modulo the ring size, so every direction port
+// has a link; only the local port is unpaired.
+func (t *torusTopology) Neighbor(r, port int) (nb, inPort int, ok bool) {
+	x, y := t.xy(r)
+	switch port {
+	case North:
+		y = (y - 1 + t.h) % t.h
+	case South:
+		y = (y + 1) % t.h
+	case East:
+		x = (x + 1) % t.w
+	case West:
+		x = (x - 1 + t.w) % t.w
+	default:
+		return 0, 0, false
+	}
+	return t.node(x, y), oppositeDir(port), true
+}
+
+// Route is shortest-direction X-Y routing with dateline VC classes: correct
+// X around the shorter way of its ring (ties eastward), then Y (ties
+// southward), then eject. The class of each hop is 0 while the packet still
+// has its ring's dateline (the wraparound link) ahead and 1 once it is
+// past — see the type comment for why that is deadlock-free.
+func (t *torusTopology) Route(cur, dst int) (port, vcClass int) {
+	cx, cy := t.xy(cur)
+	dx, dy := t.xy(dst)
+	if cx != dx {
+		east := (dx - cx + t.w) % t.w
+		west := (cx - dx + t.w) % t.w
+		if east <= west {
+			return East, datelineClass(cx > dx)
+		}
+		return West, datelineClass(cx < dx)
+	}
+	if cy != dy {
+		south := (dy - cy + t.h) % t.h
+		north := (cy - dy + t.h) % t.h
+		if south <= north {
+			return South, datelineClass(cy > dy)
+		}
+		return North, datelineClass(cy < dy)
+	}
+	return Local, 0
+}
+
+// datelineClass maps "the dateline is still ahead on this ring" onto the
+// pre-dateline class 0; past (or never crossing) it is class 1.
+func datelineClass(wrapAhead bool) int {
+	if wrapAhead {
+		return 0
+	}
+	return 1
+}

@@ -39,6 +39,13 @@ type PlatformSpec struct {
 	// broadcast); entries come from nocbt.FixedWidths(). Empty keeps the
 	// geometry's own format.
 	Precisions []int `json:"precisions,omitempty"`
+	// Topology names a registered interconnect topology ("mesh", "torus",
+	// "cmesh"); empty serves on the paper's default mesh. Width and height
+	// keep meaning the terminal grid under every topology.
+	Topology string `json:"topology,omitempty"`
+	// Concentration is the cmesh terminals-per-router factor (2 or 4;
+	// 0 selects the topology default).
+	Concentration int `json:"concentration,omitempty"`
 }
 
 // withDefaults resolves omitted fields to the serving defaults.
@@ -121,6 +128,13 @@ func (s PlatformSpec) Build() (nocbt.Platform, error) {
 	}
 	if len(s.Precisions) > 0 {
 		opts = append(opts, nocbt.WithPrecisions(s.Precisions...))
+	}
+	if s.Topology != "" || s.Concentration != 0 {
+		if _, ok := nocbt.CanonicalTopologyName(s.Topology); !ok {
+			return nocbt.Platform{}, fmt.Errorf("serve: unknown topology %q (registered: %v)",
+				s.Topology, nocbt.TopologyNames())
+		}
+		opts = append(opts, nocbt.WithTopology(s.Topology, nocbt.WithConcentration(s.Concentration)))
 	}
 	return nocbt.NewPlatform(opts...)
 }
@@ -257,6 +271,9 @@ type SweepParams struct {
 	// Precisions adds a uniform fixed-point lane-width axis (entries from
 	// nocbt.FixedWidths()); empty keeps each geometry's own format.
 	Precisions []int `json:"precisions,omitempty"`
+	// Topologies adds an interconnect axis by registry name ("mesh",
+	// "torus", "cmesh"); empty keeps each platform's own topology.
+	Topologies []string `json:"topologies,omitempty"`
 }
 
 // toParams lowers the wire params onto nocbt.Params.
@@ -305,6 +322,12 @@ func (p ExperimentParams) toParams() (nocbt.Params, error) {
 			return out, fmt.Errorf("serve: unknown sweep link coding %q (registered: %v)", c, nocbt.LinkCodingNames())
 		}
 		spec.Codings = append(spec.Codings, c)
+	}
+	for _, t := range p.Sweep.Topologies {
+		if _, ok := nocbt.CanonicalTopologyName(t); !ok {
+			return out, fmt.Errorf("serve: unknown sweep topology %q (registered: %v)", t, nocbt.TopologyNames())
+		}
+		spec.Topologies = append(spec.Topologies, t)
 	}
 	for _, m := range p.Sweep.Models {
 		model := nocbt.SweepModel(strings.ToLower(strings.TrimSpace(m)))

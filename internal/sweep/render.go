@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"nocbt/internal/flit"
+	"nocbt/internal/noc"
 	"nocbt/internal/stats"
 )
 
@@ -23,7 +24,10 @@ type Result struct {
 	OrderingName string        `json:"ordering"`
 	// Coding is the link coding's display name ("none" when uncoded).
 	Coding string `json:"coding"`
-	Seed   int64  `json:"seed"`
+	// Topology is the canonical interconnect name ("" = the default mesh,
+	// omitted from JSON so pre-topology rows are unchanged).
+	Topology string `json:"topology,omitempty"`
+	Seed     int64  `json:"seed"`
 	// Batch is the inference batch size of the run (1 = serial Infer).
 	Batch int `json:"batch"`
 	// Precision is the uniform lane-width override the job swept (0 when
@@ -35,6 +39,10 @@ type Result struct {
 	// Flits counts total injected flits (task and result packets, headers
 	// included) — the traffic volume narrower precisions shrink.
 	Flits int64 `json:"flits,omitempty"`
+	// RouterFlits counts router-to-router link traversals; divided by Flits
+	// it is the mean hop count, the distance metric topologies trade
+	// against wiring (torus wrap links cut it, cmesh concentration too).
+	RouterFlits int64 `json:"router_flits,omitempty"`
 	// MACBitOps, WeightRegBits and FlitBits are the engine's per-component
 	// activity counters (see accel.EnergyCounters); together with TotalBT
 	// (= link transitions) they price a per-component energy estimate.
@@ -61,7 +69,7 @@ func WriteJSON(w io.Writer, results []Result) error {
 // RenderTable renders the results with the repository's standard table
 // formatter, one row per grid point in sweep order.
 func RenderTable(results []Result) string {
-	t := stats.NewTable("Platform", "Model", "Format", "Prec", "Ordering", "Coding", "Seed", "Batch",
+	t := stats.NewTable("Platform", "Topo", "Model", "Format", "Prec", "Ordering", "Coding", "Seed", "Batch",
 		"Total BT", "Flits", "Cycles", "Packets", "Inf/kcycle", "Reduction %")
 	for _, r := range results {
 		coding := r.Coding
@@ -72,7 +80,7 @@ func RenderTable(results []Result) string {
 		if r.Precision > 0 {
 			prec = fmt.Sprintf("%d", r.Precision)
 		}
-		t.AddRowf(r.Platform, r.Model, r.Format, prec, r.OrderingName, coding, r.Seed, r.Batch,
+		t.AddRowf(r.Platform, noc.TopologyDisplayName(r.Topology), r.Model, r.Format, prec, r.OrderingName, coding, r.Seed, r.Batch,
 			r.TotalBT, r.Flits, r.Cycles, r.Packets, r.Throughput, r.ReductionPct)
 	}
 	return t.String()

@@ -11,6 +11,7 @@ import (
 	"nocbt/internal/accel"
 	"nocbt/internal/dnn"
 	"nocbt/internal/flit"
+	"nocbt/internal/noc"
 	"nocbt/internal/obs"
 	"nocbt/internal/stats"
 	"nocbt/internal/tensor"
@@ -154,6 +155,15 @@ func (r *runner) runJob(ctx context.Context, job Job) (Result, error) {
 	if !ok {
 		return Result{}, fmt.Errorf("unknown link coding %q", cfg.LinkCoding)
 	}
+	if job.Topology != "" {
+		// A listed topology — "mesh" included — overrides the platform's
+		// own interconnect; an empty axis value keeps it.
+		cfg.Mesh.Topology = job.Topology
+	}
+	effTopology, ok := noc.CanonicalTopologyName(cfg.Mesh.Topology)
+	if !ok {
+		return Result{}, fmt.Errorf("unknown topology %q", cfg.Mesh.Topology)
+	}
 	batch := job.Batch
 	if batch < 1 {
 		batch = 1
@@ -182,6 +192,7 @@ func (r *runner) runJob(ctx context.Context, job Job) (Result, error) {
 		Ordering:     job.Ordering,
 		OrderingName: job.Ordering.String(),
 		Coding:       codingName(effCoding),
+		Topology:     effTopology,
 		Seed:         job.Seed,
 		Batch:        batch,
 		Precision:    job.Precision,
@@ -206,6 +217,9 @@ func (r *runner) runJob(ctx context.Context, job Job) (Result, error) {
 	res.Cycles = eng.Cycles()
 	res.Packets = eng.TaskPackets() + eng.ResultPackets()
 	res.Flits = eng.TotalFlits()
+	// Router-link flit-hops over injected flits is the mean hop count —
+	// the traffic-distance metric topologies trade against wiring.
+	res.RouterFlits = eng.NoCStats().RouterFlits
 	ec := eng.EnergyCounters()
 	res.MACBitOps = ec.MACBitOps
 	res.WeightRegBits = ec.WeightRegBits
@@ -232,6 +246,7 @@ type groupKey struct {
 	linkBits  int
 	format    string
 	coding    string
+	topology  string
 	seed      int64
 	batch     int
 	precision int
@@ -244,6 +259,7 @@ func (res Result) group() groupKey {
 		linkBits:  res.LinkBits,
 		format:    res.Format,
 		coding:    res.Coding,
+		topology:  res.Topology,
 		seed:      res.Seed,
 		batch:     res.Batch,
 		precision: res.Precision,

@@ -26,6 +26,7 @@ import (
 	"nocbt/internal/bitutil"
 	"nocbt/internal/dnn"
 	"nocbt/internal/flit"
+	"nocbt/internal/noc"
 	"nocbt/internal/tensor"
 )
 
@@ -77,6 +78,11 @@ type Spec struct {
 	// format, as does the empty axis. Non-fixed geometries ignore the axis
 	// (a float-32 grid point has no narrower lane to quantize to).
 	Precisions []int
+	// Topologies lists registered interconnect topologies to measure
+	// ("mesh", "torus", "cmesh"); each entry overrides the platform's own
+	// topology on the same terminal grid. "" keeps the platform's
+	// configuration, as does the empty axis.
+	Topologies []string
 	// Workers bounds the pool; 0 means runtime.GOMAXPROCS(0).
 	Workers int
 }
@@ -104,6 +110,14 @@ func (s Spec) Validate() error {
 		}
 		if _, err := bitutil.FixedN(p); err != nil {
 			return fmt.Errorf("sweep: bad precision: %w", err)
+		}
+	}
+	for _, name := range s.Topologies {
+		if name == "" {
+			continue // platform default
+		}
+		if _, ok := noc.CanonicalTopologyName(name); !ok {
+			return fmt.Errorf("sweep: unknown topology %q (registered: %v)", name, noc.TopologyNames())
 		}
 	}
 	seen := make(map[string]bool, len(s.Workloads))
@@ -148,6 +162,8 @@ type Job struct {
 	// Precision is the uniform fixed-point lane width override (0 = the
 	// geometry's own format; ignored for non-fixed geometries).
 	Precision int
+	// Topology is the interconnect override ("" = the platform's own).
+	Topology string
 }
 
 // Name renders the job's coordinates for error messages.
@@ -157,6 +173,9 @@ func (j Job) Name() string {
 	if j.Precision != 0 {
 		name += fmt.Sprintf("/prec%d", j.Precision)
 	}
+	if j.Topology != "" {
+		name += "/" + j.Topology
+	}
 	if j.Coding != "" {
 		name += "/" + j.Coding
 	}
@@ -165,10 +184,10 @@ func (j Job) Name() string {
 
 // Jobs expands the grid in deterministic nesting order — seeds, then
 // batches, then workloads, then geometries, then precisions, then
-// platforms, then codings, then orderings. Orderings are innermost so each
-// reduction group (a job minus its ordering) is a contiguous run, and the
-// serial reference loops in experiments_noc.go produce rows in exactly
-// this order.
+// platforms, then topologies, then codings, then orderings. Orderings are
+// innermost so each reduction group (a job minus its ordering) is a
+// contiguous run, and the serial reference loops in experiments_noc.go
+// produce rows in exactly this order.
 func (s Spec) Jobs() []Job {
 	batches := s.Batches
 	if len(batches) == 0 {
@@ -182,26 +201,33 @@ func (s Spec) Jobs() []Job {
 	if len(precisions) == 0 {
 		precisions = []int{0}
 	}
-	jobs := make([]Job, 0, len(s.Seeds)*len(batches)*len(s.Workloads)*len(s.Geometries)*len(precisions)*len(s.Platforms)*len(codings)*len(s.Orderings))
+	topologies := s.Topologies
+	if len(topologies) == 0 {
+		topologies = []string{""}
+	}
+	jobs := make([]Job, 0, len(s.Seeds)*len(batches)*len(s.Workloads)*len(s.Geometries)*len(precisions)*len(s.Platforms)*len(topologies)*len(codings)*len(s.Orderings))
 	for _, seed := range s.Seeds {
 		for _, batch := range batches {
 			for _, w := range s.Workloads {
 				for _, g := range s.Geometries {
 					for _, prec := range precisions {
 						for _, p := range s.Platforms {
-							for _, coding := range codings {
-								for _, ord := range s.Orderings {
-									jobs = append(jobs, Job{
-										Index:     len(jobs),
-										Seed:      seed,
-										Batch:     batch,
-										Workload:  w,
-										Geometry:  g,
-										Platform:  p,
-										Coding:    coding,
-										Ordering:  ord,
-										Precision: prec,
-									})
+							for _, topo := range topologies {
+								for _, coding := range codings {
+									for _, ord := range s.Orderings {
+										jobs = append(jobs, Job{
+											Index:     len(jobs),
+											Seed:      seed,
+											Batch:     batch,
+											Workload:  w,
+											Geometry:  g,
+											Platform:  p,
+											Topology:  topo,
+											Coding:    coding,
+											Ordering:  ord,
+											Precision: prec,
+										})
+									}
 								}
 							}
 						}

@@ -45,6 +45,7 @@ import (
 	"nocbt/internal/bitutil"
 	"nocbt/internal/dnn"
 	"nocbt/internal/flit"
+	"nocbt/internal/noc"
 	"nocbt/internal/tensor"
 	"nocbt/internal/train"
 )
@@ -125,6 +126,38 @@ func LookupLinkCoding(name string) (LinkCodingScheme, bool) { return flit.Lookup
 
 // LinkCodingNames returns the registered coding names, "none" first.
 func LinkCodingNames() []string { return flit.LinkCodingNames() }
+
+// Topology is one interconnect scheme: node/port enumeration, routing,
+// link pairing and NI attachment behind one interface. The built-in
+// schemes are the paper's 2D mesh (the reserved default), a wraparound
+// torus with dateline VC classes, and a concentrated mesh; register custom
+// schemes with RegisterTopology and select them with WithTopology.
+type Topology = noc.Topology
+
+// TopologyBuilder constructs a Topology for one NoC configuration,
+// validating the grid it is given.
+type TopologyBuilder = noc.TopologyBuilder
+
+// RegisterTopology adds a custom interconnect topology to the
+// process-wide registry; "mesh" (and the empty name) are reserved for the
+// built-in default.
+func RegisterTopology(name string, build TopologyBuilder) error {
+	return noc.RegisterTopology(name, build)
+}
+
+// TopologyNames returns the registered topology names, "mesh" first.
+func TopologyNames() []string { return noc.TopologyNames() }
+
+// CanonicalTopologyName resolves a topology name to its canonical form:
+// "" for the default mesh (any spelling of "mesh" included), the
+// registered spelling otherwise. ok is false for unknown names.
+func CanonicalTopologyName(name string) (canonical string, ok bool) {
+	return noc.CanonicalTopologyName(name)
+}
+
+// TopologyDisplayName renders a canonical topology name for reports:
+// "mesh" for the empty default, the registered spelling otherwise.
+func TopologyDisplayName(name string) string { return noc.TopologyDisplayName(name) }
 
 // Geometry describes the link/flit format.
 type Geometry = flit.Geometry

@@ -75,6 +75,8 @@ type platformSpec struct {
 	inBandIndex     bool
 	linkCoding      string
 	precisions      []int
+	topology        string
+	concentration   int
 }
 
 // PlatformOption configures one aspect of a platform under construction.
@@ -189,6 +191,32 @@ func WithPrecisions(bits ...int) PlatformOption {
 	return func(s *platformSpec) { s.precisions = append([]int(nil), bits...) }
 }
 
+// TopologyOption configures the interconnect scheme selected with
+// WithTopology.
+type TopologyOption func(*platformSpec)
+
+// WithTopology selects a registered interconnect topology by name: "mesh"
+// (the paper's platform and the default), "torus", "cmesh", or any scheme
+// added through RegisterTopology. Width and height keep meaning the
+// terminal (NI) grid under every topology, so MC placement options compose
+// unchanged. "mesh" canonicalizes to the empty default, keeping the
+// fingerprints of mesh platforms byte-identical to those minted before
+// topologies existed.
+func WithTopology(name string, opts ...TopologyOption) PlatformOption {
+	return func(s *platformSpec) {
+		s.topology = name
+		for _, opt := range opts {
+			opt(s)
+		}
+	}
+}
+
+// WithConcentration sets the terminals-per-router factor of a concentrated
+// topology (cmesh supports 2 or 4; 0 selects the topology's default).
+func WithConcentration(c int) TopologyOption {
+	return func(s *platformSpec) { s.concentration = c }
+}
+
 // NewPlatform builds a validated accelerator platform from functional
 // options. With no options it returns the paper's default platform:
 // a 4×4 mesh, 2 perimeter MCs, fixed-8 geometry, O0 ordering.
@@ -243,6 +271,10 @@ func NewPlatform(opts ...PlatformOption) (Platform, error) {
 	if s.explicitNodes && s.explicitCoords {
 		return Platform{}, fmt.Errorf("nocbt: WithMCNodes and WithMCCoords are mutually exclusive")
 	}
+	topology, ok := noc.CanonicalTopologyName(s.topology)
+	if !ok {
+		return Platform{}, fmt.Errorf("nocbt: unknown topology %q (registered: %v)", s.topology, noc.TopologyNames())
+	}
 
 	nodes := s.width * s.height
 	var mcs []int
@@ -288,11 +320,13 @@ func NewPlatform(opts ...PlatformOption) (Platform, error) {
 
 	cfg := Platform{
 		Mesh: noc.Config{
-			Width:    s.width,
-			Height:   s.height,
-			VCs:      s.vcs,
-			BufDepth: s.bufDepth,
-			LinkBits: s.geometry.LinkBits,
+			Width:         s.width,
+			Height:        s.height,
+			Topology:      topology,
+			Concentration: s.concentration,
+			VCs:           s.vcs,
+			BufDepth:      s.bufDepth,
+			LinkBits:      s.geometry.LinkBits,
 		},
 		Geometry:        s.geometry,
 		Ordering:        s.ordering,

@@ -112,8 +112,8 @@ func TestCustomStrategyEndToEnd(t *testing.T) {
 	if len(rows) != 2 {
 		t.Fatalf("got %d rows, want 2:\n%s", len(rows), out)
 	}
-	// Columns: Platform, Model, Format, Prec, Ordering, Coding, ...
-	if rows[1][4] != "reverse" || rows[1][5] != "gray" {
-		t.Errorf("custom row ordering/coding = %v/%v, want reverse/gray", rows[1][4], rows[1][5])
+	// Columns: Platform, Topo, Model, Format, Prec, Ordering, Coding, ...
+	if rows[1][5] != "reverse" || rows[1][6] != "gray" {
+		t.Errorf("custom row ordering/coding = %v/%v, want reverse/gray", rows[1][5], rows[1][6])
 	}
 }

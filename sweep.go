@@ -121,6 +121,11 @@ type SweepSpec struct {
 	// keeps the geometry's own format, as does the empty axis; float-32
 	// geometry points ignore the axis.
 	Precisions []int
+	// Topologies lists registered interconnect topologies ("mesh", "torus",
+	// "cmesh") to measure; each becomes its own grid point overriding the
+	// platform's interconnect on the same terminal grid. Empty keeps the
+	// platforms' configured topologies (usually the paper's mesh).
+	Topologies []string
 	// Workers bounds the worker pool; 0 means GOMAXPROCS. It only changes
 	// wall-clock parallelism, never the deterministic per-job results, so
 	// it is deliberately excluded from the sweep fingerprint.
@@ -194,6 +199,7 @@ func (s SweepSpec) toInternal() (sweep.Spec, error) {
 		Batches:    s.Batches,
 		Codings:    s.Codings,
 		Precisions: s.Precisions,
+		Topologies: s.Topologies,
 		Workers:    s.Workers,
 	}
 	for _, p := range s.Platforms {
@@ -237,12 +243,14 @@ func RunSweep(ctx context.Context, spec SweepSpec) ([]NoCRunResult, error) {
 			Geometry:         r.Geometry,
 			Ordering:         r.Ordering,
 			Coding:           r.Coding,
+			Topology:         r.Topology,
 			Batch:            r.Batch,
 			Precision:        r.Precision,
 			TotalBT:          r.TotalBT,
 			Cycles:           r.Cycles,
 			Packets:          r.Packets,
 			Flits:            r.Flits,
+			RouterFlits:      r.RouterFlits,
 			MACBitOps:        r.MACBitOps,
 			WeightRegBits:    r.WeightRegBits,
 			FlitBits:         r.FlitBits,
@@ -270,7 +278,7 @@ func sweepResult(ctx context.Context, p Params) (*Result, error) {
 	}
 	table := ResultTable{
 		Name: "sweep",
-		Columns: []string{"Platform", "Model", "Format", "Prec", "Ordering", "Coding", "Seed", "Batch",
+		Columns: []string{"Platform", "Topo", "Model", "Format", "Prec", "Ordering", "Coding", "Seed", "Batch",
 			"Total BT", "Flits", "Cycles", "Packets", "Inf/kcycle", "Reduction %"},
 	}
 	for _, r := range rows {
@@ -278,7 +286,7 @@ func sweepResult(ctx context.Context, p Params) (*Result, error) {
 		if r.Precision > 0 {
 			prec = fmt.Sprintf("%d", r.Precision)
 		}
-		table.AddRow(r.Platform, r.Model, r.Geometry.Format.String(), prec, r.Ordering.String(),
+		table.AddRow(r.Platform, TopologyDisplayName(r.Topology), r.Model, r.Geometry.Format.String(), prec, r.Ordering.String(),
 			r.Coding, r.Seed, r.Batch, r.TotalBT, r.Flits, r.Cycles, r.Packets, r.Throughput, r.ReductionPct)
 	}
 	resolved := spec.withDefaults()
@@ -296,6 +304,7 @@ func sweepResult(ctx context.Context, p Params) (*Result, error) {
 			"batches":    resolved.Batches,
 			"codings":    resolved.Codings,
 			"precisions": resolved.Precisions,
+			"topologies": resolved.Topologies,
 			"trained":    resolved.Trained,
 		},
 		Tables: []ResultTable{table},
@@ -341,6 +350,7 @@ func toInternalResults(rows []NoCRunResult) []sweep.Result {
 			Ordering:         r.Ordering,
 			OrderingName:     r.Ordering.String(),
 			Coding:           coding,
+			Topology:         r.Topology,
 			Seed:             r.Seed,
 			Batch:            batch,
 			Precision:        r.Precision,
@@ -348,6 +358,7 @@ func toInternalResults(rows []NoCRunResult) []sweep.Result {
 			Cycles:           r.Cycles,
 			Packets:          r.Packets,
 			Flits:            r.Flits,
+			RouterFlits:      r.RouterFlits,
 			MACBitOps:        r.MACBitOps,
 			WeightRegBits:    r.WeightRegBits,
 			FlitBits:         r.FlitBits,
